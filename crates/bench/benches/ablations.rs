@@ -1,0 +1,73 @@
+//! Ablation benches A1–A3: each measures the *quality* delta (makespan) as
+//! Criterion throughput of producing both arms of the comparison, and the
+//! `repro -- ablations` tables report the makespans themselves.
+
+use banger_machine::{Machine, MachineParams, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation_comm(c: &mut Criterion) {
+    let m = Machine::new(Topology::hypercube(3), banger::figures::figure3_params());
+    let mut group = c.benchmark_group("ablation_comm");
+    for scale in [1.0f64, 10.0, 100.0] {
+        let mut g = banger_taskgraph::generators::fork_join(8, 2.0, 10.0, 2.0, 1.0);
+        g.scale_volumes(scale);
+        group.bench_with_input(BenchmarkId::new("naive", scale as u64), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::list::naive_no_comm(g, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("MH", scale as u64), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::mh::mh(g, &m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_dup(c: &mut Criterion) {
+    let g = banger_taskgraph::generators::outtree(3, 2, 3.0, 2.0);
+    let mut group = c.benchmark_group("ablation_duplication");
+    for startup in [0.0f64, 2.0, 8.0] {
+        let m = Machine::new(
+            Topology::fully_connected(8),
+            MachineParams {
+                msg_startup: startup,
+                ..MachineParams::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ETF", startup as u64), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::list::etf(g, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("DSH", startup as u64), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::dsh::dsh(g, &m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_grain(c: &mut Criterion) {
+    let g = banger_taskgraph::generators::lattice(6, 6, 1.0, 4.0);
+    c.bench_function("ablation_grain/pack lattice-6x6", |b| {
+        b.iter(|| black_box(banger_sched::grain::pack(&g).unwrap()))
+    });
+    let m = Machine::new(
+        Topology::hypercube(2),
+        MachineParams {
+            process_startup: 2.0,
+            ..MachineParams::default()
+        },
+    );
+    let packed = banger_sched::grain::pack(&g).unwrap().packed;
+    c.bench_function("ablation_grain/schedule raw", |b| {
+        b.iter(|| black_box(banger_sched::list::etf(&g, &m)))
+    });
+    c.bench_function("ablation_grain/schedule packed", |b| {
+        b.iter(|| black_box(banger_sched::list::etf(&packed, &m)))
+    });
+}
+
+criterion_group!(
+    ablation_benches,
+    bench_ablation_comm,
+    bench_ablation_dup,
+    bench_ablation_grain
+);
+criterion_main!(ablation_benches);

@@ -1,0 +1,63 @@
+//! Criterion benches regenerating the paper's four figures (F1–F4): how
+//! long Banger's "instant feedback" artifacts take to produce.
+
+use banger::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1_graph(c: &mut Criterion) {
+    c.bench_function("fig1/build+flatten LU 3x3 design", |b| {
+        b.iter(|| {
+            let h = banger_taskgraph::generators::lu_hierarchical(black_box(3));
+            black_box(h.flatten().unwrap())
+        })
+    });
+    c.bench_function("fig1/render report", |b| b.iter(|| black_box(figures::figure1())));
+}
+
+fn bench_fig2_topologies(c: &mut Criterion) {
+    c.bench_function("fig2/build all topologies + routing", |b| {
+        b.iter(|| black_box(figures::figure2()))
+    });
+}
+
+fn bench_fig3_schedule(c: &mut Criterion) {
+    let f = banger_taskgraph::generators::lu_hierarchical(3)
+        .flatten()
+        .unwrap();
+    for dim in [1u32, 2, 3] {
+        let m = banger_machine::Machine::new(
+            banger_machine::Topology::hypercube(dim),
+            figures::figure3_params(),
+        );
+        c.bench_function(&format!("fig3/MH schedule LU on hypercube-{dim}"), |b| {
+            b.iter(|| black_box(banger_sched::mh::mh(&f.graph, &m)))
+        });
+    }
+    c.bench_function("fig3/full figure (gantts + speedup chart)", |b| {
+        b.iter(|| black_box(figures::figure3()))
+    });
+}
+
+fn bench_fig4_interpreter(c: &mut Criterion) {
+    let prog = banger_calc::parser::parse_program(figures::SQUARE_ROOT_SRC).unwrap();
+    let inputs: std::collections::BTreeMap<String, banger_calc::Value> =
+        [("a".to_string(), banger_calc::Value::Num(2.0))]
+            .into_iter()
+            .collect();
+    c.bench_function("fig4/parse SquareRoot", |b| {
+        b.iter(|| black_box(banger_calc::parser::parse_program(figures::SQUARE_ROOT_SRC).unwrap()))
+    });
+    c.bench_function("fig4/trial-run Newton-Raphson sqrt(2)", |b| {
+        b.iter(|| black_box(banger_calc::interp::run(&prog, &inputs).unwrap()))
+    });
+}
+
+criterion_group!(
+    figures_benches,
+    bench_fig1_graph,
+    bench_fig2_topologies,
+    bench_fig3_schedule,
+    bench_fig4_interpreter
+);
+criterion_main!(figures_benches);

@@ -1,0 +1,89 @@
+//! Benches for the PITS language layer: parsing, interpretation over
+//! arrays, document round-trips and the data-parallel transform — the
+//! costs behind the environment's "instant feedback" promise.
+
+use banger_calc::{interp, parser, transform, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const PI_SRC: &str = "\
+task Pi
+  in n
+  out p
+  local i, x, h
+begin
+  h := 1 / n
+  p := 0
+  for i := 1 to n do
+    x := (i - 0.5) * h
+    p := p + 4 / (1 + x * x)
+  end
+  p := p * h
+end";
+
+fn bench_interpreter_scaling(c: &mut Criterion) {
+    let prog = parser::parse_program(PI_SRC).unwrap();
+    let mut group = c.benchmark_group("interp_pi_iterations");
+    for n in [100u32, 1_000, 10_000] {
+        let inputs: BTreeMap<String, Value> =
+            [("n".to_string(), Value::Num(n as f64))].into_iter().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inputs, |b, inputs| {
+            b.iter(|| black_box(interp::run(&prog, inputs).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_ops(c: &mut Criterion) {
+    let prog = parser::parse_program(
+        "task Scale in v out w local i, n begin \
+         n := len(v) w := zeros(n) \
+         for i := 1 to n do w[i] := v[i] * 2 + 1 end end",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("interp_array_scale");
+    for n in [64usize, 512, 4096] {
+        let inputs: BTreeMap<String, Value> = [(
+            "v".to_string(),
+            Value::Array((0..n).map(|i| i as f64).collect()),
+        )]
+        .into_iter()
+        .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inputs, |b, inputs| {
+            b.iter(|| black_box(interp::run(&prog, inputs).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let prog = parser::parse_program(PI_SRC).unwrap();
+    c.bench_function("transform/parallelize_reduction k=8", |b| {
+        b.iter(|| black_box(transform::parallelize_reduction(&prog, 8).unwrap()))
+    });
+}
+
+fn bench_document(c: &mut Criterion) {
+    let m = banger_machine::Machine::new(
+        banger_machine::Topology::hypercube(2),
+        banger::figures::figure3_params(),
+    );
+    let project = banger::figures::lu_project(5, m);
+    let text = banger::document::print_project(&project);
+    c.bench_function("document/print LU5 project", |b| {
+        b.iter(|| black_box(banger::document::print_project(&project)))
+    });
+    c.bench_function("document/parse LU5 project", |b| {
+        b.iter(|| black_box(banger::document::parse_project(&text).unwrap()))
+    });
+}
+
+criterion_group!(
+    language_benches,
+    bench_interpreter_scaling,
+    bench_array_ops,
+    bench_transform,
+    bench_document
+);
+criterion_main!(language_benches);

@@ -1,0 +1,102 @@
+//! Runtime benches: the executor (greedy vs pinned, worker scaling) and
+//! end-to-end LU solves through the whole environment.
+
+use banger::figures;
+use banger::lu::{lu_inputs, test_system};
+use banger_exec::{execute, ExecMode, ExecOptions};
+use banger_machine::{Machine, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_exec_workers(c: &mut Criterion) {
+    let design = banger_taskgraph::generators::lu_hierarchical(6)
+        .flatten()
+        .unwrap();
+    let lib = banger::lu::lu_program_library(6);
+    let (a, b) = test_system(6);
+    let inputs = lu_inputs(&a, &b);
+    let mut group = c.benchmark_group("exec_lu6_workers");
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |bch, &w| {
+            bch.iter(|| {
+                black_box(
+                    execute(
+                        &design,
+                        &lib,
+                        &inputs,
+                        &ExecOptions {
+                            mode: ExecMode::Greedy { workers: w },
+                            ..ExecOptions::default()
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exec_pinned(c: &mut Criterion) {
+    let design = banger_taskgraph::generators::lu_hierarchical(5)
+        .flatten()
+        .unwrap();
+    let lib = banger::lu::lu_program_library(5);
+    let (a, b) = test_system(5);
+    let inputs = lu_inputs(&a, &b);
+    let m = Machine::new(Topology::hypercube(2), figures::figure3_params());
+    let s = banger_sched::mh::mh(&design.graph, &m);
+    c.bench_function("exec_lu5/pinned to MH schedule", |bch| {
+        bch.iter(|| {
+            black_box(
+                execute(
+                    &design,
+                    &lib,
+                    &inputs,
+                    &ExecOptions {
+                        mode: ExecMode::Pinned(s.clone()),
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("e2e/lu4 project: schedule+simulate+run", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(Topology::hypercube(2), figures::figure3_params());
+            let mut p = figures::lu_project(4, m);
+            let s = p.schedule("MH").unwrap();
+            let sim = p.simulate(&s).unwrap();
+            let (a, b) = test_system(4);
+            let run = p.run(&lu_inputs(&a, &b)).unwrap();
+            black_box((sim, run))
+        })
+    });
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let m = Machine::new(Topology::hypercube(2), figures::figure3_params());
+    let mut p = figures::lu_project(3, m);
+    let s = p.schedule("MH").unwrap();
+    let (a, b) = test_system(3);
+    let inputs = lu_inputs(&a, &b);
+    c.bench_function("codegen/rust LU3", |bch| {
+        bch.iter(|| black_box(p.generate_rust(&s, &inputs).unwrap()))
+    });
+    c.bench_function("codegen/c LU3", |bch| {
+        bch.iter(|| black_box(p.generate_c(&s, &inputs).unwrap()))
+    });
+}
+
+criterion_group!(
+    runtime_benches,
+    bench_exec_workers,
+    bench_exec_pinned,
+    bench_end_to_end,
+    bench_codegen
+);
+criterion_main!(runtime_benches);

@@ -1,0 +1,56 @@
+//! R1 benches: every heuristic on the shared workload/machine suite
+//! (throughput of the scheduling layer itself), plus scaling with graph
+//! size.
+
+use banger_bench::{bench_machine, workload_suite};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let m = bench_machine();
+    let mut group = c.benchmark_group("sched_heuristics");
+    for (wname, g) in workload_suite() {
+        for h in ["HLFET", "MCP", "ETF", "DLS", "MH", "DSH"] {
+            group.bench_with_input(BenchmarkId::new(h, wname), &g, |b, g| {
+                b.iter(|| black_box(banger_sched::run_heuristic(h, g, &m).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let m = bench_machine();
+    let mut group = c.benchmark_group("sched_scaling_gauss");
+    for n in [6usize, 10, 14, 18] {
+        let g = banger_taskgraph::generators::gauss_elimination(n, 2.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("MH", g.task_count()), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::mh::mh(g, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("ETF", g.task_count()), &g, |b, g| {
+            b.iter(|| black_box(banger_sched::list::etf(g, &m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let m = bench_machine();
+    let g = banger_bench::bench_graph();
+    let s = banger_sched::mh::mh(&g, &m);
+    c.bench_function("sim/DES replay of MH schedule (gauss-10)", |b| {
+        b.iter(|| {
+            black_box(
+                banger_sim::simulate(&g, &m, &s, banger_sim::SimOptions::default()).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    scheduler_benches,
+    bench_heuristics,
+    bench_scaling,
+    bench_simulation
+);
+criterion_main!(scheduler_benches);

@@ -1,0 +1,264 @@
+//! Abstract syntax of the PITS calculator language.
+
+use crate::error::Pos;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `^` (right-associative power)
+    Pow,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Pow => "^",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `not`.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference.
+    Var(String),
+    /// Array element `a[i]` (1-based, calculator style).
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Statements.
+///
+/// Equality is structural and ignores the diagnostic [`Pos`] fields, so
+/// parser/pretty-printer round-trips compare equal.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `x := e`
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Value.
+        expr: Expr,
+        /// Source position (for diagnostics).
+        pos: Pos,
+    },
+    /// `x[i] := e`
+    AssignIndex {
+        /// Target array variable.
+        var: String,
+        /// 1-based element index.
+        index: Expr,
+        /// Value.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if c then ... [else ...] end`
+    If {
+        /// Guard expression.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while c do ... end`
+    While {
+        /// Guard expression.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for v := a to b do ... end` (inclusive bounds, step 1)
+    For {
+        /// Loop variable.
+        var: String,
+        /// Start value.
+        from: Expr,
+        /// End value (inclusive).
+        to: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `print e` — the calculator's result display.
+    Print(Expr),
+}
+
+impl PartialEq for Stmt {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Stmt::Assign { var: v1, expr: e1, .. },
+                Stmt::Assign { var: v2, expr: e2, .. },
+            ) => v1 == v2 && e1 == e2,
+            (
+                Stmt::AssignIndex {
+                    var: v1,
+                    index: i1,
+                    expr: e1,
+                    ..
+                },
+                Stmt::AssignIndex {
+                    var: v2,
+                    index: i2,
+                    expr: e2,
+                    ..
+                },
+            ) => v1 == v2 && i1 == i2 && e1 == e2,
+            (
+                Stmt::If {
+                    cond: c1,
+                    then_body: t1,
+                    else_body: e1,
+                },
+                Stmt::If {
+                    cond: c2,
+                    then_body: t2,
+                    else_body: e2,
+                },
+            ) => c1 == c2 && t1 == t2 && e1 == e2,
+            (
+                Stmt::While { cond: c1, body: b1 },
+                Stmt::While { cond: c2, body: b2 },
+            ) => c1 == c2 && b1 == b2,
+            (
+                Stmt::For {
+                    var: v1,
+                    from: f1,
+                    to: t1,
+                    body: b1,
+                },
+                Stmt::For {
+                    var: v2,
+                    from: f2,
+                    to: t2,
+                    body: b2,
+                },
+            ) => v1 == v2 && f1 == f2 && t1 == t2 && b1 == b2,
+            (Stmt::Print(a), Stmt::Print(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A complete PITS task program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Task name (`SquareRoot` in Figure 4).
+    pub name: String,
+    /// Input variables, supplied by arriving dataflow arcs.
+    pub inputs: Vec<String>,
+    /// Output variables, sent on departing arcs.
+    pub outputs: Vec<String>,
+    /// Local (scratch) variables.
+    pub locals: Vec<String>,
+    /// Statement list between `begin` and `end`.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// True when `name` is declared `in`, `out` or `local`.
+    pub fn declares(&self, name: &str) -> bool {
+        self.inputs.iter().any(|v| v == name)
+            || self.outputs.iter().any(|v| v == name)
+            || self.locals.iter().any(|v| v == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_cover_all_ops() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::Pow,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::And,
+            BinOp::Or,
+        ] {
+            assert!(!op.symbol().is_empty());
+        }
+    }
+
+    #[test]
+    fn declares_checks_all_sections() {
+        let p = Program {
+            name: "t".into(),
+            inputs: vec!["a".into()],
+            outputs: vec!["x".into()],
+            locals: vec!["g".into()],
+            body: vec![],
+        };
+        assert!(p.declares("a"));
+        assert!(p.declares("x"));
+        assert!(p.declares("g"));
+        assert!(!p.declares("q"));
+    }
+}

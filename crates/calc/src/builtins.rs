@@ -1,0 +1,199 @@
+//! The calculator's scientific function buttons and constants.
+//!
+//! The paper's calculator metaphor promises "scientific and engineering
+//! functions, constants, and formulas"; this module is that button panel.
+//! Every builtin carries an operation-count cost so trial runs can
+//! estimate task weights for the scheduler.
+
+use crate::error::RunError;
+use crate::value::Value;
+
+/// Description of one builtin function.
+pub struct Builtin {
+    /// Surface name (the button label).
+    pub name: &'static str,
+    /// Number of arguments (`usize::MAX` marks "any array" single-arg
+    /// functions, but all current builtins use fixed arities).
+    pub arity: usize,
+    /// Cost in abstract operations, charged per call by the interpreter.
+    pub cost: u64,
+}
+
+/// Constants preloaded into every PITS environment.
+pub const CONSTANTS: [(&str, f64); 2] = [("pi", std::f64::consts::PI), ("e", std::f64::consts::E)];
+
+/// The builtin table (kept sorted by name for binary search).
+pub const BUILTINS: &[Builtin] = &[
+    Builtin { name: "abs", arity: 1, cost: 1 },
+    Builtin { name: "acos", arity: 1, cost: 8 },
+    Builtin { name: "amax", arity: 1, cost: 4 },
+    Builtin { name: "amin", arity: 1, cost: 4 },
+    Builtin { name: "asin", arity: 1, cost: 8 },
+    Builtin { name: "atan", arity: 1, cost: 8 },
+    Builtin { name: "atan2", arity: 2, cost: 10 },
+    Builtin { name: "ceil", arity: 1, cost: 1 },
+    Builtin { name: "cos", arity: 1, cost: 8 },
+    Builtin { name: "dot", arity: 2, cost: 8 },
+    Builtin { name: "exp", arity: 1, cost: 8 },
+    Builtin { name: "fill", arity: 2, cost: 4 },
+    Builtin { name: "floor", arity: 1, cost: 1 },
+    Builtin { name: "len", arity: 1, cost: 1 },
+    Builtin { name: "ln", arity: 1, cost: 8 },
+    Builtin { name: "log10", arity: 1, cost: 8 },
+    Builtin { name: "max", arity: 2, cost: 1 },
+    Builtin { name: "min", arity: 2, cost: 1 },
+    Builtin { name: "pow", arity: 2, cost: 10 },
+    Builtin { name: "round", arity: 1, cost: 1 },
+    Builtin { name: "sin", arity: 1, cost: 8 },
+    Builtin { name: "sqrt", arity: 1, cost: 6 },
+    Builtin { name: "sum", arity: 1, cost: 4 },
+    Builtin { name: "tan", arity: 1, cost: 8 },
+    Builtin { name: "zeros", arity: 1, cost: 2 },
+];
+
+/// Looks up a builtin by name.
+pub fn lookup(name: &str) -> Option<&'static Builtin> {
+    BUILTINS
+        .binary_search_by(|b| b.name.cmp(name))
+        .ok()
+        .map(|i| &BUILTINS[i])
+}
+
+/// Applies a builtin. `args` length is pre-checked against the arity by
+/// the interpreter.
+pub fn apply(name: &str, args: &[Value]) -> Result<Value, RunError> {
+    let num = |i: usize| args[i].as_num(&format!("argument {} of {name}()", i + 1));
+    let arr = |i: usize| args[i].as_array(&format!("argument {} of {name}()", i + 1));
+    let v = match name {
+        "abs" => Value::Num(num(0)?.abs()),
+        "acos" => Value::Num(num(0)?.acos()),
+        "asin" => Value::Num(num(0)?.asin()),
+        "atan" => Value::Num(num(0)?.atan()),
+        "atan2" => Value::Num(num(0)?.atan2(num(1)?)),
+        "ceil" => Value::Num(num(0)?.ceil()),
+        "cos" => Value::Num(num(0)?.cos()),
+        "exp" => Value::Num(num(0)?.exp()),
+        "floor" => Value::Num(num(0)?.floor()),
+        "ln" => Value::Num(num(0)?.ln()),
+        "log10" => Value::Num(num(0)?.log10()),
+        "max" => Value::Num(num(0)?.max(num(1)?)),
+        "min" => Value::Num(num(0)?.min(num(1)?)),
+        "pow" => Value::Num(num(0)?.powf(num(1)?)),
+        "round" => Value::Num(num(0)?.round()),
+        "sin" => Value::Num(num(0)?.sin()),
+        "sqrt" => Value::Num(num(0)?.sqrt()),
+        "tan" => Value::Num(num(0)?.tan()),
+        "len" => Value::Num(arr(0)?.len() as f64),
+        "sum" => Value::Num(arr(0)?.iter().sum()),
+        "amin" => Value::Num(arr(0)?.iter().copied().fold(f64::INFINITY, f64::min)),
+        "amax" => Value::Num(arr(0)?.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+        "dot" => {
+            let (a, b) = (arr(0)?, arr(1)?);
+            if a.len() != b.len() {
+                return Err(RunError::BadArity {
+                    name: "dot".into(),
+                    expected: a.len(),
+                    got: b.len(),
+                });
+            }
+            Value::Num(a.iter().zip(b).map(|(x, y)| x * y).sum())
+        }
+        "zeros" => {
+            let n = num(0)?.round();
+            if !(0.0..=1e9).contains(&n) {
+                return Err(RunError::NotAScalar(format!(
+                    "zeros() size must be in 0..=1e9, got {n}"
+                )));
+            }
+            Value::Array(vec![0.0; n as usize])
+        }
+        "fill" => {
+            let n = num(0)?.round();
+            if !(0.0..=1e9).contains(&n) {
+                return Err(RunError::NotAScalar(format!(
+                    "fill() size must be in 0..=1e9, got {n}"
+                )));
+            }
+            Value::Array(vec![num(1)?; n as usize])
+        }
+        _ => return Err(RunError::UnknownFunction(name.to_string())),
+    };
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_for_binary_search() {
+        for w in BUILTINS.windows(2) {
+            assert!(w[0].name < w[1].name, "{} >= {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_everything() {
+        for b in BUILTINS {
+            let found = lookup(b.name).unwrap();
+            assert_eq!(found.name, b.name);
+        }
+        assert!(lookup("nope").is_none());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let n = |v: f64| Value::Num(v);
+        assert_eq!(apply("abs", &[n(-3.0)]).unwrap(), n(3.0));
+        assert_eq!(apply("sqrt", &[n(9.0)]).unwrap(), n(3.0));
+        assert_eq!(apply("max", &[n(2.0), n(5.0)]).unwrap(), n(5.0));
+        assert_eq!(apply("min", &[n(2.0), n(5.0)]).unwrap(), n(2.0));
+        assert_eq!(apply("pow", &[n(2.0), n(10.0)]).unwrap(), n(1024.0));
+        assert_eq!(apply("floor", &[n(2.7)]).unwrap(), n(2.0));
+        assert_eq!(apply("ceil", &[n(2.2)]).unwrap(), n(3.0));
+        assert_eq!(apply("round", &[n(2.5)]).unwrap(), n(3.0));
+        if let Value::Num(v) = apply("atan2", &[n(1.0), n(1.0)]).unwrap() {
+            assert!((v - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn array_functions() {
+        let a = Value::Array(vec![1.0, 2.0, 3.0]);
+        assert_eq!(apply("len", std::slice::from_ref(&a)).unwrap(), Value::Num(3.0));
+        assert_eq!(apply("sum", std::slice::from_ref(&a)).unwrap(), Value::Num(6.0));
+        assert_eq!(apply("amin", std::slice::from_ref(&a)).unwrap(), Value::Num(1.0));
+        assert_eq!(apply("amax", std::slice::from_ref(&a)).unwrap(), Value::Num(3.0));
+        assert_eq!(
+            apply("dot", &[a.clone(), a.clone()]).unwrap(),
+            Value::Num(14.0)
+        );
+        assert_eq!(
+            apply("zeros", &[Value::Num(2.0)]).unwrap(),
+            Value::Array(vec![0.0, 0.0])
+        );
+        assert_eq!(
+            apply("fill", &[Value::Num(2.0), Value::Num(7.0)]).unwrap(),
+            Value::Array(vec![7.0, 7.0])
+        );
+    }
+
+    #[test]
+    fn type_errors() {
+        let a = Value::Array(vec![1.0]);
+        assert!(apply("sqrt", std::slice::from_ref(&a)).is_err());
+        assert!(apply("len", &[Value::Num(1.0)]).is_err());
+        assert!(apply("dot", &[a, Value::Array(vec![1.0, 2.0])]).is_err());
+        assert!(apply("zeros", &[Value::Num(-1.0)]).is_err());
+        assert!(apply("nosuch", &[]).is_err());
+    }
+
+    #[test]
+    fn constants_present() {
+        assert_eq!(CONSTANTS[0].0, "pi");
+        assert_eq!(CONSTANTS[0].1, std::f64::consts::PI);
+        assert_eq!(CONSTANTS[1].0, "e");
+    }
+}

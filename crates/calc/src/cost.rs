@@ -1,0 +1,144 @@
+//! Static cost estimation: predicts a task's computational weight from
+//! its program text, without running it.
+//!
+//! When a scientist has not yet pressed "trial run", Banger still needs a
+//! weight for the scheduler. The static estimator walks the AST counting
+//! operator and builtin costs; loop bodies are multiplied by an assumed
+//! trip count (`LOOP_FACTOR` for `while`, the literal bounds for a
+//! `for` loop with constant bounds). Trial-run measurement
+//! ([`crate::interp::Outcome::ops`]) supersedes the estimate when
+//! available.
+
+use crate::ast::{Expr, Program, Stmt};
+use crate::builtins;
+
+/// Assumed trip count of loops whose bounds are not literal constants.
+pub const LOOP_FACTOR: f64 = 10.0;
+
+/// Estimates the cost of a whole program in abstract operations.
+pub fn estimate_program(p: &Program) -> f64 {
+    block_cost(&p.body)
+}
+
+fn block_cost(stmts: &[Stmt]) -> f64 {
+    stmts.iter().map(stmt_cost).sum()
+}
+
+fn stmt_cost(s: &Stmt) -> f64 {
+    match s {
+        Stmt::Assign { expr, .. } => 1.0 + expr_cost(expr),
+        Stmt::AssignIndex { index, expr, .. } => 2.0 + expr_cost(index) + expr_cost(expr),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            // Branch prediction for estimators: average both arms.
+            expr_cost(cond) + 0.5 * (block_cost(then_body) + block_cost(else_body)) + 1.0
+        }
+        Stmt::While { cond, body } => {
+            LOOP_FACTOR * (expr_cost(cond) + block_cost(body) + 1.0)
+        }
+        Stmt::For {
+            var: _,
+            from,
+            to,
+            body,
+        } => {
+            let trips = match (literal(from), literal(to)) {
+                (Some(a), Some(b)) => (b - a + 1.0).max(0.0),
+                _ => LOOP_FACTOR,
+            };
+            expr_cost(from) + expr_cost(to) + trips * (block_cost(body) + 1.0)
+        }
+        Stmt::Print(e) => 1.0 + expr_cost(e),
+    }
+}
+
+fn literal(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn expr_cost(e: &Expr) -> f64 {
+    match e {
+        Expr::Num(_) | Expr::Var(_) => 0.0,
+        Expr::Index(_, idx) => 1.0 + expr_cost(idx),
+        Expr::Call(name, args) => {
+            let base = builtins::lookup(name).map(|b| b.cost as f64).unwrap_or(4.0);
+            base + args.iter().map(expr_cost).sum::<f64>()
+        }
+        Expr::Bin(_, l, r) => 1.0 + expr_cost(l) + expr_cost(r),
+        Expr::Un(_, inner) => 1.0 + expr_cost(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn straight_line_cost() {
+        let p = parse_program("task T in a out x begin x := a + 1 end").unwrap();
+        // 1 stmt + 1 op
+        assert_eq!(estimate_program(&p), 2.0);
+    }
+
+    #[test]
+    fn builtin_costs_counted() {
+        let p = parse_program("task T in a out x begin x := sqrt(a) end").unwrap();
+        // stmt 1 + sqrt 6
+        assert_eq!(estimate_program(&p), 7.0);
+    }
+
+    #[test]
+    fn for_with_literal_bounds_uses_trip_count() {
+        let p = parse_program(
+            "task T out s local i begin s := 0 for i := 1 to 100 do s := s + i end end",
+        )
+        .unwrap();
+        // s := 0 -> 1; loop: 100 * (body(2) + 1) = 300 => 301
+        assert_eq!(estimate_program(&p), 301.0);
+    }
+
+    #[test]
+    fn for_with_dynamic_bounds_uses_loop_factor() {
+        let p = parse_program(
+            "task T in n out s local i begin s := 0 for i := 1 to n do s := s + i end end",
+        )
+        .unwrap();
+        assert_eq!(estimate_program(&p), 1.0 + LOOP_FACTOR * 3.0);
+    }
+
+    #[test]
+    fn while_uses_loop_factor() {
+        let p =
+            parse_program("task T in a out x begin x := a while x > 1 do x := x / 2 end end")
+                .unwrap();
+        // x := a -> 1; while: 10 * (cond 1 + body 2 + 1) = 40 => 41
+        assert_eq!(estimate_program(&p), 41.0);
+    }
+
+    #[test]
+    fn if_averages_branches() {
+        let p = parse_program(
+            "task T in a out x begin if a > 0 then x := 1 else x := 2 end end",
+        )
+        .unwrap();
+        // cond 1 + 0.5 * (1 + 1) + 1 = 3
+        assert_eq!(estimate_program(&p), 3.0);
+    }
+
+    #[test]
+    fn bigger_programs_cost_more() {
+        let small = parse_program("task T in a out x begin x := a end").unwrap();
+        let large = parse_program(
+            "task T in a out x local i begin x := a for i := 1 to 1000 do x := sqrt(x + i) end end",
+        )
+        .unwrap();
+        assert!(estimate_program(&large) > 100.0 * estimate_program(&small));
+    }
+}

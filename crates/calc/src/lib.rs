@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # banger-calc — the PITS calculator language
+//!
+//! The paper's third principle: *for scientific programmers, an acceptable
+//! programming metaphor is a simulated pocket calculator containing simple
+//! programming constructs, scientific and engineering functions, constants
+//! and formulas, and some means of obtaining numerical results, upon
+//! demand.* This crate is that calculator, headless:
+//!
+//! * [`token`] / [`parser`] / [`ast`] — the "simplified programming
+//!   language" of Figure 4's lower window;
+//! * [`interp`] — trial runs of single tasks with inputs, outputs, prints
+//!   and an operation count (a measured task weight for the scheduler);
+//! * [`builtins`] — the scientific function and constant buttons;
+//! * [`cost`] — static weight estimation for unexercised tasks;
+//! * [`pretty`] — canonical program text (round-trips with the parser);
+//! * [`panel`] — the calculator panel itself: button presses, immediate
+//!   `=` evaluation, `STO` registers, and task recording;
+//! * [`library`] — a named collection of programs attached to a design's
+//!   task nodes.
+//!
+//! ## Example: the paper's Figure 4 task
+//!
+//! ```
+//! use banger_calc::{interp, parser, Value};
+//!
+//! let prog = parser::parse_program(
+//!     "task SquareRoot
+//!        in a
+//!        out x
+//!        local g, prev
+//!      begin
+//!        g := a / 2
+//!        prev := 0
+//!        while abs(g - prev) > 1e-12 do
+//!          prev := g
+//!          g := (g + a / g) / 2
+//!        end
+//!        x := g
+//!      end",
+//! )
+//! .unwrap();
+//! let out = interp::run(
+//!     &prog,
+//!     &[("a".to_string(), Value::Num(2.0))].into_iter().collect(),
+//! )
+//! .unwrap();
+//! let x = out.outputs["x"].as_num("x").unwrap();
+//! assert!((x - 2.0_f64.sqrt()).abs() < 1e-9);
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod cost;
+pub mod error;
+pub mod interp;
+pub mod library;
+pub mod panel;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod transform;
+pub mod value;
+
+pub use ast::Program;
+pub use error::{ParseError, Pos, RunError};
+pub use interp::{run, run_with, InterpConfig, Outcome};
+pub use library::ProgramLibrary;
+pub use panel::{Button, Panel, PanelError};
+pub use parser::{parse_expr, parse_program};
+pub use transform::{parallelize_reduction, ReductionSplit, TransformError};
+pub use value::Value;

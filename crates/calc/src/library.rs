@@ -1,0 +1,112 @@
+//! A named collection of PITS programs — the bridge between a design's
+//! task nodes (which carry a `program` name) and the executable routines
+//! behind them.
+
+use crate::ast::Program;
+use crate::cost;
+use crate::error::ParseError;
+use crate::parser::parse_program;
+use std::collections::BTreeMap;
+
+/// A library of PITS programs keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramLibrary {
+    programs: BTreeMap<String, Program>,
+}
+
+impl ProgramLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        ProgramLibrary::default()
+    }
+
+    /// Parses `src` and registers the program under its own task name.
+    /// Returns the name. Re-registering a name replaces the old program
+    /// (the panel's "edit task" flow).
+    pub fn add_source(&mut self, src: &str) -> Result<String, ParseError> {
+        let prog = parse_program(src)?;
+        let name = prog.name.clone();
+        self.programs.insert(name.clone(), prog);
+        Ok(name)
+    }
+
+    /// Registers an already-parsed program.
+    pub fn add(&mut self, prog: Program) -> String {
+        let name = prog.name.clone();
+        self.programs.insert(name.clone(), prog);
+        name
+    }
+
+    /// Looks a program up by name.
+    pub fn get(&self, name: &str) -> Option<&Program> {
+        self.programs.get(name)
+    }
+
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Iterates over `(name, program)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Program)> {
+        self.programs.iter()
+    }
+
+    /// Static weight estimate for a named program (see [`crate::cost`]).
+    /// `None` when the name is unknown.
+    pub fn estimate_weight(&self, name: &str) -> Option<f64> {
+        self.get(name).map(cost::estimate_program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_estimate() {
+        let mut lib = ProgramLibrary::new();
+        assert!(lib.is_empty());
+        let name = lib
+            .add_source("task Double in a out b begin b := a * 2 end")
+            .unwrap();
+        assert_eq!(name, "Double");
+        assert_eq!(lib.len(), 1);
+        assert!(lib.get("Double").is_some());
+        assert!(lib.get("Nope").is_none());
+        assert_eq!(lib.estimate_weight("Double"), Some(2.0));
+        assert_eq!(lib.estimate_weight("Nope"), None);
+    }
+
+    #[test]
+    fn replace_on_same_name() {
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task T in a out b begin b := a end").unwrap();
+        lib.add_source("task T in a out b begin b := a * 3 end")
+            .unwrap();
+        assert_eq!(lib.len(), 1);
+        let p = lib.get("T").unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut lib = ProgramLibrary::new();
+        assert!(lib.add_source("task ???").is_err());
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn iteration_in_name_order() {
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task B out x begin x := 1 end").unwrap();
+        lib.add_source("task A out x begin x := 1 end").unwrap();
+        let names: Vec<&String> = lib.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

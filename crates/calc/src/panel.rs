@@ -1,0 +1,403 @@
+//! The programmable pocket-calculator panel (paper Figure 4), as a
+//! headless library.
+//!
+//! Banger's GUI showed in/out variables top-right, locals top-left, a grid
+//! of programming buttons in the middle and the growing program text in
+//! the lower window. This module models exactly that interaction: buttons
+//! append to an entry line, `=` evaluates it immediately (instant
+//! feedback), `STO` stores the result in a register **and** records the
+//! assignment as a program line, so pressing buttons literally writes the
+//! PITS routine — "users simply do not need to learn and recall arcane
+//! syntactic expressions".
+
+use crate::ast::Program;
+use crate::error::{ParseError, Pos, RunError};
+use crate::interp::eval_expr;
+use crate::parser::{parse_expr, parse_program};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A calculator button.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Button {
+    /// Digit `0..=9`.
+    Digit(u8),
+    /// Decimal point.
+    Dot,
+    /// Binary operator: one of `+ - * / ^ %`.
+    Op(char),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// Argument separator `,`.
+    Comma,
+    /// A function button, e.g. `sin` — appends `sin(`.
+    Func(String),
+    /// A constant button (`pi`, `e`).
+    Const(String),
+    /// A variable button (one of the panel's variable windows).
+    Var(String),
+    /// Clear the entry line.
+    Clear,
+    /// Delete the last character.
+    Backspace,
+}
+
+/// Errors surfaced by the panel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PanelError {
+    /// The entry line does not parse.
+    Parse(ParseError),
+    /// The entry line failed to evaluate.
+    Run(RunError),
+    /// Operation requires an active recording (`begin_task` not called).
+    NotRecording,
+    /// `Button::Op` with a character that is not an operator.
+    BadOpButton(char),
+}
+
+impl std::fmt::Display for PanelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PanelError::Parse(e) => write!(f, "{e}"),
+            PanelError::Run(e) => write!(f, "{e}"),
+            PanelError::NotRecording => write!(f, "no task recording in progress"),
+            PanelError::BadOpButton(c) => write!(f, "{c:?} is not an operator button"),
+        }
+    }
+}
+
+impl std::error::Error for PanelError {}
+
+/// An in-progress task recording.
+#[derive(Debug, Clone, Default)]
+struct Recording {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    locals: Vec<String>,
+    lines: Vec<String>,
+}
+
+/// The calculator panel state.
+#[derive(Debug, Clone, Default)]
+pub struct Panel {
+    entry: String,
+    registers: BTreeMap<String, Value>,
+    tape: Vec<String>,
+    recording: Option<Recording>,
+}
+
+impl Panel {
+    /// A fresh panel with empty entry and registers.
+    pub fn new() -> Self {
+        Panel::default()
+    }
+
+    /// The current entry line (the calculator display).
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The feedback tape: one line per evaluation, newest last.
+    pub fn tape(&self) -> &[String] {
+        &self.tape
+    }
+
+    /// The panel's variable registers (including `ans`).
+    pub fn registers(&self) -> &BTreeMap<String, Value> {
+        &self.registers
+    }
+
+    /// Sets a register directly (e.g. loading a vector of samples).
+    pub fn set_register(&mut self, name: impl Into<String>, v: Value) {
+        self.registers.insert(name.into(), v);
+    }
+
+    /// Presses one button.
+    pub fn press(&mut self, b: Button) -> Result<(), PanelError> {
+        match b {
+            Button::Digit(d) => {
+                self.entry.push((b'0' + d.min(9)) as char);
+            }
+            Button::Dot => self.entry.push('.'),
+            Button::Op(c) => {
+                if !matches!(c, '+' | '-' | '*' | '/' | '^' | '%') {
+                    return Err(PanelError::BadOpButton(c));
+                }
+                self.entry.push(' ');
+                self.entry.push(c);
+                self.entry.push(' ');
+            }
+            Button::LParen => self.entry.push('('),
+            Button::RParen => self.entry.push(')'),
+            Button::LBracket => self.entry.push('['),
+            Button::RBracket => self.entry.push(']'),
+            Button::Comma => self.entry.push_str(", "),
+            Button::Func(name) => {
+                self.entry.push_str(&name);
+                self.entry.push('(');
+            }
+            Button::Const(name) | Button::Var(name) => self.entry.push_str(&name),
+            Button::Clear => self.entry.clear(),
+            Button::Backspace => {
+                self.entry.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Presses a sequence of buttons.
+    pub fn press_all(&mut self, buttons: impl IntoIterator<Item = Button>) -> Result<(), PanelError> {
+        for b in buttons {
+            self.press(b)?;
+        }
+        Ok(())
+    }
+
+    /// The `=` key: evaluates the entry line against the registers, logs
+    /// it to the tape, stores the result in `ans`, clears the entry and
+    /// returns the value.
+    pub fn equals(&mut self) -> Result<Value, PanelError> {
+        let expr = parse_expr(&self.entry).map_err(PanelError::Parse)?;
+        let v = eval_expr(&expr, &self.registers).map_err(PanelError::Run)?;
+        self.tape.push(format!("{} = {v}", self.entry.trim()));
+        self.registers.insert("ans".to_string(), v.clone());
+        self.entry.clear();
+        Ok(v)
+    }
+
+    /// The `STO` key: evaluates the entry line, stores the result in the
+    /// named register, and — when a task recording is active — records the
+    /// assignment as a program line.
+    pub fn store(&mut self, var: &str) -> Result<Value, PanelError> {
+        let text = self.entry.trim().to_string();
+        let expr = parse_expr(&text).map_err(PanelError::Parse)?;
+        let v = eval_expr(&expr, &self.registers).map_err(PanelError::Run)?;
+        self.tape.push(format!("{var} := {text}  ({v})"));
+        self.registers.insert(var.to_string(), v.clone());
+        if let Some(rec) = &mut self.recording {
+            rec.lines.push(format!("{var} := {text}"));
+        }
+        self.entry.clear();
+        Ok(v)
+    }
+
+    /// Begins recording a task program of the given name.
+    pub fn begin_task(&mut self, name: impl Into<String>) {
+        self.recording = Some(Recording {
+            name: name.into(),
+            ..Recording::default()
+        });
+    }
+
+    /// Declares an `in` variable for the recording and gives it a trial
+    /// value in the registers so immediate evaluation works while editing.
+    pub fn declare_in(&mut self, name: &str, trial: Value) -> Result<(), PanelError> {
+        let rec = self.recording.as_mut().ok_or(PanelError::NotRecording)?;
+        rec.inputs.push(name.to_string());
+        self.registers.insert(name.to_string(), trial);
+        Ok(())
+    }
+
+    /// Declares an `out` variable for the recording.
+    pub fn declare_out(&mut self, name: &str) -> Result<(), PanelError> {
+        let rec = self.recording.as_mut().ok_or(PanelError::NotRecording)?;
+        rec.outputs.push(name.to_string());
+        Ok(())
+    }
+
+    /// Declares a `local` variable for the recording.
+    pub fn declare_local(&mut self, name: &str) -> Result<(), PanelError> {
+        let rec = self.recording.as_mut().ok_or(PanelError::NotRecording)?;
+        rec.locals.push(name.to_string());
+        Ok(())
+    }
+
+    /// Records a raw program line (the structured-programming buttons:
+    /// `if`/`while`/`for`/`end`...).
+    pub fn record_line(&mut self, line: &str) -> Result<(), PanelError> {
+        let rec = self.recording.as_mut().ok_or(PanelError::NotRecording)?;
+        rec.lines.push(line.to_string());
+        Ok(())
+    }
+
+    /// Finishes the recording, parses the assembled routine and returns
+    /// the [`Program`] together with its canonical source text.
+    pub fn finish_task(&mut self) -> Result<(Program, String), PanelError> {
+        let rec = self.recording.take().ok_or(PanelError::NotRecording)?;
+        let mut src = format!("task {}\n", rec.name);
+        if !rec.inputs.is_empty() {
+            src.push_str(&format!("  in {}\n", rec.inputs.join(", ")));
+        }
+        if !rec.outputs.is_empty() {
+            src.push_str(&format!("  out {}\n", rec.outputs.join(", ")));
+        }
+        if !rec.locals.is_empty() {
+            src.push_str(&format!("  local {}\n", rec.locals.join(", ")));
+        }
+        src.push_str("begin\n");
+        for line in &rec.lines {
+            src.push_str("  ");
+            src.push_str(line);
+            src.push('\n');
+        }
+        src.push_str("end\n");
+        let prog = parse_program(&src).map_err(PanelError::Parse)?;
+        Ok((prog, src))
+    }
+
+    /// Whether a task recording is in progress.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+}
+
+/// Convenience: a [`ParseError`] placeholder position for panel-internal
+/// messages.
+#[allow(dead_code)]
+fn here() -> Pos {
+    Pos { line: 1, col: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run;
+
+    #[test]
+    fn digits_and_ops_evaluate() {
+        let mut p = Panel::new();
+        p.press_all([
+            Button::Digit(1),
+            Button::Digit(2),
+            Button::Op('+'),
+            Button::Digit(3),
+            Button::Op('*'),
+            Button::Digit(4),
+        ])
+        .unwrap();
+        assert_eq!(p.entry(), "12 + 3 * 4");
+        let v = p.equals().unwrap();
+        assert_eq!(v, Value::Num(24.0));
+        assert_eq!(p.entry(), "");
+        assert_eq!(p.tape().len(), 1);
+        assert!(p.tape()[0].contains("= 24"));
+    }
+
+    #[test]
+    fn ans_register_chains() {
+        let mut p = Panel::new();
+        p.press_all([Button::Digit(5), Button::Op('*'), Button::Digit(5)])
+            .unwrap();
+        p.equals().unwrap();
+        p.press_all([Button::Var("ans".into()), Button::Op('+'), Button::Digit(1)])
+            .unwrap();
+        assert_eq!(p.equals().unwrap(), Value::Num(26.0));
+    }
+
+    #[test]
+    fn function_and_const_buttons() {
+        let mut p = Panel::new();
+        p.press_all([
+            Button::Func("cos".into()),
+            Button::Const("pi".into()),
+            Button::RParen,
+        ])
+        .unwrap();
+        assert_eq!(p.entry(), "cos(pi)");
+        assert_eq!(p.equals().unwrap(), Value::Num(-1.0));
+    }
+
+    #[test]
+    fn backspace_and_clear() {
+        let mut p = Panel::new();
+        p.press_all([Button::Digit(7), Button::Digit(8)]).unwrap();
+        p.press(Button::Backspace).unwrap();
+        assert_eq!(p.entry(), "7");
+        p.press(Button::Clear).unwrap();
+        assert_eq!(p.entry(), "");
+    }
+
+    #[test]
+    fn bad_op_button_rejected() {
+        let mut p = Panel::new();
+        assert_eq!(p.press(Button::Op('&')), Err(PanelError::BadOpButton('&')));
+    }
+
+    #[test]
+    fn parse_error_reported() {
+        let mut p = Panel::new();
+        p.press_all([Button::Digit(1), Button::Op('+')]).unwrap();
+        assert!(matches!(p.equals(), Err(PanelError::Parse(_))));
+    }
+
+    #[test]
+    fn run_error_reported() {
+        let mut p = Panel::new();
+        p.press(Button::Var("nosuch".into())).unwrap();
+        assert!(matches!(p.equals(), Err(PanelError::Run(_))));
+    }
+
+    #[test]
+    fn record_a_task_by_button_presses() {
+        // Build the Figure 4 SquareRoot routine interactively.
+        let mut p = Panel::new();
+        p.begin_task("SquareRoot");
+        p.declare_in("a", Value::Num(9.0)).unwrap();
+        p.declare_out("x").unwrap();
+        p.declare_local("g").unwrap();
+        p.declare_local("prev").unwrap();
+
+        // g := a / 2   — entered via buttons, evaluated instantly (4.5).
+        p.press_all([Button::Var("a".into()), Button::Op('/'), Button::Digit(2)])
+            .unwrap();
+        let v = p.store("g").unwrap();
+        assert_eq!(v, Value::Num(4.5));
+
+        p.press(Button::Digit(0)).unwrap();
+        p.store("prev").unwrap();
+
+        // Structured-programming buttons record raw lines.
+        p.record_line("while abs(g - prev) > 1e-12 do").unwrap();
+        p.record_line("prev := g").unwrap();
+        p.record_line("g := (g + a / g) / 2").unwrap();
+        p.record_line("end").unwrap();
+        p.record_line("x := g").unwrap();
+
+        let (prog, src) = p.finish_task().unwrap();
+        assert!(src.contains("task SquareRoot"));
+        assert_eq!(prog.inputs, vec!["a"]);
+        // The recorded program really computes square roots.
+        let out = run(
+            &prog,
+            &[("a".to_string(), Value::Num(49.0))].into_iter().collect(),
+        )
+        .unwrap();
+        assert!((out.outputs["x"].as_num("x").unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recording_required_for_declares() {
+        let mut p = Panel::new();
+        assert_eq!(p.declare_out("x"), Err(PanelError::NotRecording));
+        assert_eq!(p.record_line("x := 1"), Err(PanelError::NotRecording));
+        assert!(matches!(p.finish_task(), Err(PanelError::NotRecording)));
+        assert!(!p.is_recording());
+    }
+
+    #[test]
+    fn registers_accessible() {
+        let mut p = Panel::new();
+        p.set_register("v", Value::Array(vec![1.0, 2.0, 3.0]));
+        p.press_all([Button::Func("sum".into()), Button::Var("v".into()), Button::RParen])
+            .unwrap();
+        assert_eq!(p.equals().unwrap(), Value::Num(6.0));
+        assert!(p.registers().contains_key("ans"));
+    }
+}

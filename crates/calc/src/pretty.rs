@@ -1,0 +1,262 @@
+//! Pretty-printer: renders a [`Program`] back to canonical source text —
+//! the "textual representation of the node routine" shown in the lower
+//! window of the calculator panel (Figure 4).
+//!
+//! The printer and parser round-trip: `parse(print(p)) == p`.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use std::fmt::Write as _;
+
+/// Renders a program as canonical PITS source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "task {}", p.name);
+    let section = |out: &mut String, kw: &str, vars: &[String]| {
+        if !vars.is_empty() {
+            let _ = writeln!(out, "  {kw} {}", vars.join(", "));
+        }
+    };
+    section(&mut out, "in", &p.inputs);
+    section(&mut out, "out", &p.outputs);
+    section(&mut out, "local", &p.locals);
+    out.push_str("begin\n");
+    print_block(&mut out, &p.body, 1);
+    out.push_str("end\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(out: &mut String, stmts: &[Stmt], depth: usize) {
+    for s in stmts {
+        print_stmt(out, s, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Assign { var, expr, .. } => {
+            let _ = writeln!(out, "{var} := {}", print_expr(expr));
+        }
+        Stmt::AssignIndex {
+            var, index, expr, ..
+        } => {
+            let _ = writeln!(out, "{var}[{}] := {}", print_expr(index), print_expr(expr));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let _ = writeln!(out, "if {} then", print_expr(cond));
+            print_block(out, then_body, depth + 1);
+            if !else_body.is_empty() {
+                indent(out, depth);
+                out.push_str("else\n");
+                print_block(out, else_body, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while {} do", print_expr(cond));
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "for {var} := {} to {} do",
+                print_expr(from),
+                print_expr(to)
+            );
+            print_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+        Stmt::Print(e) => {
+            let _ = writeln!(out, "print {}", print_expr(e));
+        }
+    }
+}
+
+/// Precedence levels matching the parser, used to parenthesise minimally.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        BinOp::Pow => 7,
+    }
+}
+
+/// Renders an expression with minimal parentheses.
+pub fn print_expr(e: &Expr) -> String {
+    print_prec(e, 0)
+}
+
+fn print_prec(e: &Expr, outer: u8) -> String {
+    match e {
+        Expr::Num(v) => format_num(*v),
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, idx) => format!("{n}[{}]", print_prec(idx, 0)),
+        Expr::Call(n, args) => {
+            let inner: Vec<String> = args.iter().map(|a| print_prec(a, 0)).collect();
+            format!("{n}({})", inner.join(", "))
+        }
+        Expr::Un(UnOp::Neg, inner) => {
+            let s = format!("-{}", print_prec(inner, 6));
+            if outer > 6 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Not, inner) => {
+            // Grammar: `not`'s operand is a comparison (or another `not`),
+            // so anything looser (and/or) needs parentheses.
+            let s = format!("not {}", print_prec(inner, 3));
+            if outer > 2 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let p = prec(*op);
+            // Left-assoc ops need rhs printed one level tighter; pow is
+            // right-assoc, so the LHS tightens instead. Comparisons are
+            // non-associative: both sides tighten.
+            let (lp, rp) = match op {
+                BinOp::Pow => (p + 1, p),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    (p + 1, p + 1)
+                }
+                _ => (p, p + 1),
+            };
+            let s = format!(
+                "{} {} {}",
+                print_prec(lhs, lp),
+                op.symbol(),
+                print_prec(rhs, rp)
+            );
+            if p < outer {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Formats a number the way the lexer can read back (handles negatives by
+/// never appearing — negation is an AST node — and uses enough digits to
+/// round-trip).
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // Scientific form for extreme magnitudes keeps literals like 1e-12
+        // readable; both forms round-trip through the lexer.
+        let s = if v != 0.0 && (v.abs() < 1e-4 || v.abs() >= 1e15) {
+            format!("{v:e}")
+        } else {
+            format!("{v}")
+        };
+        debug_assert!(s.parse::<f64>() == Ok(v));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn round_trip_squareroot() {
+        let src = "task SquareRoot\n  in a\n  out x\n  local g, prev\nbegin\n  g := a / 2\n  prev := 0\n  while abs(g - prev) > 1e-12 do\n    prev := g\n    g := (g + a / g) / 2\n  end\n  x := g\nend";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2, "round-trip failed:\n{printed}");
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let cases = [
+            ("1 + 2 * 3", "1 + 2 * 3"),
+            ("(1 + 2) * 3", "(1 + 2) * 3"),
+            ("1 - (2 - 3)", "1 - (2 - 3)"),
+            ("1 - 2 - 3", "1 - 2 - 3"),
+            ("2 ^ 3 ^ 2", "2 ^ 3 ^ 2"),
+            ("(2 ^ 3) ^ 2", "(2 ^ 3) ^ 2"),
+            ("-x * y", "-x * y"),
+            ("a and b or c", "a and b or c"),
+            ("a and (b or c)", "a and (b or c)"),
+            // `not` binds looser than comparison, so these parens are
+            // redundant in canonical form.
+            ("not (a = b)", "not a = b"),
+        ];
+        for (src, want) in cases {
+            let e = parse_expr(src).unwrap();
+            assert_eq!(print_expr(&e), want, "{src}");
+        }
+    }
+
+    #[test]
+    fn printed_exprs_reparse_identically() {
+        let sources = [
+            "a + b * c - d / e",
+            "-(a + b) ^ 2",
+            "f(x, y[i + 1]) * (p or q and not r)",
+            "1e-12 + 2.5 * x",
+            "a % b % c",
+            "x <= y and y <= z",
+        ];
+        for src in sources {
+            let e = parse_expr(src).unwrap();
+            let printed = print_expr(&e);
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(e, e2, "{src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_statement_forms() {
+        let src = "task T in a, b out x local i, v begin \
+                   v := zeros(3) \
+                   v[1] := a \
+                   if a > b then x := a else x := b end \
+                   while x > 0 do x := x - 1 end \
+                   for i := 1 to 3 do v[i] := i end \
+                   print v \
+                   x := sum(v) \
+                   end";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&print_program(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(0.5), "0.5");
+        assert_eq!(format_num(1e-12), "1e-12");
+        let e = parse_expr(&format_num(1e-12)).unwrap();
+        assert_eq!(e, crate::ast::Expr::Num(1e-12));
+    }
+}

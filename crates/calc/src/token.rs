@@ -1,0 +1,448 @@
+//! Lexer for the PITS calculator language.
+//!
+//! The surface syntax is the "simplified programming language" shown in
+//! the lower window of the paper's Figure 4 calculator panel: keyword
+//! blocks (`task`/`begin`/`end`, `if`/`then`/`else`, `while`/`do`,
+//! `for`/`to`), `:=` assignment, numeric literals, identifiers and the
+//! usual operator set.
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Numeric literal.
+    Num(f64),
+    /// Identifier (variable or function name).
+    Ident(String),
+    /// `task`
+    Task,
+    /// `in`
+    In,
+    /// `out`
+    Out,
+    /// `local`
+    Local,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `print`
+    Print,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `%` (modulo)
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Lexes a complete source text.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let keyword = |s: &str| -> Option<Tok> {
+        Some(match s {
+            "task" => Tok::Task,
+            "in" => Tok::In,
+            "out" => Tok::Out,
+            "local" => Tok::Local,
+            "begin" => Tok::Begin,
+            "end" => Tok::End,
+            "if" => Tok::If,
+            "then" => Tok::Then,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "do" => Tok::Do,
+            "for" => Tok::For,
+            "to" => Tok::To,
+            "print" => Tok::Print,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            _ => return None,
+        })
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        let advance = |i: &mut usize, col: &mut u32| {
+            *i += 1;
+            *col += 1;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => advance(&mut i, &mut col),
+            '#' => {
+                // comment to end of line
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    let d = bytes[i];
+                    if d.is_ascii_digit() {
+                        advance(&mut i, &mut col);
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        advance(&mut i, &mut col);
+                    } else if (d == 'e' || d == 'E')
+                        && !seen_exp
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1].is_ascii_digit()
+                            || ((bytes[i + 1] == '+' || bytes[i + 1] == '-')
+                                && i + 2 < bytes.len()
+                                && bytes[i + 2].is_ascii_digit()))
+                    {
+                        seen_exp = true;
+                        advance(&mut i, &mut col);
+                        if bytes[i] == '+' || bytes[i] == '-' {
+                            advance(&mut i, &mut col);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: f64 = text.parse().map_err(|_| ParseError {
+                    pos,
+                    message: format!("bad number literal {text:?}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Num(value),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    advance(&mut i, &mut col);
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let tok = keyword(&word).unwrap_or(Tok::Ident(word));
+                out.push(Spanned { tok, pos });
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == '=' {
+                    advance(&mut i, &mut col);
+                    advance(&mut i, &mut col);
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        pos,
+                    });
+                } else {
+                    return Err(ParseError {
+                        pos,
+                        message: "expected `:=`".into(),
+                    });
+                }
+            }
+            '<' => {
+                advance(&mut i, &mut col);
+                let tok = if i < bytes.len() && bytes[i] == '=' {
+                    advance(&mut i, &mut col);
+                    Tok::Le
+                } else if i < bytes.len() && bytes[i] == '>' {
+                    advance(&mut i, &mut col);
+                    Tok::Ne
+                } else {
+                    Tok::Lt
+                };
+                out.push(Spanned { tok, pos });
+            }
+            '>' => {
+                advance(&mut i, &mut col);
+                let tok = if i < bytes.len() && bytes[i] == '=' {
+                    advance(&mut i, &mut col);
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                };
+                out.push(Spanned { tok, pos });
+            }
+            '=' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned { tok: Tok::Eq, pos });
+            }
+            '+' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned { tok: Tok::Plus, pos });
+            }
+            '-' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    pos,
+                });
+            }
+            '*' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned { tok: Tok::Star, pos });
+            }
+            '/' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Slash,
+                    pos,
+                });
+            }
+            '^' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Caret,
+                    pos,
+                });
+            }
+            '%' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Percent,
+                    pos,
+                });
+            }
+            '(' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
+            }
+            '[' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
+            }
+            ']' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
+            }
+            ',' => {
+                advance(&mut i, &mut col);
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    pos,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("task Sqrt in a out x"),
+            vec![
+                Tok::Task,
+                Tok::Ident("Sqrt".into()),
+                Tok::In,
+                Tok::Ident("a".into()),
+                Tok::Out,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Num(42.0), Tok::Eof]);
+        assert_eq!(toks("3.5"), vec![Tok::Num(3.5), Tok::Eof]);
+        assert_eq!(toks("1e-3"), vec![Tok::Num(0.001), Tok::Eof]);
+        assert_eq!(toks("2.5E2"), vec![Tok::Num(250.0), Tok::Eof]);
+        assert_eq!(toks(".5"), vec![Tok::Num(0.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn number_followed_by_ident() {
+        // `2e` is a number 2 followed by identifier e (no exponent digits)
+        assert_eq!(
+            toks("2e"),
+            vec![Tok::Num(2.0), Tok::Ident("e".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("x := a + b * c - d / e ^ f % g"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("a".into()),
+                Tok::Plus,
+                Tok::Ident("b".into()),
+                Tok::Star,
+                Tok::Ident("c".into()),
+                Tok::Minus,
+                Tok::Ident("d".into()),
+                Tok::Slash,
+                Tok::Ident("e".into()),
+                Tok::Caret,
+                Tok::Ident("f".into()),
+                Tok::Percent,
+                Tok::Ident("g".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            toks("= <> < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a # this is a comment\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bare_colon_is_error() {
+        let err = lex("a : b").unwrap_err();
+        assert!(err.message.contains(":="));
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn brackets_and_commas() {
+        assert_eq!(
+            toks("f(a, b[1])"),
+            vec![
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::LBracket,
+                Tok::Num(1.0),
+                Tok::RBracket,
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! Data-parallel program transformation — the paper's future-work claim
+//! ("Banger can be extended to encompass fine-grained parallelism through
+//! the use of machine-independent data-parallel constructs"), realised as
+//! an automatic *reduction splitter*.
+//!
+//! [`parallelize_reduction`] recognises the canonical scientific reduction
+//! shape:
+//!
+//! ```text
+//! task T
+//!   in <ins...>
+//!   out r
+//!   local i, ...
+//! begin
+//!   <prelude statements>            # may not assign r or use i
+//!   r := <init>
+//!   for i := <lo> to <hi> do
+//!     <body statements>             # may not assign r
+//!     r := r + <contribution>
+//!   end
+//!   <postlude statements>           # may read r (e.g. r := r * h)
+//! end
+//! ```
+//!
+//! and splits it into `k` *chunk* programs, each reducing a contiguous
+//! sub-range into a partial, plus a *combine* program that sums the
+//! partials, applies the postlude, and emits the original output — exactly
+//! the structure a non-programmer would have to build by hand (compare the
+//! `pi_quadrature` example).
+
+use crate::ast::{BinOp, Expr, Program, Stmt};
+use crate::error::Pos;
+use std::fmt;
+
+/// Why a program could not be parallelized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// `k` must be at least 2.
+    BadChunkCount(usize),
+    /// The program must have exactly one output variable.
+    NotSingleOutput,
+    /// No `r := init; for ... do ... r := r + e end` shape was found.
+    NoReductionLoop,
+    /// A prelude/body/postlude statement breaks the required independence
+    /// (e.g. assigns the accumulator outside the reduction).
+    UnsafeStatement(String),
+    /// The loop bounds use the loop variable itself.
+    LoopBoundsUseLoopVar,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::BadChunkCount(k) => write!(f, "need at least 2 chunks, got {k}"),
+            TransformError::NotSingleOutput => {
+                write!(f, "reduction splitting needs exactly one output variable")
+            }
+            TransformError::NoReductionLoop => write!(
+                f,
+                "no `r := init; for i := a to b do r := r + e end` reduction found"
+            ),
+            TransformError::UnsafeStatement(s) => {
+                write!(f, "statement prevents parallelization: {s}")
+            }
+            TransformError::LoopBoundsUseLoopVar => {
+                write!(f, "loop bounds must not use the loop variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// The result of splitting a reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionSplit {
+    /// One program per chunk; chunk `c` outputs `part{c}`.
+    pub chunks: Vec<Program>,
+    /// The combiner: inputs `part0..partK-1`, output = original output.
+    pub combine: Program,
+    /// The partial-variable names, in chunk order.
+    pub partials: Vec<String>,
+}
+
+fn pos0() -> Pos {
+    Pos { line: 1, col: 1 }
+}
+
+/// True when `expr` mentions variable `v`.
+fn uses_var(expr: &Expr, v: &str) -> bool {
+    match expr {
+        Expr::Num(_) => false,
+        Expr::Var(n) => n == v,
+        Expr::Index(n, i) => n == v || uses_var(i, v),
+        Expr::Call(_, args) => args.iter().any(|a| uses_var(a, v)),
+        Expr::Bin(_, l, r) => uses_var(l, v) || uses_var(r, v),
+        Expr::Un(_, inner) => uses_var(inner, v),
+    }
+}
+
+/// True when any statement in `stmts` assigns variable `v`.
+fn assigns_var(stmts: &[Stmt], v: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign { var, .. } | Stmt::AssignIndex { var, .. } => var == v,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => assigns_var(then_body, v) || assigns_var(else_body, v),
+        Stmt::While { body, .. } => assigns_var(body, v),
+        Stmt::For { var, body, .. } => var == v || assigns_var(body, v),
+        Stmt::Print(_) => false,
+    })
+}
+
+/// True when any statement mentions `v` in an expression.
+fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign { expr, .. } => uses_var(expr, v),
+        Stmt::AssignIndex { index, expr, .. } => uses_var(index, v) || uses_var(expr, v),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => uses_var(cond, v) || stmts_use_var(then_body, v) || stmts_use_var(else_body, v),
+        Stmt::While { cond, body } => uses_var(cond, v) || stmts_use_var(body, v),
+        Stmt::For {
+            from, to, body, ..
+        } => uses_var(from, v) || uses_var(to, v) || stmts_use_var(body, v),
+        Stmt::Print(e) => uses_var(e, v),
+    })
+}
+
+/// Splits a single-output reduction program into `k` chunks plus a
+/// combiner. See module docs for the recognised shape.
+///
+/// ```
+/// use banger_calc::{parser, transform};
+/// let prog = parser::parse_program(
+///     "task Sum in n out s local i begin \
+///        s := 0 for i := 1 to n do s := s + i end \
+///      end",
+/// ).unwrap();
+/// let split = transform::parallelize_reduction(&prog, 4).unwrap();
+/// assert_eq!(split.chunks.len(), 4);
+/// assert_eq!(split.combine.outputs, vec!["s"]);
+/// ```
+pub fn parallelize_reduction(
+    prog: &Program,
+    k: usize,
+) -> Result<ReductionSplit, TransformError> {
+    if k < 2 {
+        return Err(TransformError::BadChunkCount(k));
+    }
+    if prog.outputs.len() != 1 {
+        return Err(TransformError::NotSingleOutput);
+    }
+    let r = prog.outputs[0].clone();
+
+    // Locate `r := init` immediately followed by the reduction For.
+    let mut init_idx = None;
+    for (i, s) in prog.body.iter().enumerate() {
+        if let (Stmt::Assign { var, .. }, Some(Stmt::For { var: lv, body, .. })) =
+            (s, prog.body.get(i + 1))
+        {
+            if var == &r {
+                // The For must end with `r := r + e` and not otherwise
+                // assign r.
+                if let Some(Stmt::Assign { var: bv, expr, .. }) = body.last() {
+                    if bv == &r {
+                        if let Expr::Bin(BinOp::Add, lhs, _) = expr {
+                            if matches!(&**lhs, Expr::Var(n) if n == &r)
+                                && !assigns_var(&body[..body.len() - 1], &r)
+                                && lv != &r
+                            {
+                                init_idx = Some(i);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let init_idx = init_idx.ok_or(TransformError::NoReductionLoop)?;
+
+    let (init_expr, loop_var, lo, hi, loop_body) = match (&prog.body[init_idx], &prog.body[init_idx + 1]) {
+        (
+            Stmt::Assign { expr: init, .. },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            },
+        ) => (init.clone(), var.clone(), from.clone(), to.clone(), body.clone()),
+        _ => unreachable!("checked above"),
+    };
+
+    if uses_var(&lo, &loop_var) || uses_var(&hi, &loop_var) {
+        return Err(TransformError::LoopBoundsUseLoopVar);
+    }
+
+    let prelude: Vec<Stmt> = prog.body[..init_idx].to_vec();
+    let postlude: Vec<Stmt> = prog.body[init_idx + 2..].to_vec();
+
+    // Prelude must not touch the accumulator or the loop variable.
+    if assigns_var(&prelude, &r) || stmts_use_var(&prelude, &r) {
+        return Err(TransformError::UnsafeStatement(
+            "prelude reads or writes the accumulator".into(),
+        ));
+    }
+    // Postlude may read/write r but must not re-loop over the range
+    // variable (it runs once, in the combiner).
+    if stmts_use_var(&postlude, &loop_var) {
+        return Err(TransformError::UnsafeStatement(
+            "postlude uses the loop variable".into(),
+        ));
+    }
+
+    // Range splitting: chunk c covers
+    //   a_c = lo + floor(len * c / k),  b_c = lo + floor(len * (c+1) / k) - 1
+    // where len = hi - lo + 1. Generated as PITS expressions so dynamic
+    // bounds work.
+    let num = |v: f64| Expr::Num(v);
+    let bin = |op, l: Expr, rr: Expr| Expr::Bin(op, Box::new(l), Box::new(rr));
+    let len_expr = bin(
+        BinOp::Add,
+        bin(BinOp::Sub, hi.clone(), lo.clone()),
+        num(1.0),
+    );
+    let bound = |c: usize| {
+        // lo + floor(len * c / k)
+        bin(
+            BinOp::Add,
+            lo.clone(),
+            Expr::Call(
+                "floor".into(),
+                vec![bin(
+                    BinOp::Div,
+                    bin(BinOp::Mul, len_expr.clone(), num(c as f64)),
+                    num(k as f64),
+                )],
+            ),
+        )
+    };
+
+    let mut chunks = Vec::with_capacity(k);
+    let mut partials = Vec::with_capacity(k);
+    for c in 0..k {
+        let part = format!("part{c}");
+        let mut body = prelude.clone();
+        body.push(Stmt::Assign {
+            var: part.clone(),
+            expr: num(0.0),
+            pos: pos0(),
+        });
+        // Rewrite the loop body's final accumulation onto the partial.
+        let mut loop_stmts = loop_body.clone();
+        if let Some(Stmt::Assign { var, expr, .. }) = loop_stmts.last_mut() {
+            *var = part.clone();
+            if let Expr::Bin(BinOp::Add, lhs, _) = expr {
+                **lhs = Expr::Var(part.clone());
+            }
+        }
+        body.push(Stmt::For {
+            var: loop_var.clone(),
+            from: bound(c),
+            to: bin(BinOp::Sub, bound(c + 1), num(1.0)),
+            body: loop_stmts,
+        });
+        let mut locals: Vec<String> = prog.locals.clone();
+        if !locals.contains(&loop_var) {
+            locals.push(loop_var.clone());
+        }
+        chunks.push(Program {
+            name: format!("{}Chunk{c}", prog.name),
+            inputs: prog.inputs.clone(),
+            outputs: vec![part.clone()],
+            locals,
+            body,
+        });
+        partials.push(part);
+    }
+
+    // Combiner: r := init + part0 + ... + partK-1, then the postlude.
+    // The init expression may reference inputs, so the combiner keeps the
+    // original input list too (harmless extra arcs are avoided by the
+    // design expansion only wiring what it needs).
+    let mut sum = init_expr;
+    for part in &partials {
+        sum = bin(BinOp::Add, sum, Expr::Var(part.clone()));
+    }
+    let mut combine_body = prelude;
+    combine_body.push(Stmt::Assign {
+        var: r.clone(),
+        expr: sum,
+        pos: pos0(),
+    });
+    combine_body.extend(postlude);
+    let mut combine_inputs = partials.clone();
+    // Keep original inputs only when the combiner body actually uses them.
+    for v in &prog.inputs {
+        if stmts_use_var(&combine_body, v) {
+            combine_inputs.push(v.clone());
+        }
+    }
+    let combine = Program {
+        name: format!("{}Combine", prog.name),
+        inputs: combine_inputs,
+        outputs: vec![r],
+        locals: prog.locals.clone(),
+        body: combine_body,
+    };
+
+    Ok(ReductionSplit {
+        chunks,
+        combine,
+        partials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+
+    const PI_SRC: &str = "\
+task Pi
+  in n
+  out p
+  local i, x, h
+begin
+  h := 1 / n
+  p := 0
+  for i := 1 to n do
+    x := (i - 0.5) * h
+    p := p + 4 / (1 + x * x)
+  end
+  p := p * h
+end";
+
+    fn inputs(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Runs the split pipeline by hand: all chunks, then the combiner.
+    fn run_split(split: &ReductionSplit, ins: &BTreeMap<String, Value>) -> Value {
+        let mut combine_in = BTreeMap::new();
+        for chunk in &split.chunks {
+            let out = run(chunk, ins).unwrap();
+            for (k, v) in out.outputs {
+                combine_in.insert(k, v);
+            }
+        }
+        for (k, v) in ins {
+            combine_in.insert(k.clone(), v.clone());
+        }
+        let out = run(&split.combine, &combine_in).unwrap();
+        out.outputs.values().next().unwrap().clone()
+    }
+
+    #[test]
+    fn pi_quadrature_splits_correctly() {
+        let prog = parse_program(PI_SRC).unwrap();
+        for k in [2, 3, 4, 8] {
+            let split = parallelize_reduction(&prog, k).unwrap();
+            assert_eq!(split.chunks.len(), k);
+            let ins = inputs(&[("n", Value::Num(1000.0))]);
+            let serial = run(&prog, &ins).unwrap().outputs["p"].clone();
+            let parallel = run_split(&split, &ins);
+            let (s, p) = (
+                serial.as_num("p").unwrap(),
+                parallel.as_num("p").unwrap(),
+            );
+            assert!((s - p).abs() < 1e-9, "k={k}: {s} vs {p}");
+            assert!((p - std::f64::consts::PI).abs() < 1e-4, "k={k}");
+        }
+    }
+
+    #[test]
+    fn chunks_cover_the_range_exactly_once() {
+        // Sum of i over 1..=n must be n(n+1)/2 for awkward n/k splits.
+        let prog = parse_program(
+            "task S in n out s local i begin s := 0 for i := 1 to n do s := s + i end end",
+        )
+        .unwrap();
+        for (n, k) in [(7usize, 3usize), (10, 4), (5, 5), (100, 7), (3, 2)] {
+            let split = parallelize_reduction(&prog, k).unwrap();
+            let ins = inputs(&[("n", Value::Num(n as f64))]);
+            let got = run_split(&split, &ins).as_num("s").unwrap();
+            let want = (n * (n + 1) / 2) as f64;
+            assert_eq!(got, want, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn nonzero_init_preserved() {
+        let prog = parse_program(
+            "task S in n out s local i begin s := 100 for i := 1 to n do s := s + i end end",
+        )
+        .unwrap();
+        let split = parallelize_reduction(&prog, 3).unwrap();
+        let ins = inputs(&[("n", Value::Num(4.0))]);
+        assert_eq!(run_split(&split, &ins).as_num("s").unwrap(), 110.0);
+    }
+
+    #[test]
+    fn dynamic_bounds_work() {
+        let prog = parse_program(
+            "task S in a, b out s local i begin s := 0 for i := a to b do s := s + i * i end end",
+        )
+        .unwrap();
+        let split = parallelize_reduction(&prog, 4).unwrap();
+        let ins = inputs(&[("a", Value::Num(3.0)), ("b", Value::Num(11.0))]);
+        let want: f64 = (3..=11).map(|i| (i * i) as f64).sum();
+        assert_eq!(run_split(&split, &ins).as_num("s").unwrap(), want);
+    }
+
+    #[test]
+    fn rejections() {
+        // Two outputs.
+        let p2 = parse_program(
+            "task T out a, b begin a := 1 b := 2 end",
+        )
+        .unwrap();
+        assert_eq!(
+            parallelize_reduction(&p2, 2),
+            Err(TransformError::NotSingleOutput)
+        );
+        // No reduction loop.
+        let p3 = parse_program("task T in a out r begin r := a * 2 end").unwrap();
+        assert_eq!(
+            parallelize_reduction(&p3, 2),
+            Err(TransformError::NoReductionLoop)
+        );
+        // Loop that overwrites instead of accumulating.
+        let p4 = parse_program(
+            "task T in n out r local i begin r := 0 for i := 1 to n do r := i end end",
+        )
+        .unwrap();
+        assert_eq!(
+            parallelize_reduction(&p4, 2),
+            Err(TransformError::NoReductionLoop)
+        );
+        // k too small.
+        let p5 = parse_program(
+            "task T in n out r local i begin r := 0 for i := 1 to n do r := r + i end end",
+        )
+        .unwrap();
+        assert_eq!(
+            parallelize_reduction(&p5, 1),
+            Err(TransformError::BadChunkCount(1))
+        );
+    }
+
+    #[test]
+    fn prelude_using_accumulator_rejected() {
+        let p = parse_program(
+            "task T in n out r local i, q begin q := r r := 0 for i := 1 to n do r := r + i end end",
+        )
+        .unwrap();
+        assert!(matches!(
+            parallelize_reduction(&p, 2),
+            Err(TransformError::UnsafeStatement(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_programs_are_valid_pits() {
+        // Round-trip every generated program through the pretty-printer
+        // and parser.
+        let prog = parse_program(PI_SRC).unwrap();
+        let split = parallelize_reduction(&prog, 4).unwrap();
+        for p in split.chunks.iter().chain([&split.combine]) {
+            let printed = crate::pretty::print_program(p);
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
+            assert_eq!(&reparsed, p);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Runtime values of the PITS language: scalars and flat numeric arrays.
+//!
+//! Arrays let PITS tasks pass vectors and (row-major, manually indexed)
+//! matrices along dataflow arcs — the LU example ships whole columns this
+//! way. Indexing is 1-based, matching calculator and Fortran conventions
+//! familiar to the paper's scientific audience.
+
+use crate::error::RunError;
+use std::fmt;
+
+/// A PITS runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar.
+    Num(f64),
+    /// A flat numeric array (1-based indexing at the language level).
+    Array(Vec<f64>),
+}
+
+impl Value {
+    /// The scalar inside, or an error naming `what` for diagnostics.
+    pub fn as_num(&self, what: &str) -> Result<f64, RunError> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            Value::Array(_) => Err(RunError::NotAScalar(what.to_string())),
+        }
+    }
+
+    /// The array inside, or an error naming `what`.
+    pub fn as_array(&self, what: &str) -> Result<&[f64], RunError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            Value::Num(_) => Err(RunError::NotAnArray(what.to_string())),
+        }
+    }
+
+    /// Truthiness: a scalar is true iff non-zero; arrays are not booleans.
+    pub fn truthy(&self, what: &str) -> Result<bool, RunError> {
+        Ok(self.as_num(what)? != 0.0)
+    }
+
+    /// Abstract size in "data units" — 1 for a scalar, `len` for an array.
+    /// Used to estimate communication volumes from trial runs.
+    pub fn volume(&self) -> f64 {
+        match self {
+            Value::Num(_) => 1.0,
+            Value::Array(v) => v.len() as f64,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Array(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Array(v)
+    }
+}
+
+/// Converts a calculator index expression result to a 1-based array
+/// offset, checking range.
+pub fn to_index(raw: f64, var: &str, len: usize) -> Result<usize, RunError> {
+    let idx = raw.round() as i64;
+    if idx < 1 || idx as usize > len {
+        return Err(RunError::IndexOutOfRange {
+            var: var.to_string(),
+            index: idx,
+            len,
+        });
+    }
+    Ok(idx as usize - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors() {
+        let v = Value::Num(2.5);
+        assert_eq!(v.as_num("x").unwrap(), 2.5);
+        assert!(v.as_array("x").is_err());
+        assert!(v.truthy("x").unwrap());
+        assert!(!Value::Num(0.0).truthy("x").unwrap());
+        assert_eq!(v.volume(), 1.0);
+    }
+
+    #[test]
+    fn array_accessors() {
+        let v = Value::Array(vec![1.0, 2.0]);
+        assert_eq!(v.as_array("v").unwrap(), &[1.0, 2.0]);
+        assert!(v.as_num("v").is_err());
+        assert!(v.truthy("v").is_err());
+        assert_eq!(v.volume(), 2.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Array(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+    }
+
+    #[test]
+    fn index_conversion() {
+        assert_eq!(to_index(1.0, "v", 3).unwrap(), 0);
+        assert_eq!(to_index(3.0, "v", 3).unwrap(), 2);
+        assert_eq!(to_index(2.4, "v", 3).unwrap(), 1); // rounds
+        assert!(to_index(0.0, "v", 3).is_err());
+        assert!(to_index(4.0, "v", 3).is_err());
+        assert!(to_index(-1.0, "v", 3).is_err());
+    }
+}

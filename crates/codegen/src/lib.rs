@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # banger-codegen — automatic code generation
+//!
+//! The paper closes with: *"Banger does not currently support automatic
+//! code generation. A number of program generators for a variety of
+//! systems are under development."* This crate implements that future
+//! work:
+//!
+//! * [`rustgen`] — emits a **self-contained Rust program** (no external
+//!   crates): one OS thread per schedule processor, `std::sync::mpsc`
+//!   channels for every dataflow arc, and each PITS task body translated
+//!   into Rust over a tiny embedded `Value` runtime. The output compiles
+//!   with a bare `rustc` and prints the design's output ports.
+//! * [`cgen`] — emits an **MPI-style C program** (rank-per-processor
+//!   `switch`, `MPI_Send`/`MPI_Recv` pairs per arc) for the
+//!   message-passing machines the paper targeted.
+//!
+//! Both generators consume a flattened design, its program library, the
+//! schedule that maps tasks to processors, and concrete input-port values.
+
+pub mod cgen;
+pub mod rustgen;
+
+pub use cgen::generate_c;
+pub use rustgen::generate_rust;
+
+use banger_calc::Value;
+use std::fmt;
+
+/// Errors from code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// A task has no program attached.
+    NoProgram(String),
+    /// A program name is missing from the library.
+    UnknownProgram(String),
+    /// The schedule does not place a task.
+    Unscheduled(String),
+    /// An input port has no supplied value.
+    MissingInput(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::NoProgram(t) => write!(f, "task {t:?} has no program"),
+            CodegenError::UnknownProgram(p) => write!(f, "program {p:?} not in library"),
+            CodegenError::Unscheduled(t) => write!(f, "task {t:?} is not scheduled"),
+            CodegenError::MissingInput(v) => write!(f, "no value supplied for input port {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Renders a [`Value`] as a Rust literal over the generated runtime.
+pub(crate) fn rust_value_literal(v: &Value) -> String {
+    match v {
+        Value::Num(n) => format!("Value::Num({n:?}f64)"),
+        Value::Array(a) => {
+            let items: Vec<String> = a.iter().map(|x| format!("{x:?}f64")).collect();
+            format!("Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}

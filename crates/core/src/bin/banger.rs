@@ -1,0 +1,400 @@
+//! `banger` — the environment as a command-line tool.
+//!
+//! Operates on `.bang` project documents (see `banger::document`):
+//!
+//! ```text
+//! banger show <file>                      design statistics + DOT
+//! banger gantt <file> [-H <heuristic>]    schedule + ASCII Gantt chart
+//! banger compare <file>                   all heuristics, sorted
+//! banger simulate <file> [-H <heuristic>] predicted vs achieved
+//! banger animate <file> [-H <heuristic>]  frame-by-frame replay
+//! banger advise <file> [-H <heuristic>]   bottleneck analysis + suggestions
+//! banger svg <file> [-H h] [-o dir]       write gantt/speedup/utilization SVGs
+//! banger save-schedule <file> [-H h] [-o path]  persist a schedule
+//! banger verify <file> -s <schedule>      validate + replay a saved schedule
+//! banger run <file> [-i var=value]...     execute on host threads
+//! banger speedup <file> -t spec,spec,...  speedup prediction sweep
+//! banger codegen <file> rust|c [-i ...]   emit generated code to stdout
+//! ```
+//!
+//! Input values: scalars (`-i a=2.5`) or arrays (`-i v=[1,2,3]`).
+
+use banger::document::parse_project;
+use banger::project::Project;
+use banger_calc::Value;
+use banger_machine::Topology;
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let command = args[0].as_str();
+    let path = args[1].as_str();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let mut project = match parse_project(&text) {
+        Ok(p) => p,
+        Err(e) => die(&format!("{path}: {e}")),
+    };
+    let rest = &args[2..];
+
+    let result = match command {
+        "show" => cmd_show(&mut project),
+        "gantt" => cmd_gantt(&mut project, rest),
+        "compare" => cmd_compare(&mut project),
+        "simulate" => cmd_simulate(&mut project, rest),
+        "animate" => cmd_animate(&mut project, rest),
+        "advise" => cmd_advise(&mut project, rest),
+        "svg" => cmd_svg(&mut project, rest),
+        "save-schedule" => cmd_save_schedule(&mut project, rest),
+        "verify" => cmd_verify(&mut project, rest),
+        "run" => cmd_run(&mut project, rest),
+        "speedup" => cmd_speedup(&mut project, rest),
+        "codegen" => cmd_codegen(&mut project, rest),
+        "parallelize" => cmd_parallelize(&mut project, rest),
+        _ => {
+            usage();
+        }
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: banger <show|gantt|compare|simulate|animate|advise|svg|run|speedup|codegen|parallelize|save-schedule|verify> <file.bang> [options]\n\
+         options: -H <heuristic>   (serial naive HLFET MCP ETF DLS MH DSH; default MH)\n\
+         \x20        -i var=value     (run/codegen inputs; arrays as [1,2,3])\n\
+         \x20        -t spec,spec,... (speedup topologies, e.g. single,hypercube:1,hypercube:2)"
+    );
+    exit(2)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("banger: {msg}");
+    exit(1)
+}
+
+fn opt_heuristic(rest: &[String]) -> String {
+    rest.windows(2)
+        .find(|w| w[0] == "-H")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "MH".to_string())
+}
+
+fn opt_inputs(rest: &[String]) -> Result<BTreeMap<String, Value>, String> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "-i" {
+            let pair = rest
+                .get(i + 1)
+                .ok_or_else(|| "-i needs var=value".to_string())?;
+            let (var, val) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad input {pair:?} (want var=value)"))?;
+            out.insert(var.to_string(), parse_value(val)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    let t = text.trim();
+    if let Some(inner) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let mut vals = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            vals.push(
+                part.parse::<f64>()
+                    .map_err(|_| format!("bad array element {part:?}"))?,
+            );
+        }
+        Ok(Value::Array(vals))
+    } else {
+        t.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad scalar {t:?}"))
+    }
+}
+
+fn cmd_show(project: &mut Project) -> Result<(), String> {
+    let design = project.design().clone();
+    println!(
+        "project {} — design depth {}, {} leaf tasks, {} programs",
+        project.name(),
+        design.depth(),
+        design.leaf_task_count(),
+        project.library().len()
+    );
+    if let Some(m) = project.machine() {
+        println!("machine: {}", m.describe());
+    } else {
+        println!("machine: (none defined)");
+    }
+    let f = project.flatten().map_err(|e| e.to_string())?;
+    let stats = banger_taskgraph::analysis::stats(&f.graph);
+    println!(
+        "flattened: {} tasks, {} arcs, width {}, depth {}, cp {:.2}, avg parallelism {:.2}",
+        stats.tasks, stats.edges, stats.width, stats.depth, stats.cp_length, stats.average_parallelism
+    );
+    println!(
+        "inputs: {:?}  outputs: {:?}",
+        f.inputs.iter().map(|p| p.var.as_str()).collect::<Vec<_>>(),
+        f.outputs.iter().map(|p| p.var.as_str()).collect::<Vec<_>>()
+    );
+    println!("\n{}", banger_taskgraph::dot::hiergraph_to_dot(&design));
+    Ok(())
+}
+
+fn cmd_gantt(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    println!("{}", project.gantt(&s).map_err(|e| e.to_string())?);
+    let f = project.flatten().map_err(|e| e.to_string())?;
+    let g = f.graph.clone();
+    let m = project.machine().unwrap();
+    println!(
+        "makespan {:.3}, speedup {:.2}x, efficiency {:.0}%, {} of {} processors used",
+        s.makespan(),
+        s.speedup(&g, m),
+        100.0 * s.efficiency(&g, m),
+        s.processors_used(),
+        m.processors()
+    );
+    Ok(())
+}
+
+fn cmd_compare(project: &mut Project) -> Result<(), String> {
+    let rows = project.compare_heuristics().map_err(|e| e.to_string())?;
+    println!(
+        "{:<14} {:>10} {:>9} {:>11} {:>7}",
+        "heuristic", "makespan", "speedup", "efficiency", "procs"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>10.3} {:>8.2}x {:>10.0}% {:>7}",
+            r.heuristic,
+            r.makespan,
+            r.speedup,
+            100.0 * r.efficiency,
+            r.processors_used
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let r = project.simulate(&s).map_err(|e| e.to_string())?;
+    println!(
+        "{h}: predicted {:.3}, achieved {:.3} (ratio {:.3})",
+        r.predicted_makespan,
+        r.achieved_makespan(),
+        r.compare()
+    );
+    println!(
+        "traffic: {} messages, {} link hops, {:.3} time units queueing",
+        r.stats.messages, r.stats.hops, r.stats.queue_delay
+    );
+    Ok(())
+}
+
+fn cmd_animate(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let r = project.simulate(&s).map_err(|e| e.to_string())?;
+    let procs = project.machine().unwrap().processors();
+    let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
+    println!(
+        "{}",
+        banger::animate::animate(&g, procs, &r, banger::animate::AnimateOptions::default())
+    );
+    Ok(())
+}
+
+fn cmd_advise(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
+    let m = project.machine().unwrap();
+    let advice = banger::advisor::advise(&g, m, &s);
+    println!("{}", banger::advisor::render(&g, &advice));
+    Ok(())
+}
+
+fn cmd_svg(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger svg <file> [-H h] [-o dir] — writes gantt.svg, speedup.svg and
+    // utilization.svg into dir (default: current directory).
+    let h = opt_heuristic(rest);
+    let dir = rest
+        .windows(2)
+        .find(|w| w[0] == "-o")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
+    let m = project.machine().unwrap().clone();
+
+    let gantt = banger::svg::gantt_svg(&s, m.processors(), &g);
+    let util = banger::svg::utilization_svg(&s, m.processors());
+    let points = project
+        .predict_speedup(
+            &[
+                Topology::single(),
+                Topology::hypercube(1),
+                Topology::hypercube(2),
+                Topology::hypercube(3),
+            ],
+            *m.params(),
+        )
+        .map_err(|e| e.to_string())?;
+    let speedup = banger::svg::speedup_svg(
+        &format!("{} — predicted speedup", project.name()),
+        &points,
+    );
+    for (name, body) in [
+        ("gantt.svg", &gantt),
+        ("utilization.svg", &util),
+        ("speedup.svg", &speedup),
+    ] {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_save_schedule(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger save-schedule <file> [-H h] [-o path] — computes a schedule
+    // and writes it in the schedule text format (stdout by default).
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let text = banger_sched::textfmt::to_text(&s);
+    match rest.windows(2).find(|w| w[0] == "-o") {
+        Some(w) => {
+            std::fs::write(&w[1], &text).map_err(|e| format!("cannot write {}: {e}", w[1]))?;
+            eprintln!("wrote {} ({} placements)", w[1], s.placements().len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_verify(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger verify <file> -s schedule.txt — validates a saved schedule
+    // against the project's design and machine, then replays it on the
+    // simulator.
+    let sched_path = rest
+        .windows(2)
+        .find(|w| w[0] == "-s")
+        .map(|w| w[1].clone())
+        .ok_or_else(|| "verify needs -s <schedule file>".to_string())?;
+    let text = std::fs::read_to_string(&sched_path)
+        .map_err(|e| format!("cannot read {sched_path}: {e}"))?;
+    let s = banger_sched::textfmt::from_text(&text)?;
+    let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
+    let m = project.machine().ok_or("project has no machine")?.clone();
+    s.validate(&g, &m).map_err(|e| format!("INVALID: {e}"))?;
+    let r = project.simulate(&s).map_err(|e| e.to_string())?;
+    println!(
+        "VALID: {} placements, makespan {:.3}; simulation achieves {:.3} (ratio {:.3})",
+        s.placements().len(),
+        s.makespan(),
+        r.achieved_makespan(),
+        r.compare()
+    );
+    Ok(())
+}
+
+fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let inputs = opt_inputs(rest)?;
+    let report = project.run(&inputs).map_err(|e| e.to_string())?;
+    for (task, line) in &report.prints {
+        println!("[{}] {}", task, line);
+    }
+    for (var, value) in &report.outputs {
+        println!("{var} = {value}");
+    }
+    eprintln!(
+        "({} task runs, wall {:?})",
+        report.runs.len(),
+        report.wall
+    );
+    Ok(())
+}
+
+fn cmd_speedup(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let specs = rest
+        .windows(2)
+        .find(|w| w[0] == "-t")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "single,hypercube:1,hypercube:2,hypercube:3".to_string());
+    let mut topos = Vec::new();
+    for spec in specs.split(',') {
+        topos.push(Topology::parse(spec.trim()).map_err(|e| e.to_string())?);
+    }
+    let params = project
+        .machine()
+        .map(|m| *m.params())
+        .unwrap_or_default();
+    let points = project
+        .predict_speedup(&topos, params)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        banger::speedup_chart(
+            &format!("predicted speedup — {}", project.name()),
+            &points,
+            40
+        )
+    );
+    Ok(())
+}
+
+fn cmd_parallelize(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger parallelize <file> <task> <chunks>  — prints the transformed
+    // document to stdout (redirect to save).
+    let task = rest
+        .first()
+        .ok_or_else(|| "parallelize needs a task name".to_string())?;
+    let chunks: usize = rest
+        .get(1)
+        .ok_or_else(|| "parallelize needs a chunk count".to_string())?
+        .parse()
+        .map_err(|_| "bad chunk count".to_string())?;
+    let names = project
+        .parallelize_task(task, chunks)
+        .map_err(|e| e.to_string())?;
+    eprintln!("expanded {task:?} into {} chunks: {names:?}", names.len());
+    print!("{}", banger::document::print_project(project));
+    Ok(())
+}
+
+fn cmd_codegen(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let lang = rest.first().map(String::as_str).unwrap_or("rust");
+    let inputs = opt_inputs(rest)?;
+    let h = opt_heuristic(rest);
+    let s = project.schedule(&h).map_err(|e| e.to_string())?;
+    let code = match lang {
+        "rust" => project.generate_rust(&s, &inputs).map_err(|e| e.to_string())?,
+        "c" => project.generate_c(&s, &inputs).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown language {other:?} (rust|c)")),
+    };
+    print!("{code}");
+    Ok(())
+}

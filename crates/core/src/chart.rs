@@ -1,0 +1,130 @@
+//! ASCII charts: the speedup-prediction display of Figure 3 and generic
+//! labelled bar charts for the comparison tables.
+
+use std::fmt::Write as _;
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupPoint {
+    /// Processor count.
+    pub processors: usize,
+    /// Predicted (or measured) speedup.
+    pub speedup: f64,
+}
+
+/// Renders a speedup chart: one bar per processor count, with the ideal
+/// (linear) speedup marked by `|` for contrast.
+pub fn speedup_chart(title: &str, points: &[SpeedupPoint], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let max_axis = points
+        .iter()
+        .map(|p| p.processors as f64)
+        .fold(1.0f64, f64::max);
+    let scale = width as f64 / max_axis;
+    for p in points {
+        let bars = ((p.speedup * scale).round() as usize).min(width);
+        let ideal = ((p.processors as f64 * scale).round() as usize).min(width);
+        let mut row: Vec<char> = vec![' '; width + 1];
+        for c in row.iter_mut().take(bars) {
+            *c = '#';
+        }
+        if ideal < row.len() {
+            row[ideal] = '|';
+        }
+        let _ = writeln!(
+            out,
+            "{:>4} procs {} {:.2}x",
+            p.processors,
+            row.iter().collect::<String>(),
+            p.speedup
+        );
+    }
+    let _ = writeln!(out, "           ('|' marks ideal linear speedup)");
+    out
+}
+
+/// A generic horizontal bar chart of labelled values (used for heuristic
+/// comparisons: label = heuristic, value = makespan).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let maxv = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    for (label, v) in rows {
+        let bars = if maxv > 0.0 {
+            ((v / maxv) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:>label_w$} {} {v:.3}",
+            "#".repeat(bars.max(if *v > 0.0 { 1 } else { 0 }))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_chart_shape() {
+        let pts = vec![
+            SpeedupPoint {
+                processors: 2,
+                speedup: 1.7,
+            },
+            SpeedupPoint {
+                processors: 4,
+                speedup: 2.9,
+            },
+            SpeedupPoint {
+                processors: 8,
+                speedup: 4.2,
+            },
+        ];
+        let text = speedup_chart("Predicted speedup (LU design)", &pts, 40);
+        assert!(text.contains("Predicted speedup"));
+        assert!(text.contains("2 procs"));
+        assert!(text.contains("8 procs"));
+        assert!(text.contains("4.20x"));
+        assert!(text.contains('|'));
+        // Longer bars for higher speedups.
+        let bars = |line: &str| line.matches('#').count();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(bars(lines[1]) < bars(lines[2]));
+        assert!(bars(lines[2]) < bars(lines[3]));
+    }
+
+    #[test]
+    fn bar_chart_shape() {
+        let rows = vec![
+            ("serial".to_string(), 100.0),
+            ("ETF".to_string(), 40.0),
+            ("MH".to_string(), 35.0),
+        ];
+        let text = bar_chart("Makespan by heuristic", &rows, 30);
+        assert!(text.contains("serial"));
+        assert!(text.contains("35.000"));
+        let serial_bars = text.lines().nth(1).unwrap().matches('#').count();
+        let mh_bars = text.lines().nth(3).unwrap().matches('#').count();
+        assert!(serial_bars > mh_bars);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(speedup_chart("t", &[], 10).contains("no data"));
+        assert!(bar_chart("t", &[], 10).contains("no data"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Executable PITS programs for the paper's LU decomposition design.
+//!
+//! [`banger_taskgraph::generators::lu_hierarchical`] builds the Figure 1
+//! *structure*; this module generates the matching PITS *routines* so the
+//! design actually solves `Ax = b` when executed (by the threaded runtime,
+//! or via generated code).
+//!
+//! Message protocol: every matrix-carrying arc transports the full `n x n`
+//! working matrix, row-major, 1-based `M[(i-1)*n + j]` indexing. Each
+//! update task grafts its freshly updated column onto the accumulated
+//! pivot-chain matrix, so the final update emits the complete LU factors.
+//! (The arc *volumes* in the design model only the necessary column/vector
+//! traffic — a deliberate, documented simplification.)
+
+use banger_calc::{ProgramLibrary, Value};
+use std::fmt::Write as _;
+
+/// Generates the PITS program library for an `n x n` LU design
+/// (`2 <= n <= 9`; larger systems would need multi-digit task names the
+/// Figure 1 naming scheme cannot express).
+pub fn lu_program_library(n: usize) -> ProgramLibrary {
+    assert!((2..=9).contains(&n), "LU program naming supports n in 2..=9");
+    let mut lib = ProgramLibrary::new();
+    let idx = |i: &str, j: &str| format!("({i} - 1) * {n} + {j}");
+
+    // --- fan{k}: compute multipliers for pivot column k -----------------
+    for k in 1..n {
+        let input = if k == 1 {
+            "A".to_string()
+        } else {
+            format!("col{k}")
+        };
+        let mut src = String::new();
+        let _ = writeln!(src, "task fan{k}");
+        let _ = writeln!(src, "  in {input}");
+        let _ = writeln!(src, "  out l{k}");
+        let _ = writeln!(src, "  local M, i");
+        let _ = writeln!(src, "begin");
+        let _ = writeln!(src, "  M := {input}");
+        let _ = writeln!(src, "  for i := {} to {n} do", k + 1);
+        let _ = writeln!(
+            src,
+            "    M[{0}] := M[{0}] / M[{1}]",
+            idx("i", &k.to_string()),
+            idx(&k.to_string(), &k.to_string())
+        );
+        let _ = writeln!(src, "  end");
+        let _ = writeln!(src, "  l{k} := M");
+        let _ = writeln!(src, "end");
+        lib.add_source(&src).expect("generated fan program parses");
+    }
+
+    // --- fl{j}{k}: update column j at stage k ----------------------------
+    for k in 1..n {
+        for j in k + 1..=n {
+            let out = if k == n - 1 {
+                "LU".to_string()
+            } else if j == k + 1 {
+                format!("col{}", k + 1)
+            } else {
+                format!("a{j}{}", k + 1)
+            };
+            let mut src = String::new();
+            let _ = writeln!(src, "task fl{j}{k}");
+            if k == 1 {
+                let _ = writeln!(src, "  in l{k}");
+            } else {
+                let _ = writeln!(src, "  in l{k}, a{j}{k}");
+            }
+            let _ = writeln!(src, "  out {out}");
+            let _ = writeln!(src, "  local M, i");
+            let _ = writeln!(src, "begin");
+            let _ = writeln!(src, "  M := l{k}");
+            if k > 1 {
+                // graft column j (updated through stage k-1) onto the
+                // accumulated pivot-chain matrix
+                let _ = writeln!(src, "  for i := 1 to {n} do");
+                let _ = writeln!(
+                    src,
+                    "    M[{0}] := a{j}{k}[{0}]",
+                    idx("i", &j.to_string())
+                );
+                let _ = writeln!(src, "  end");
+            }
+            let _ = writeln!(src, "  for i := {} to {n} do", k + 1);
+            let _ = writeln!(
+                src,
+                "    M[{0}] := M[{0}] - M[{1}] * M[{2}]",
+                idx("i", &j.to_string()),
+                idx("i", &k.to_string()),
+                idx(&k.to_string(), &j.to_string())
+            );
+            let _ = writeln!(src, "  end");
+            let _ = writeln!(src, "  {out} := M");
+            let _ = writeln!(src, "end");
+            lib.add_source(&src).expect("generated fl program parses");
+        }
+    }
+
+    // --- fwd{j}: forward substitution step -------------------------------
+    for j in 1..=n {
+        let input = if j == 1 {
+            "b".to_string()
+        } else {
+            format!("y{}", j - 1)
+        };
+        let out = if j == n {
+            format!("z{n}")
+        } else {
+            format!("y{j}")
+        };
+        let mut src = String::new();
+        let _ = writeln!(src, "task fwd{j}");
+        let _ = writeln!(src, "  in LU, {input}");
+        let _ = writeln!(src, "  out {out}");
+        let _ = writeln!(src, "  local c, t");
+        let _ = writeln!(src, "begin");
+        let _ = writeln!(src, "  c := {input}");
+        if j > 1 {
+            let _ = writeln!(src, "  for t := 1 to {} do", j - 1);
+            let _ = writeln!(
+                src,
+                "    c[{j}] := c[{j}] - LU[{0}] * c[t]",
+                idx(&j.to_string(), "t")
+            );
+            let _ = writeln!(src, "  end");
+        }
+        let _ = writeln!(src, "  {out} := c");
+        let _ = writeln!(src, "end");
+        lib.add_source(&src).expect("generated fwd program parses");
+    }
+
+    // --- bck{j}: back substitution step -----------------------------------
+    for j in (1..=n).rev() {
+        let out = if j == 1 {
+            "x".to_string()
+        } else {
+            format!("z{}", j - 1)
+        };
+        let mut src = String::new();
+        let _ = writeln!(src, "task bck{j}");
+        let _ = writeln!(src, "  in LU, z{j}");
+        let _ = writeln!(src, "  out {out}");
+        let _ = writeln!(src, "  local c, t");
+        let _ = writeln!(src, "begin");
+        let _ = writeln!(src, "  c := z{j}");
+        if j < n {
+            let _ = writeln!(src, "  for t := {} to {n} do", j + 1);
+            let _ = writeln!(
+                src,
+                "    c[{j}] := c[{j}] - LU[{0}] * c[t]",
+                idx(&j.to_string(), "t")
+            );
+            let _ = writeln!(src, "  end");
+        }
+        let _ = writeln!(
+            src,
+            "  c[{j}] := c[{j}] / LU[{0}]",
+            idx(&j.to_string(), &j.to_string())
+        );
+        let _ = writeln!(src, "  {out} := c");
+        let _ = writeln!(src, "end");
+        lib.add_source(&src).expect("generated bck program parses");
+    }
+
+    lib
+}
+
+/// Reference dense solver (partial-pivot-free LU, same as the design) for
+/// verifying executed results. `a` is row-major `n x n`.
+pub fn solve_reference(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n);
+    let mut m = a.to_vec();
+    // factor (Doolittle, unit lower)
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            m[i * n + k] /= m[k * n + k];
+            let lik = m[i * n + k];
+            for j in k + 1..n {
+                m[i * n + j] -= lik * m[k * n + j];
+            }
+        }
+    }
+    // forward
+    let mut y = b.to_vec();
+    for i in 1..n {
+        for j in 0..i {
+            y[i] -= m[i * n + j] * y[j];
+        }
+    }
+    // back
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            x[i] -= m[i * n + j] * x[j];
+        }
+        x[i] /= m[i * n + i];
+    }
+    x
+}
+
+/// A well-conditioned test matrix: diagonally dominant with deterministic
+/// off-diagonal pattern.
+pub fn test_system(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = if i == j {
+                (n + 2) as f64
+            } else {
+                1.0 + ((i * 3 + j * 7) % 5) as f64 * 0.25
+            };
+        }
+    }
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+    (a, b)
+}
+
+/// Convenience: the external-input map for executing the LU design.
+pub fn lu_inputs(a: &[f64], b: &[f64]) -> std::collections::BTreeMap<String, Value> {
+    [
+        ("A".to_string(), Value::Array(a.to_vec())),
+        ("b".to_string(), Value::Array(b.to_vec())),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_calc::interp;
+    use banger_exec::{execute, ExecOptions};
+    use banger_taskgraph::generators;
+
+    #[test]
+    fn library_covers_every_design_task() {
+        for n in 2..=5 {
+            let lib = lu_program_library(n);
+            let f = generators::lu_hierarchical(n).flatten().unwrap();
+            for (_, task) in f.graph.tasks() {
+                let prog = task.program.as_deref().unwrap();
+                assert!(lib.get(prog).is_some(), "n={n}: missing program {prog}");
+            }
+        }
+    }
+
+    #[test]
+    fn fan1_computes_multipliers() {
+        let lib = lu_program_library(3);
+        let (a, _) = test_system(3);
+        let out = interp::run(
+            lib.get("fan1").unwrap(),
+            &[("A".to_string(), Value::Array(a.clone()))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let m = out.outputs["l1"].as_array("l1").unwrap();
+        assert!((m[3] - a[3] / a[0]).abs() < 1e-12); // l21
+        assert!((m[6] - a[6] / a[0]).abs() < 1e-12); // l31
+        assert_eq!(m[0], a[0]); // pivot untouched
+    }
+
+    #[test]
+    fn reference_solver_is_correct() {
+        let (a, b) = test_system(4);
+        let x = solve_reference(&a, &b);
+        // check residual
+        for i in 0..4 {
+            let mut r = -b[i];
+            for j in 0..4 {
+                r += a[i * 4 + j] * x[j];
+            }
+            assert!(r.abs() < 1e-9, "row {i} residual {r}");
+        }
+    }
+
+    #[test]
+    fn design_solves_ax_equals_b_end_to_end() {
+        for n in 2..=5 {
+            let design = generators::lu_hierarchical(n).flatten().unwrap();
+            let lib = lu_program_library(n);
+            let (a, b) = test_system(n);
+            let report = execute(
+                &design,
+                &lib,
+                &lu_inputs(&a, &b),
+                &ExecOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let got = report.outputs["x"].as_array("x").unwrap();
+            let want = solve_reference(&a, &b);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-9, "n={n} x[{i}]: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n in 2..=9")]
+    fn rejects_large_n() {
+        lu_program_library(10);
+    }
+}

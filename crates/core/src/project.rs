@@ -1,0 +1,663 @@
+//! The Banger *project*: one design + its PITS programs + a target
+//! machine, with every environment operation (schedule, trial-run,
+//! simulate, execute, predict, generate) hanging off it.
+//!
+//! This is the programmatic equivalent of the four-step workflow the paper
+//! describes: *"draw a hierarchical dataflow graph ... define a target
+//! machine ... specify algorithms as small sequential tasks ... generate
+//! the code."*
+
+use crate::chart::SpeedupPoint;
+use crate::gantt::{self, GanttOptions};
+use banger_calc::{interp, InterpConfig, Outcome, ProgramLibrary, RunError, Value};
+use banger_codegen::CodegenError;
+use banger_exec::{execute, ExecError, ExecMode, ExecOptions, ExecReport};
+use banger_machine::{Machine, MachineParams, Topology};
+use banger_sched::{Schedule, ScheduleSummary};
+use banger_sim::{simulate, SimError, SimOptions, SimResult};
+use banger_taskgraph::hierarchy::Flattened;
+use banger_taskgraph::{GraphError, HierGraph};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Project-level errors.
+#[derive(Debug)]
+pub enum ProjectError {
+    /// No target machine has been defined yet.
+    NoMachine,
+    /// The design failed to flatten.
+    Graph(GraphError),
+    /// Unknown heuristic name.
+    UnknownHeuristic(String),
+    /// A trial run failed.
+    Trial(RunError),
+    /// Unknown program name for a trial run.
+    UnknownProgram(String),
+    /// Simulation failure.
+    Sim(SimError),
+    /// Execution failure.
+    Exec(ExecError),
+    /// Code generation failure.
+    Codegen(CodegenError),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::NoMachine => write!(f, "no target machine defined (use set_machine)"),
+            ProjectError::Graph(e) => write!(f, "design error: {e}"),
+            ProjectError::UnknownHeuristic(h) => write!(f, "unknown heuristic {h:?}"),
+            ProjectError::Trial(e) => write!(f, "trial run failed: {e}"),
+            ProjectError::UnknownProgram(p) => write!(f, "no program named {p:?}"),
+            ProjectError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ProjectError::Exec(e) => write!(f, "execution failed: {e}"),
+            ProjectError::Codegen(e) => write!(f, "code generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectError {}
+
+impl From<GraphError> for ProjectError {
+    fn from(e: GraphError) -> Self {
+        ProjectError::Graph(e)
+    }
+}
+impl From<SimError> for ProjectError {
+    fn from(e: SimError) -> Self {
+        ProjectError::Sim(e)
+    }
+}
+impl From<ExecError> for ProjectError {
+    fn from(e: ExecError) -> Self {
+        ProjectError::Exec(e)
+    }
+}
+impl From<CodegenError> for ProjectError {
+    fn from(e: CodegenError) -> Self {
+        ProjectError::Codegen(e)
+    }
+}
+
+/// A Banger project.
+#[derive(Debug, Clone)]
+pub struct Project {
+    name: String,
+    design: HierGraph,
+    library: ProgramLibrary,
+    machine: Option<Machine>,
+    flattened: Option<Flattened>,
+}
+
+impl Project {
+    /// Creates a project around a design.
+    pub fn new(name: impl Into<String>, design: HierGraph) -> Self {
+        Project {
+            name: name.into(),
+            design,
+            library: ProgramLibrary::new(),
+            machine: None,
+            flattened: None,
+        }
+    }
+
+    /// Project name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hierarchical design.
+    pub fn design(&self) -> &HierGraph {
+        &self.design
+    }
+
+    /// Mutable design access; invalidates the flatten cache.
+    pub fn design_mut(&mut self) -> &mut HierGraph {
+        self.flattened = None;
+        &mut self.design
+    }
+
+    /// The PITS program library.
+    pub fn library(&self) -> &ProgramLibrary {
+        &self.library
+    }
+
+    /// Mutable program library access.
+    pub fn library_mut(&mut self) -> &mut ProgramLibrary {
+        &mut self.library
+    }
+
+    /// Defines the target machine (paper step 2).
+    pub fn set_machine(&mut self, machine: Machine) {
+        self.machine = Some(machine);
+    }
+
+    /// The current machine.
+    pub fn machine(&self) -> Option<&Machine> {
+        self.machine.as_ref()
+    }
+
+    /// Flattens (and caches) the design.
+    pub fn flatten(&mut self) -> Result<&Flattened, ProjectError> {
+        if self.flattened.is_none() {
+            self.flattened = Some(self.design.flatten()?);
+        }
+        Ok(self.flattened.as_ref().unwrap())
+    }
+
+    fn machine_ref(&self) -> Result<&Machine, ProjectError> {
+        self.machine.as_ref().ok_or(ProjectError::NoMachine)
+    }
+
+    /// Runs a named scheduling heuristic (see
+    /// [`banger_sched::HEURISTIC_NAMES`], plus `"DSH"`).
+    pub fn schedule(&mut self, heuristic: &str) -> Result<Schedule, ProjectError> {
+        self.flatten()?;
+        let m = self.machine_ref()?;
+        let g = &self.flattened.as_ref().unwrap().graph;
+        banger_sched::run_heuristic(heuristic, g, m)
+            .ok_or_else(|| ProjectError::UnknownHeuristic(heuristic.to_string()))
+    }
+
+    /// Renders a schedule as an ASCII Gantt chart (paper Figure 3, left).
+    pub fn gantt(&mut self, schedule: &Schedule) -> Result<String, ProjectError> {
+        let procs = self.machine_ref()?.processors();
+        let f = self.flatten()?;
+        let g = &f.graph;
+        Ok(gantt::render(
+            schedule,
+            procs,
+            |t| short_name(&g.task(t).name),
+            GanttOptions::default(),
+        ))
+    }
+
+    /// Trial-runs one named PITS program with explicit inputs (paper
+    /// Figure 4's "trial run" of a single node).
+    pub fn trial_run(
+        &self,
+        program: &str,
+        inputs: &BTreeMap<String, Value>,
+    ) -> Result<Outcome, ProjectError> {
+        let prog = self
+            .library
+            .get(program)
+            .ok_or_else(|| ProjectError::UnknownProgram(program.to_string()))?;
+        interp::run_with(prog, inputs, InterpConfig::default()).map_err(ProjectError::Trial)
+    }
+
+    /// Re-weights every task node from the static cost estimate of its
+    /// attached program — the "instant feedback" path from editing a task
+    /// body to a refreshed schedule prediction. Returns the number of
+    /// tasks re-weighted.
+    pub fn calibrate_from_programs(&mut self) -> Result<usize, ProjectError> {
+        let lib = self.library.clone();
+        let mut updated = 0usize;
+        fn walk(design: &mut HierGraph, lib: &ProgramLibrary, updated: &mut usize) {
+            let ids: Vec<_> = design.nodes().map(|(id, _)| id).collect();
+            for id in ids {
+                // Only task nodes carry programs.
+                let prog_name = match &design.node(id).unwrap().kind {
+                    banger_taskgraph::NodeKind::Task { program: Some(p), .. } => Some(p.clone()),
+                    _ => None,
+                };
+                if let Some(p) = prog_name {
+                    if let Some(w) = lib.estimate_weight(&p) {
+                        design.set_task_weight(id, w);
+                        *updated += 1;
+                    }
+                }
+                design.with_expansion_mut(id, |sub| walk(sub, lib, updated));
+            }
+        }
+        walk(&mut self.design, &lib, &mut updated);
+        self.flattened = None;
+        Ok(updated)
+    }
+
+    /// Simulates a schedule on the machine (trial run of the *entire
+    /// program*, message-accurate).
+    pub fn simulate(&mut self, schedule: &Schedule) -> Result<SimResult, ProjectError> {
+        self.flatten()?;
+        let m = self.machine_ref()?;
+        let g = &self.flattened.as_ref().unwrap().graph;
+        Ok(simulate(g, m, schedule, SimOptions::default())?)
+    }
+
+    /// Executes the design for real on host threads (greedy pool).
+    pub fn run(&mut self, inputs: &BTreeMap<String, Value>) -> Result<ExecReport, ProjectError> {
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(execute(f, &self.library, inputs, &ExecOptions::default())?)
+    }
+
+    /// Executes the design pinned to a schedule (worker *i* = processor
+    /// *i*).
+    pub fn run_scheduled(
+        &mut self,
+        schedule: &Schedule,
+        inputs: &BTreeMap<String, Value>,
+    ) -> Result<ExecReport, ProjectError> {
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(execute(
+            f,
+            &self.library,
+            inputs,
+            &ExecOptions {
+                mode: ExecMode::Pinned(schedule.clone()),
+                ..ExecOptions::default()
+            },
+        )?)
+    }
+
+    /// Predicts speedup of the design across machines built from the given
+    /// topologies with the supplied parameters (paper Figure 3, right).
+    /// Uses the MH scheduler (PPSE's flagship).
+    pub fn predict_speedup(
+        &mut self,
+        topologies: &[Topology],
+        params: MachineParams,
+    ) -> Result<Vec<SpeedupPoint>, ProjectError> {
+        self.flatten()?;
+        let g = self.flattened.as_ref().unwrap().graph.clone();
+        let mut points = Vec::with_capacity(topologies.len());
+        for topo in topologies {
+            let m = Machine::new(topo.clone(), params);
+            let s = banger_sched::mh::mh(&g, &m);
+            points.push(SpeedupPoint {
+                processors: m.processors(),
+                speedup: s.speedup(&g, &m),
+            });
+        }
+        Ok(points)
+    }
+
+    /// Runs every heuristic and summarises the results, sorted best-first.
+    pub fn compare_heuristics(&mut self) -> Result<Vec<ScheduleSummary>, ProjectError> {
+        self.flatten()?;
+        let m = self.machine_ref()?.clone();
+        let g = self.flattened.as_ref().unwrap().graph.clone();
+        let mut rows = Vec::new();
+        for name in banger_sched::HEURISTIC_NAMES.iter().chain(["DSH"].iter()) {
+            let s = banger_sched::run_heuristic(name, &g, &m).expect("known names");
+            rows.push(s.summarize(&g, &m));
+        }
+        rows.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
+        Ok(rows)
+    }
+
+    /// Expands a top-level reduction task into `chunks` parallel chunk
+    /// tasks plus a combiner — the paper's "machine-independent
+    /// data-parallel constructs" future work. The task's program must
+    /// match the reduction shape recognised by
+    /// [`banger_calc::transform::parallelize_reduction`]; the design node
+    /// is replaced in place (arcs stay attached) and the new programs are
+    /// registered in the library. Returns the names of the chunk programs.
+    pub fn parallelize_task(
+        &mut self,
+        task_name: &str,
+        chunks: usize,
+    ) -> Result<Vec<String>, ProjectError> {
+        use banger_taskgraph::NodeKind;
+        // Find the top-level task node and its program.
+        let (node_id, weight, prog_name) = self
+            .design
+            .nodes()
+            .find_map(|(id, n)| match &n.kind {
+                NodeKind::Task {
+                    weight,
+                    program: Some(p),
+                } if n.name == task_name => Some((id, *weight, p.clone())),
+                _ => None,
+            })
+            .ok_or_else(|| ProjectError::UnknownProgram(task_name.to_string()))?;
+        let prog = self
+            .library
+            .get(&prog_name)
+            .ok_or_else(|| ProjectError::UnknownProgram(prog_name.clone()))?
+            .clone();
+        let split = banger_calc::transform::parallelize_reduction(&prog, chunks)
+            .map_err(|e| ProjectError::Graph(banger_taskgraph::GraphError::BadExpansion(
+                format!("cannot parallelize {task_name:?}: {e}"),
+            )))?;
+
+        // Build the expansion: chunk tasks feeding a combiner.
+        let mut inner = HierGraph::new(format!("{task_name}-par"));
+        let combine_name = split.combine.name.clone();
+        let combine_id = inner.add_task_with_program(
+            "combine",
+            (weight / chunks as f64).max(1.0),
+            combine_name.clone(),
+        );
+        let mut chunk_ids = Vec::with_capacity(chunks);
+        let mut chunk_names = Vec::with_capacity(chunks);
+        for (c, chunk) in split.chunks.iter().enumerate() {
+            let id = inner.add_task_with_program(
+                format!("chunk{c}"),
+                weight / chunks as f64,
+                chunk.name.clone(),
+            );
+            inner
+                .add_arc(id, combine_id, split.partials[c].clone(), 1.0)
+                .map_err(ProjectError::Graph)?;
+            chunk_ids.push(id);
+            chunk_names.push(chunk.name.clone());
+        }
+
+        // Port bindings: every incoming arc label feeds all chunks (and
+        // the combiner when it consumes the input, e.g. for the init or
+        // postlude); every outgoing arc label leaves the combiner.
+        let mut inputs: std::collections::BTreeMap<String, Vec<banger_taskgraph::HierNodeId>> =
+            std::collections::BTreeMap::new();
+        let mut outputs: std::collections::BTreeMap<String, Vec<banger_taskgraph::HierNodeId>> =
+            std::collections::BTreeMap::new();
+        for arc in self.design.arcs() {
+            if arc.dst == node_id {
+                let mut sinks = chunk_ids.clone();
+                if split.combine.inputs.iter().any(|v| v == &arc.label) {
+                    sinks.push(combine_id);
+                }
+                inputs.insert(arc.label.clone(), sinks);
+            }
+            if arc.src == node_id {
+                outputs.insert(arc.label.clone(), vec![combine_id]);
+            }
+        }
+
+        self.design
+            .replace_task_with_compound(node_id, inner, inputs, outputs)
+            .map_err(ProjectError::Graph)?;
+        self.flattened = None;
+
+        // Register the generated programs.
+        for chunk in split.chunks {
+            self.library.add(chunk);
+        }
+        self.library.add(split.combine);
+        Ok(chunk_names)
+    }
+
+    /// Generates a self-contained Rust message-passing program for the
+    /// scheduled design with concrete inputs.
+    pub fn generate_rust(
+        &mut self,
+        schedule: &Schedule,
+        inputs: &BTreeMap<String, Value>,
+    ) -> Result<String, ProjectError> {
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(banger_codegen::generate_rust(
+            f,
+            &self.library,
+            schedule,
+            inputs,
+        )?)
+    }
+
+    /// Generates an MPI-style C program for the scheduled design.
+    pub fn generate_c(
+        &mut self,
+        schedule: &Schedule,
+        inputs: &BTreeMap<String, Value>,
+    ) -> Result<String, ProjectError> {
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(banger_codegen::generate_c(
+            f,
+            &self.library,
+            schedule,
+            inputs,
+        )?)
+    }
+}
+
+/// Shortens a qualified task name for Gantt labels (`Factor.fan1` ->
+/// `fan1`).
+pub fn short_name(qualified: &str) -> String {
+    qualified
+        .rsplit('.')
+        .next()
+        .unwrap_or(qualified)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{lu_inputs, lu_program_library, solve_reference, test_system};
+    use banger_taskgraph::generators;
+
+    fn lu_project(n: usize) -> Project {
+        let mut p = Project::new(
+            format!("lu{n}"),
+            generators::lu_hierarchical(n),
+        );
+        *p.library_mut() = lu_program_library(n);
+        p.set_machine(Machine::new(Topology::hypercube(2), MachineParams::default()));
+        p
+    }
+
+    #[test]
+    fn full_workflow() {
+        let mut p = lu_project(3);
+        // Step 1+3 done (design + programs); step 2: machine set.
+        let s = p.schedule("MH").unwrap();
+        let g = p.flatten().unwrap().graph.clone();
+        s.validate(&g, p.machine().unwrap()).unwrap();
+        // Gantt renders.
+        let gantt = p.gantt(&s).unwrap();
+        assert!(gantt.contains("P0"));
+        assert!(gantt.contains("fan1"), "{gantt}");
+        // Simulation runs.
+        let sim = p.simulate(&s).unwrap();
+        assert!(sim.achieved_makespan() > 0.0);
+        // Real execution solves the system.
+        let (a, b) = test_system(3);
+        let report = p.run(&lu_inputs(&a, &b)).unwrap();
+        let got = report.outputs["x"].as_array("x").unwrap();
+        let want = solve_reference(&a, &b);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scheduled_execution_matches_greedy() {
+        let mut p = lu_project(3);
+        let s = p.schedule("ETF").unwrap();
+        let (a, b) = test_system(3);
+        let greedy = p.run(&lu_inputs(&a, &b)).unwrap();
+        let pinned = p.run_scheduled(&s, &lu_inputs(&a, &b)).unwrap();
+        assert_eq!(greedy.outputs, pinned.outputs);
+    }
+
+    #[test]
+    fn trial_run_single_task() {
+        let p = lu_project(3);
+        let (a, _) = test_system(3);
+        let out = p
+            .trial_run(
+                "fan1",
+                &[("A".to_string(), Value::Array(a))].into_iter().collect(),
+            )
+            .unwrap();
+        assert!(out.outputs.contains_key("l1"));
+        assert!(out.ops > 0);
+        assert!(matches!(
+            p.trial_run("nosuch", &BTreeMap::new()),
+            Err(ProjectError::UnknownProgram(_))
+        ));
+    }
+
+    #[test]
+    fn no_machine_error() {
+        let mut p = Project::new("x", generators::lu_hierarchical(2));
+        assert!(matches!(p.schedule("MH"), Err(ProjectError::NoMachine)));
+    }
+
+    #[test]
+    fn unknown_heuristic_error() {
+        let mut p = lu_project(2);
+        assert!(matches!(
+            p.schedule("MAGIC"),
+            Err(ProjectError::UnknownHeuristic(_))
+        ));
+    }
+
+    #[test]
+    fn speedup_prediction_monotone_for_lu() {
+        let mut p = lu_project(4);
+        let pts = p
+            .predict_speedup(
+                &[
+                    Topology::single(),
+                    Topology::hypercube(1),
+                    Topology::hypercube(2),
+                    Topology::hypercube(3),
+                ],
+                MachineParams {
+                    msg_startup: 0.2,
+                    transmission_rate: 8.0,
+                    ..MachineParams::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].processors, 1);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].speedup >= w[0].speedup - 1e-9,
+                "{:?}",
+                pts
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_comparison_sorted() {
+        let mut p = lu_project(4);
+        let rows = p.compare_heuristics().unwrap();
+        assert_eq!(rows.len(), 8);
+        for w in rows.windows(2) {
+            assert!(w[0].makespan <= w[1].makespan);
+        }
+        // serial must be in the list and never the best on 4 procs for LU.
+        assert!(rows.iter().any(|r| r.heuristic == "serial"));
+    }
+
+    #[test]
+    fn calibrate_from_programs_updates_weights() {
+        let mut p = lu_project(3);
+        let before = p.flatten().unwrap().graph.total_weight();
+        let updated = p.calibrate_from_programs().unwrap();
+        assert_eq!(updated, p.flatten().unwrap().graph.task_count());
+        let after = p.flatten().unwrap().graph.total_weight();
+        assert_ne!(before, after, "static cost estimates should differ from the generator's nominal weights");
+    }
+
+    /// A one-task serial design computing pi by quadrature.
+    fn serial_pi_project() -> Project {
+        let mut design = HierGraph::new("pi");
+        let n = design.add_storage("n", 1.0);
+        let t = design.add_task_with_program("quad", 800.0, "Pi");
+        let out = design.add_storage("p", 1.0);
+        design.add_flow(n, t).unwrap();
+        design.add_flow(t, out).unwrap();
+        let mut p = Project::new("pi", design);
+        p.library_mut()
+            .add_source(
+                "task Pi
+                   in n
+                   out p
+                   local i, x, h
+                 begin
+                   h := 1 / n
+                   p := 0
+                   for i := 1 to n do
+                     x := (i - 0.5) * h
+                     p := p + 4 / (1 + x * x)
+                   end
+                   p := p * h
+                 end",
+            )
+            .unwrap();
+        p.set_machine(Machine::new(
+            Topology::fully_connected(8),
+            MachineParams::default(),
+        ));
+        p
+    }
+
+    #[test]
+    fn parallelize_task_preserves_results_and_gains_speedup() {
+        let inputs: BTreeMap<String, Value> =
+            [("n".to_string(), Value::Num(10_000.0))].into_iter().collect();
+
+        let mut serial = serial_pi_project();
+        let serial_ms = serial.schedule("MH").unwrap().makespan();
+        let serial_out = serial.run(&inputs).unwrap().outputs["p"].clone();
+
+        let mut par = serial_pi_project();
+        let chunk_names = par.parallelize_task("quad", 8).unwrap();
+        assert_eq!(chunk_names.len(), 8);
+        assert_eq!(par.design().depth(), 2, "task became a compound");
+
+        // Same numeric answer.
+        let par_out = par.run(&inputs).unwrap().outputs["p"].clone();
+        let (s, q) = (
+            serial_out.as_num("p").unwrap(),
+            par_out.as_num("p").unwrap(),
+        );
+        assert!((s - q).abs() < 1e-9, "{s} vs {q}");
+        assert!((q - std::f64::consts::PI).abs() < 1e-6);
+
+        // The scheduler can now spread the chunks: much shorter makespan.
+        let par_sched = par.schedule("MH").unwrap();
+        let g = par.flatten().unwrap().graph.clone();
+        par_sched.validate(&g, par.machine().unwrap()).unwrap();
+        assert!(
+            par_sched.makespan() < 0.3 * serial_ms,
+            "parallel {} vs serial {serial_ms}",
+            par_sched.makespan()
+        );
+    }
+
+    #[test]
+    fn parallelize_task_errors() {
+        let mut p = serial_pi_project();
+        assert!(matches!(
+            p.parallelize_task("nosuch", 4),
+            Err(ProjectError::UnknownProgram(_))
+        ));
+        // Non-reduction task is rejected with a graph error.
+        p.library_mut()
+            .add_source("task Plain in n out p begin p := n end")
+            .unwrap();
+        let t = p.design_mut().add_task_with_program("plain", 5.0, "Plain");
+        let _ = t;
+        assert!(matches!(
+            p.parallelize_task("plain", 4),
+            Err(ProjectError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn codegen_paths() {
+        let mut p = lu_project(2);
+        let s = p.schedule("MH").unwrap();
+        let (a, b) = test_system(2);
+        let rust = p.generate_rust(&s, &lu_inputs(&a, &b)).unwrap();
+        assert!(rust.contains("fn main()"));
+        let c = p.generate_c(&s, &lu_inputs(&a, &b)).unwrap();
+        assert!(c.contains("MPI_Init"));
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(short_name("Factor.fan1"), "fan1");
+        assert_eq!(short_name("plain"), "plain");
+        assert_eq!(short_name("A.B.C.deep"), "deep");
+    }
+}

@@ -1,0 +1,328 @@
+//! SVG rendering of Gantt charts and speedup curves — the publishable
+//! form of Banger's graphical displays (Figure 3 showed screenshots; this
+//! module produces the equivalent vector graphics with no external
+//! dependencies).
+
+use crate::chart::SpeedupPoint;
+use crate::project::short_name;
+use banger_machine::ProcId;
+use banger_sched::Schedule;
+use banger_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// A small qualitative palette (hex RGB), cycled per task.
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a schedule as an SVG Gantt chart. Each processor is a row;
+/// task blocks are coloured by task id and carry `<title>` tooltips with
+/// exact times; duplicated copies get a dashed border.
+pub fn gantt_svg(schedule: &Schedule, processors: usize, g: &TaskGraph) -> String {
+    let makespan = schedule.makespan().max(1e-9);
+    let width = 900.0;
+    let row_h = 28.0;
+    let left = 48.0;
+    let top = 34.0;
+    let chart_w = width - left - 16.0;
+    let height = top + processors as f64 * row_h + 30.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{left}" y="18" font-size="13" font-weight="bold">Gantt chart — {} (makespan {:.3})</text>"#,
+        esc(schedule.heuristic()),
+        schedule.makespan()
+    );
+    // Row backgrounds + labels.
+    for p in 0..processors {
+        let y = top + p as f64 * row_h;
+        let _ = writeln!(
+            out,
+            r##"<rect x="{left}" y="{y}" width="{chart_w}" height="{row_h}" fill="{}" stroke="#ddd"/>"##,
+            if p % 2 == 0 { "#fafafa" } else { "#f0f0f0" }
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="8" y="{:.1}">P{p}</text>"#,
+            y + row_h * 0.65
+        );
+    }
+    // Task blocks.
+    for pl in schedule.placements() {
+        let y = top + pl.proc.index() as f64 * row_h + 3.0;
+        let x = left + chart_w * pl.start / makespan;
+        let w = (chart_w * (pl.finish - pl.start) / makespan).max(1.0);
+        let color = PALETTE[pl.task.index() % PALETTE.len()];
+        let dash = if pl.primary { "" } else { r#" stroke-dasharray="4 2""# };
+        let name = short_name(&g.task(pl.task).name);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.2}" y="{y:.1}" width="{w:.2}" height="{:.1}" fill="{color}" stroke="#333"{dash}><title>{} [{:.3}, {:.3}] on P{}</title></rect>"##,
+            row_h - 6.0,
+            esc(&name),
+            pl.start,
+            pl.finish,
+            pl.proc.0
+        );
+        if w > 40.0 {
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.2}" y="{:.1}" fill="#fff">{}</text>"##,
+                x + 4.0,
+                y + (row_h - 6.0) * 0.7,
+                esc(&name)
+            );
+        }
+    }
+    // Time axis.
+    let axis_y = top + processors as f64 * row_h + 16.0;
+    for i in 0..=4 {
+        let t = makespan * i as f64 / 4.0;
+        let x = left + chart_w * i as f64 / 4.0;
+        let _ = writeln!(
+            out,
+            r##"<text x="{x:.1}" y="{axis_y}" text-anchor="middle" fill="#555">{t:.1}</text>"##
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a speedup curve (with the ideal linear line) as SVG.
+pub fn speedup_svg(title: &str, points: &[SpeedupPoint]) -> String {
+    let width = 460.0;
+    let height = 320.0;
+    let left = 44.0;
+    let bottom = height - 36.0;
+    let top = 30.0;
+    let right = width - 16.0;
+    let max_p = points
+        .iter()
+        .map(|p| p.processors as f64)
+        .fold(1.0f64, f64::max);
+
+    let x_of = |procs: f64| left + (right - left) * procs / max_p;
+    let y_of = |s: f64| bottom - (bottom - top) * s / max_p;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{left}" y="18" font-size="13" font-weight="bold">{}</text>"#,
+        esc(title)
+    );
+    // Axes.
+    let _ = writeln!(
+        out,
+        r##"<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" stroke="#333"/>"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" stroke="#333"/>"##
+    );
+    // Ideal line.
+    let _ = writeln!(
+        out,
+        r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-dasharray="5 4"/>"##,
+        x_of(0.0),
+        y_of(0.0),
+        x_of(max_p),
+        y_of(max_p)
+    );
+    // Curve.
+    if !points.is_empty() {
+        let path: Vec<String> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                format!(
+                    "{}{:.1},{:.1}",
+                    if i == 0 { "M" } else { "L" },
+                    x_of(p.processors as f64),
+                    y_of(p.speedup)
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            r##"<path d="{}" fill="none" stroke="#4e79a7" stroke-width="2"/>"##,
+            path.join(" ")
+        );
+        for p in points {
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="#4e79a7"><title>{} processors: {:.2}x</title></circle>"##,
+                x_of(p.processors as f64),
+                y_of(p.speedup),
+                p.processors,
+                p.speedup
+            );
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" fill="#555">{}</text>"##,
+                x_of(p.processors as f64),
+                bottom + 14.0,
+                p.processors
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        r##"<text x="10" y="{:.1}" fill="#555" transform="rotate(-90 10 {:.1})">speedup</text>"##,
+        (top + bottom) / 2.0,
+        (top + bottom) / 2.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Per-processor utilisation bars for a schedule, as SVG.
+pub fn utilization_svg(schedule: &Schedule, processors: usize) -> String {
+    let makespan = schedule.makespan().max(1e-9);
+    let width = 460.0;
+    let row_h = 22.0;
+    let left = 44.0;
+    let top = 30.0;
+    let chart_w = width - left - 60.0;
+    let height = top + processors as f64 * row_h + 12.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{left}" y="18" font-size="13" font-weight="bold">Processor utilisation — {}</text>"#,
+        esc(schedule.heuristic())
+    );
+    for p in 0..processors {
+        let busy = schedule.busy_time(ProcId(p as u32));
+        let frac = (busy / makespan).clamp(0.0, 1.0);
+        let y = top + p as f64 * row_h;
+        let _ = writeln!(out, r#"<text x="8" y="{:.1}">P{p}</text>"#, y + row_h * 0.7);
+        let _ = writeln!(
+            out,
+            r##"<rect x="{left}" y="{y}" width="{chart_w}" height="{:.1}" fill="#eee"/>"##,
+            row_h - 6.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect x="{left}" y="{y}" width="{:.2}" height="{:.1}" fill="#59a14f"/>"##,
+            chart_w * frac,
+            row_h - 6.0
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" fill="#333">{:.0}%</text>"##,
+            left + chart_w + 6.0,
+            y + row_h * 0.7,
+            100.0 * frac
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_machine::{Machine, MachineParams, Topology};
+    use banger_taskgraph::generators;
+
+    fn sample() -> (TaskGraph, Machine, Schedule) {
+        let g = generators::gauss_elimination(5, 2.0, 1.0);
+        let m = Machine::new(Topology::hypercube(2), MachineParams::default());
+        let s = banger_sched::mh::mh(&g, &m);
+        (g, m, s)
+    }
+
+    fn well_formed(svg: &str) {
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Every opened tag family is balanced for the ones we emit paired.
+        for tag in ["<svg", "<title>"] {
+            let open = svg.matches(tag).count();
+            let close_tag = if tag == "<svg" { "</svg>" } else { "</title>" };
+            assert_eq!(open, svg.matches(close_tag).count(), "{tag}");
+        }
+    }
+
+    #[test]
+    fn gantt_svg_structure() {
+        let (g, m, s) = sample();
+        let svg = gantt_svg(&s, m.processors(), &g);
+        well_formed(&svg);
+        assert!(svg.contains("Gantt chart"));
+        assert!(svg.contains("fan1"));
+        // One block per placement.
+        assert_eq!(
+            svg.matches("<title>").count(),
+            s.placements().len(),
+            "{svg}"
+        );
+    }
+
+    #[test]
+    fn speedup_svg_structure() {
+        let pts = vec![
+            SpeedupPoint { processors: 1, speedup: 1.0 },
+            SpeedupPoint { processors: 2, speedup: 1.8 },
+            SpeedupPoint { processors: 4, speedup: 2.9 },
+        ];
+        let svg = speedup_svg("LU speedup", &pts);
+        well_formed(&svg);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("LU speedup"));
+        assert!(svg.contains("stroke-dasharray"), "ideal line present");
+    }
+
+    #[test]
+    fn utilization_svg_structure() {
+        let (_, m, s) = sample();
+        let svg = utilization_svg(&s, m.processors());
+        well_formed(&svg);
+        assert!(svg.contains("utilisation"));
+        assert!(svg.contains('%'));
+    }
+
+    #[test]
+    fn duplicates_rendered_dashed() {
+        let g = generators::fork_join(4, 2.0, 10.0, 2.0, 15.0);
+        let m = Machine::new(
+            Topology::fully_connected(4),
+            MachineParams {
+                msg_startup: 1.0,
+                ..MachineParams::default()
+            },
+        );
+        let s = banger_sched::dsh::dsh(&g, &m);
+        let svg = gantt_svg(&s, m.processors(), &g);
+        if s.placements().iter().any(|p| !p.primary) {
+            assert!(svg.contains("stroke-dasharray"), "{svg}");
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        let mut g = TaskGraph::new("x");
+        g.add_task("a<b>&c", 5.0);
+        let m = Machine::new(Topology::single(), MachineParams::default());
+        let s = banger_sched::list::serial(&g, &m);
+        let svg = gantt_svg(&s, 1, &g);
+        assert!(!svg.contains("a<b>"), "must escape angle brackets");
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # banger-exec — the large-grain parallel runtime
+//!
+//! Everything up to here *plans*; this crate *runs*. A flattened Banger
+//! design plus a [`ProgramLibrary`](banger_calc::ProgramLibrary) of PITS
+//! routines executes on real host threads: each task's interpreter run is
+//! one large grain, values flow along the dataflow arcs, and precedence is
+//! enforced with dependence counting — the shared-memory stand-in for the
+//! paper's target message-passing machines (the code generators in
+//! `banger-codegen` emit the true message-passing form).
+//!
+//! Two dispatch modes:
+//!
+//! * [`ExecMode::Greedy`] — work-conserving pool: any idle worker takes
+//!   any ready task (what a dynamic runtime would do);
+//! * [`ExecMode::Pinned`] — schedule-driven: worker *i* plays processor
+//!   *i* of a [`Schedule`](banger_sched::Schedule) and executes exactly
+//!   its placements in predicted start order, including duplicated
+//!   copies. This is "run the Gantt chart".
+//!
+//! All synchronisation uses `crossbeam` channels plus a `parking_lot`
+//! mutex/condvar pair around the results store; workers never busy-wait.
+
+pub mod runner;
+
+pub use runner::{
+    execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun,
+};

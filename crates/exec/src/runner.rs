@@ -1,0 +1,818 @@
+//! The threaded executor.
+
+use banger_calc::{interp, InterpConfig, Program, ProgramLibrary, RunError, Value};
+use banger_sched::Schedule;
+use banger_taskgraph::hierarchy::Flattened;
+use banger_taskgraph::{TaskGraph, TaskId};
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How tasks are dispatched to workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecMode {
+    /// Work-conserving pool with `workers` threads (0 = one per available
+    /// core).
+    Greedy {
+        /// Thread count; 0 picks `std::thread::available_parallelism`.
+        workers: usize,
+    },
+    /// Follow a schedule: worker *i* executes processor *i*'s placements
+    /// in predicted start order (duplicated copies included).
+    Pinned(Schedule),
+}
+
+/// Executor options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOptions {
+    /// Dispatch mode.
+    pub mode: ExecMode,
+    /// Interpreter configuration for each task body.
+    pub interp: InterpConfig,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            mode: ExecMode::Greedy { workers: 0 },
+            interp: InterpConfig::default(),
+        }
+    }
+}
+
+/// Timing record of one executed task copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRun {
+    /// The task.
+    pub task: TaskId,
+    /// Worker index that ran it.
+    pub worker: usize,
+    /// Start offset from execution begin.
+    pub start: Duration,
+    /// Finish offset from execution begin.
+    pub finish: Duration,
+    /// Interpreter operation count (a measured weight).
+    pub ops: u64,
+}
+
+/// The result of executing a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecReport {
+    /// Values of the design's external output ports.
+    pub outputs: BTreeMap<String, Value>,
+    /// Per-task-copy timing, in completion order.
+    pub runs: Vec<TaskRun>,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// `print` lines from all tasks, tagged with the producing task.
+    pub prints: Vec<(TaskId, String)>,
+}
+
+impl ExecReport {
+    /// Measured operation count per task (max over copies), usable as
+    /// calibrated weights for re-scheduling.
+    pub fn measured_weights(&self, n_tasks: usize) -> Vec<f64> {
+        let mut w = vec![0.0f64; n_tasks];
+        for r in &self.runs {
+            w[r.task.index()] = w[r.task.index()].max(r.ops as f64);
+        }
+        w
+    }
+}
+
+/// Executor failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A task node carries no program name.
+    NoProgram(String),
+    /// A program name is not in the library.
+    UnknownProgram(String),
+    /// A program input has no producing arc and no external input.
+    UnboundInput {
+        /// Task name.
+        task: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// A producing task did not emit the output an arc carries.
+    MissingArcValue {
+        /// Producer task name.
+        producer: String,
+        /// Arc label / variable.
+        var: String,
+    },
+    /// The interpreter failed inside a task.
+    Run {
+        /// Task name.
+        task: String,
+        /// The underlying error.
+        error: RunError,
+    },
+    /// The graph is cyclic.
+    Cyclic,
+    /// Pinned mode: the schedule does not cover the graph.
+    BadSchedule(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoProgram(t) => write!(f, "task {t:?} has no attached program"),
+            ExecError::UnknownProgram(p) => write!(f, "program {p:?} not found in library"),
+            ExecError::UnboundInput { task, var } => {
+                write!(f, "task {task:?}: input {var:?} has no producer and no external value")
+            }
+            ExecError::MissingArcValue { producer, var } => {
+                write!(f, "task {producer:?} did not produce output {var:?} required by an arc")
+            }
+            ExecError::Run { task, error } => write!(f, "task {task:?} failed: {error}"),
+            ExecError::Cyclic => write!(f, "design graph is cyclic"),
+            ExecError::BadSchedule(m) => write!(f, "bad schedule for pinned execution: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Published outputs of one task, shared between workers.
+type TaskOutputs = Arc<BTreeMap<String, Value>>;
+
+/// Shared results store: task outputs plus a condvar for pinned-mode
+/// waiting.
+struct Store {
+    /// `outputs[t]` is `Some` once any copy of `t` completed.
+    outputs: Mutex<Vec<Option<TaskOutputs>>>,
+    ready: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Store {
+    fn new(n: usize) -> Self {
+        Store {
+            outputs: Mutex::new(vec![None; n]),
+            ready: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn publish(&self, t: TaskId, vals: BTreeMap<String, Value>) {
+        let mut lock = self.outputs.lock();
+        if lock[t.index()].is_none() {
+            lock[t.index()] = Some(Arc::new(vals));
+        }
+        self.ready.notify_all();
+    }
+
+    fn get(&self, t: TaskId) -> Option<TaskOutputs> {
+        self.outputs.lock()[t.index()].clone()
+    }
+
+    /// Blocks until every task in `tasks` has published (pinned mode).
+    /// Returns false if execution was poisoned meanwhile.
+    fn wait_for(&self, tasks: &[TaskId]) -> bool {
+        let mut lock = self.outputs.lock();
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return false;
+            }
+            if tasks.iter().all(|t| lock[t.index()].is_some()) {
+                return true;
+            }
+            self.ready.wait(&mut lock);
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// Resolves the program attached to a task.
+fn program_of<'l>(
+    g: &TaskGraph,
+    lib: &'l ProgramLibrary,
+    t: TaskId,
+) -> Result<&'l Program, ExecError> {
+    let task = g.task(t);
+    let name = task
+        .program
+        .as_deref()
+        .ok_or_else(|| ExecError::NoProgram(task.name.clone()))?;
+    lib.get(name)
+        .ok_or_else(|| ExecError::UnknownProgram(name.to_string()))
+}
+
+/// Gathers a task's interpreter inputs from producing arcs and external
+/// port values.
+fn gather_inputs(
+    g: &TaskGraph,
+    t: TaskId,
+    prog: &Program,
+    store: &Store,
+    external: &BTreeMap<String, Value>,
+) -> Result<BTreeMap<String, Value>, ExecError> {
+    let mut inputs = BTreeMap::new();
+    'vars: for var in &prog.inputs {
+        // An arc labelled with the variable name supplies it...
+        for &e in g.in_edges(t) {
+            let edge = g.edge(e);
+            if &edge.label == var {
+                let produced = store
+                    .get(edge.src)
+                    .expect("predecessor must have completed");
+                let v = produced.get(var).ok_or_else(|| ExecError::MissingArcValue {
+                    producer: g.task(edge.src).name.clone(),
+                    var: var.clone(),
+                })?;
+                inputs.insert(var.clone(), v.clone());
+                continue 'vars;
+            }
+        }
+        // ... otherwise the design's external inputs must.
+        if let Some(v) = external.get(var) {
+            inputs.insert(var.clone(), v.clone());
+            continue 'vars;
+        }
+        return Err(ExecError::UnboundInput {
+            task: g.task(t).name.clone(),
+            var: var.clone(),
+        });
+    }
+    Ok(inputs)
+}
+
+/// Executes the flattened design. `external` supplies values for the
+/// design's input ports (by variable name); the report's `outputs` carries
+/// the output-port values.
+pub fn execute(
+    design: &Flattened,
+    lib: &ProgramLibrary,
+    external: &BTreeMap<String, Value>,
+    options: &ExecOptions,
+) -> Result<ExecReport, ExecError> {
+    let g = &design.graph;
+    if !g.is_dag() {
+        return Err(ExecError::Cyclic);
+    }
+    // Pre-flight: every task resolves to a program (fail fast, not
+    // mid-run).
+    for t in g.task_ids() {
+        program_of(g, lib, t)?;
+    }
+
+    let store = Store::new(g.task_count());
+    let epoch = Instant::now();
+    let ctx = Ctx {
+        g,
+        lib,
+        external,
+        options,
+        store: &store,
+        epoch,
+    };
+
+    let report_core = match &options.mode {
+        ExecMode::Greedy { workers } => {
+            let n = if *workers == 0 {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            } else {
+                *workers
+            };
+            run_greedy(&ctx, n)?
+        }
+        ExecMode::Pinned(schedule) => run_pinned(&ctx, schedule)?,
+    };
+
+    let (runs, prints) = report_core;
+    let mut outputs = BTreeMap::new();
+    for port in &design.outputs {
+        // The port's producing tasks all emit the variable; take the first.
+        let t = port.tasks[0];
+        let vals = store.get(t).expect("all tasks completed");
+        let v = vals
+            .get(&port.var)
+            .ok_or_else(|| ExecError::MissingArcValue {
+                producer: g.task(t).name.clone(),
+                var: port.var.clone(),
+            })?;
+        outputs.insert(port.var.clone(), v.clone());
+    }
+    Ok(ExecReport {
+        outputs,
+        runs,
+        wall: epoch.elapsed(),
+        prints,
+    })
+}
+
+type Runs = (Vec<TaskRun>, Vec<(TaskId, String)>);
+
+/// Everything a worker needs, bundled so dispatch code stays readable.
+struct Ctx<'a> {
+    g: &'a TaskGraph,
+    lib: &'a ProgramLibrary,
+    external: &'a BTreeMap<String, Value>,
+    options: &'a ExecOptions,
+    store: &'a Store,
+    epoch: Instant,
+}
+
+/// One worker executing one task copy; shared by both modes.
+fn run_one(
+    ctx: &Ctx<'_>,
+    worker: usize,
+    t: TaskId,
+) -> Result<(TaskRun, Vec<(TaskId, String)>), ExecError> {
+    let (g, lib, store) = (ctx.g, ctx.lib, ctx.store);
+    let prog = program_of(g, lib, t)?;
+    let inputs = gather_inputs(g, t, prog, store, ctx.external)?;
+    let start = ctx.epoch.elapsed();
+    let outcome = interp::run_with(prog, &inputs, ctx.options.interp).map_err(|error| {
+        ExecError::Run {
+            task: g.task(t).name.clone(),
+            error,
+        }
+    })?;
+    let finish = ctx.epoch.elapsed();
+    let prints = outcome
+        .prints
+        .iter()
+        .map(|s| (t, s.clone()))
+        .collect::<Vec<_>>();
+    store.publish(t, outcome.outputs);
+    Ok((
+        TaskRun {
+            task: t,
+            worker,
+            start,
+            finish,
+            ops: outcome.ops,
+        },
+        prints,
+    ))
+}
+
+fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
+    let g = ctx.g;
+    let (task_tx, task_rx) = channel::unbounded::<TaskId>();
+    let (done_tx, done_rx) =
+        channel::unbounded::<Result<(TaskRun, Vec<(TaskId, String)>), ExecError>>();
+
+    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
+    let mut outstanding = 0usize;
+    for t in g.task_ids() {
+        if indeg[t.index()] == 0 {
+            task_tx.send(t).expect("channel open");
+            outstanding += 1;
+        }
+    }
+    let total = g.task_count();
+    let mut completed = 0usize;
+    let mut runs = Vec::with_capacity(total);
+    let mut prints = Vec::new();
+    let mut first_error: Option<ExecError> = None;
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let task_rx = task_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok(t) = task_rx.recv() {
+                    if ctx.store.poisoned.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let r = run_one(ctx, w, t);
+                    if done_tx.send(r).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(done_tx);
+
+        while completed < total && outstanding > 0 {
+            let msg = done_rx.recv().expect("workers alive");
+            outstanding -= 1;
+            match msg {
+                Ok((run, p)) => {
+                    let t = run.task;
+                    runs.push(run);
+                    prints.extend(p);
+                    completed += 1;
+                    for s in g.successors(t) {
+                        let d = &mut indeg[s.index()];
+                        *d -= 1;
+                        if *d == 0 {
+                            task_tx.send(s).expect("channel open");
+                            outstanding += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    ctx.store.poison();
+                    break;
+                }
+            }
+        }
+        // Closing the task channel lets workers drain and exit.
+        drop(task_tx);
+    });
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    // Stable order for reproducible reports.
+    runs.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
+    prints.sort_by_key(|a| a.0);
+    Ok((runs, prints))
+}
+
+fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
+    let g = ctx.g;
+    // Per-worker ordered copy lists.
+    let mut max_proc = 0usize;
+    for p in schedule.placements() {
+        max_proc = max_proc.max(p.proc.index() + 1);
+    }
+    for t in g.task_ids() {
+        if schedule.placements_of(t).is_empty() {
+            return Err(ExecError::BadSchedule(format!(
+                "task {} is not placed",
+                g.task(t).name
+            )));
+        }
+    }
+    let mut queues: Vec<Vec<(f64, TaskId)>> = vec![Vec::new(); max_proc];
+    for p in schedule.placements() {
+        queues[p.proc.index()].push((p.start, p.task));
+    }
+    for q in &mut queues {
+        q.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+
+    let results: Mutex<Runs> = Mutex::new((Vec::new(), Vec::new()));
+    let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for (w, queue) in queues.iter().enumerate() {
+            let results = &results;
+            let first_error = &first_error;
+            scope.spawn(move || {
+                for &(_, t) in queue {
+                    // Wait for every predecessor to publish.
+                    let preds: Vec<TaskId> = g.predecessors(t).collect();
+                    if !ctx.store.wait_for(&preds) {
+                        return; // poisoned
+                    }
+                    match run_one(ctx, w, t) {
+                        Ok((run, p)) => {
+                            let mut lock = results.lock();
+                            lock.0.push(run);
+                            lock.1.extend(p);
+                        }
+                        Err(e) => {
+                            let mut lock = first_error.lock();
+                            if lock.is_none() {
+                                *lock = Some(e);
+                            }
+                            ctx.store.poison();
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner() {
+        return Err(e);
+    }
+    let (mut runs, mut prints) = results.into_inner();
+    runs.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
+    prints.sort_by_key(|a| a.0);
+    Ok((runs, prints))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_machine::{Machine, MachineParams, Topology};
+    use banger_taskgraph::hierarchy::HierGraph;
+
+    /// A three-stage pipeline design:
+    ///   a(in) -> double -> buf(storage) -> addone -> x(out)
+    fn pipeline() -> (Flattened, ProgramLibrary) {
+        let mut h = HierGraph::new("pipe");
+        let a = h.add_storage("a", 1.0);
+        let t1 = h.add_task_with_program("double", 2.0, "Double");
+        let buf = h.add_storage("d", 1.0);
+        let t2 = h.add_task_with_program("addone", 2.0, "AddOne");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(a, t1).unwrap();
+        h.add_flow(t1, buf).unwrap();
+        h.add_flow(buf, t2).unwrap();
+        h.add_flow(t2, x).unwrap();
+        let f = h.flatten().unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Double in a out d begin d := a * 2 end")
+            .unwrap();
+        lib.add_source("task AddOne in d out x begin x := d + 1 end")
+            .unwrap();
+        (f, lib)
+    }
+
+    fn ext(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_computes() {
+        let (f, lib) = pipeline();
+        let report = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(5.0))]),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.outputs["x"], Value::Num(11.0));
+        assert_eq!(report.runs.len(), 2);
+        assert!(report.runs.iter().all(|r| r.ops > 0));
+    }
+
+    #[test]
+    fn single_worker_matches_parallel() {
+        let (f, lib) = pipeline();
+        let one = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(7.0))]),
+            &ExecOptions {
+                mode: ExecMode::Greedy { workers: 1 },
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let many = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(7.0))]),
+            &ExecOptions {
+                mode: ExecMode::Greedy { workers: 4 },
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.outputs, many.outputs);
+    }
+
+    /// A wide fan: one source, N independent squarers, one summer.
+    fn fan(n: usize) -> (Flattened, ProgramLibrary) {
+        let mut h = HierGraph::new("fan");
+        let a = h.add_storage("a", 1.0);
+        let src = h.add_task_with_program("spread", 1.0, "Spread");
+        h.add_flow(a, src).unwrap();
+        let sum = h.add_task_with_program("collect", 1.0, "Collect");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(sum, x).unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Spread in a out s begin s := a end")
+            .unwrap();
+        // Each worker squares s then adds its index; Collect sums k inputs.
+        let mut collect_ins = Vec::new();
+        for i in 0..n {
+            let w = h.add_task_with_program(format!("w{i}"), 5.0, format!("W{i}"));
+            h.add_arc(src, w, "s", 1.0).unwrap();
+            h.add_arc(w, sum, format!("r{i}"), 1.0).unwrap();
+            lib.add_source(&format!(
+                "task W{i} in s out r{i} begin r{i} := s * s + {i} end"
+            ))
+            .unwrap();
+            collect_ins.push(format!("r{i}"));
+        }
+        let body: String = collect_ins
+            .iter()
+            .map(|v| format!("x := x + {v} "))
+            .collect();
+        lib.add_source(&format!(
+            "task Collect in {} out x begin x := 0 {body} end",
+            collect_ins.join(", ")
+        ))
+        .unwrap();
+        (h.flatten().unwrap(), lib)
+    }
+
+    #[test]
+    fn fan_out_fan_in_all_modes() {
+        let (f, lib) = fan(8);
+        let want = {
+            // sum of (a^2 + i) for i in 0..8 with a = 3 => 8*9 + 28 = 100
+            Value::Num(100.0)
+        };
+        for workers in [1, 2, 8] {
+            let r = execute(
+                &f,
+                &lib,
+                &ext(&[("a", Value::Num(3.0))]),
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers },
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.outputs["x"], want, "workers={workers}");
+            assert_eq!(r.runs.len(), 10);
+        }
+    }
+
+    #[test]
+    fn pinned_mode_follows_schedule() {
+        let (f, lib) = fan(6);
+        let m = Machine::new(Topology::fully_connected(3), MachineParams::default());
+        let s = banger_sched::list::etf(&f.graph, &m);
+        let r = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(2.0))]),
+            &ExecOptions {
+                mode: ExecMode::Pinned(s.clone()),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        // 6*(4) + 15 = 39
+        assert_eq!(r.outputs["x"], Value::Num(39.0));
+        // Workers used match the schedule's processors.
+        for run in &r.runs {
+            let placed = s
+                .placements_of(run.task)
+                .iter()
+                .map(|p| p.proc.index())
+                .collect::<Vec<_>>();
+            assert!(placed.contains(&run.worker), "task {}", run.task);
+        }
+    }
+
+    #[test]
+    fn pinned_mode_executes_duplicates() {
+        let (f, lib) = fan(4);
+        let m = Machine::new(
+            Topology::fully_connected(4),
+            MachineParams {
+                msg_startup: 5.0,
+                ..MachineParams::default()
+            },
+        );
+        let s = banger_sched::dsh::dsh(&f.graph, &m);
+        let copies = s.placements().len();
+        let r = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(2.0))]),
+            &ExecOptions {
+                mode: ExecMode::Pinned(s),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.runs.len(), copies);
+        assert_eq!(r.outputs["x"], Value::Num(22.0)); // 4*4 + 6
+    }
+
+    #[test]
+    fn missing_program_fails_fast() {
+        let mut h = HierGraph::new("bad");
+        h.add_task("orphan", 1.0); // no program attached
+        let f = h.flatten().unwrap();
+        let lib = ProgramLibrary::new();
+        let err = execute(&f, &lib, &BTreeMap::new(), &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, ExecError::NoProgram(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_program_fails_fast() {
+        let mut h = HierGraph::new("bad");
+        h.add_task_with_program("t", 1.0, "NoSuch");
+        let f = h.flatten().unwrap();
+        let lib = ProgramLibrary::new();
+        let err = execute(&f, &lib, &BTreeMap::new(), &ExecOptions::default()).unwrap_err();
+        assert_eq!(err, ExecError::UnknownProgram("NoSuch".into()));
+    }
+
+    #[test]
+    fn unbound_input_reported() {
+        let (f, lib) = pipeline();
+        let err = execute(&f, &lib, &BTreeMap::new(), &ExecOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, ExecError::UnboundInput { ref var, .. } if var == "a"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn runtime_error_propagates_and_stops() {
+        let mut h = HierGraph::new("boom");
+        let a = h.add_storage("a", 1.0);
+        let t = h.add_task_with_program("bad", 1.0, "Bad");
+        let u = h.add_task_with_program("after", 1.0, "After");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(a, t).unwrap();
+        h.add_arc(t, u, "b", 1.0).unwrap();
+        h.add_flow(u, x).unwrap();
+        let mut lib = ProgramLibrary::new();
+        // Bad reads an undefined variable.
+        lib.add_source("task Bad in a out b begin b := nodef end")
+            .unwrap();
+        lib.add_source("task After in b out x begin x := b end")
+            .unwrap();
+        let err = execute(
+            &h.flatten().unwrap(),
+            &lib,
+            &ext(&[("a", Value::Num(1.0))]),
+            &ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::Run { ref task, .. } if task == "bad"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn step_limit_enforced_per_task() {
+        let mut h = HierGraph::new("spin");
+        let t = h.add_task_with_program("spin", 1.0, "Spin");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(t, x).unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Spin out x begin x := 0 while 1 do x := x + 1 end end")
+            .unwrap();
+        let err = execute(
+            &h.flatten().unwrap(),
+            &lib,
+            &BTreeMap::new(),
+            &ExecOptions {
+                interp: InterpConfig { max_steps: 5_000 },
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::Run {
+                    error: RunError::StepLimit(_),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn measured_weights_returned() {
+        let (f, lib) = fan(4);
+        let r = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(2.0))]),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let w = r.measured_weights(f.graph.task_count());
+        assert_eq!(w.len(), f.graph.task_count());
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn prints_tagged_by_task() {
+        let mut h = HierGraph::new("p");
+        let t = h.add_task_with_program("talker", 1.0, "Talk");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(t, x).unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Talk out x begin print 42 x := 1 end")
+            .unwrap();
+        let r = execute(
+            &h.flatten().unwrap(),
+            &lib,
+            &BTreeMap::new(),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.prints.len(), 1);
+        assert_eq!(r.prints[0].1, "42");
+    }
+}

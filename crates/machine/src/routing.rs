@@ -1,0 +1,249 @@
+//! All-pairs shortest-path routing over a topology.
+//!
+//! Distances and next-hop tables are computed by one BFS per processor
+//! (links are unweighted). The scheduler uses hop counts to price
+//! communication; the discrete-event simulator uses full [`RoutingTable::path`]s
+//! to occupy individual links and model contention.
+
+use crate::topology::{ProcId, Topology};
+
+/// Dense all-pairs hop-count and next-hop tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTable {
+    n: usize,
+    /// `dist[s * n + d]` = hops from `s` to `d`; `u32::MAX` if unreachable.
+    dist: Vec<u32>,
+    /// `next[s * n + d]` = neighbour of `s` on a shortest path to `d`;
+    /// `u32::MAX` when `s == d` or unreachable.
+    next: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Builds the table with one BFS per source. Deterministic: ties are
+    /// broken toward lower processor ids (neighbour lists are sorted).
+    pub fn build(topo: &Topology) -> Self {
+        let n = topo.processors();
+        let mut dist = vec![u32::MAX; n * n];
+        let mut next = vec![u32::MAX; n * n];
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        for s in 0..n {
+            let row = s * n;
+            dist[row + s] = 0;
+            queue.clear();
+            queue.push_back(ProcId(s as u32));
+            while let Some(u) = queue.pop_front() {
+                let du = dist[row + u.index()];
+                for &v in topo.neighbors(u) {
+                    if dist[row + v.index()] == u32::MAX {
+                        dist[row + v.index()] = du + 1;
+                        // First hop toward v: if u is the source, the first
+                        // hop is v itself; otherwise inherit u's first hop.
+                        next[row + v.index()] = if u.index() == s {
+                            v.0
+                        } else {
+                            next[row + u.index()]
+                        };
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        RoutingTable { n, dist, next }
+    }
+
+    /// Number of processors covered.
+    pub fn processors(&self) -> usize {
+        self.n
+    }
+
+    /// Hop count from `s` to `d`; `None` when unreachable.
+    #[inline]
+    pub fn hops(&self, s: ProcId, d: ProcId) -> Option<u32> {
+        let h = self.dist[s.index() * self.n + d.index()];
+        (h != u32::MAX).then_some(h)
+    }
+
+    /// The network diameter (max finite hop count); `None` for a
+    /// disconnected machine.
+    pub fn diameter(&self) -> Option<u32> {
+        let mut best = 0;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let h = self.dist[s * self.n + d];
+                if h == u32::MAX {
+                    return None;
+                }
+                best = best.max(h);
+            }
+        }
+        Some(best)
+    }
+
+    /// Average hop distance over all ordered pairs of distinct processors.
+    pub fn mean_distance(&self) -> f64 {
+        if self.n <= 1 {
+            return 0.0;
+        }
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d {
+                    let h = self.dist[s * self.n + d];
+                    if h != u32::MAX {
+                        sum += h as u64;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// The full shortest path from `s` to `d`, inclusive of both endpoints.
+    /// Empty when unreachable; `[s]` when `s == d`.
+    pub fn path(&self, s: ProcId, d: ProcId) -> Vec<ProcId> {
+        if s == d {
+            return vec![s];
+        }
+        if self.hops(s, d).is_none() {
+            return Vec::new();
+        }
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != d {
+            let nxt = self.next[cur.index() * self.n + d.index()];
+            debug_assert_ne!(nxt, u32::MAX);
+            cur = ProcId(nxt);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// The directed links `(a, b)` traversed by the shortest path `s -> d`.
+    pub fn links(&self, s: ProcId, d: ProcId) -> Vec<(ProcId, ProcId)> {
+        let p = self.path(s, d);
+        p.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn hypercube_hops_equal_hamming_distance() {
+        let t = Topology::hypercube(4);
+        let r = RoutingTable::build(&t);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                assert_eq!(r.hops(ProcId(s), ProcId(d)), Some((s ^ d).count_ones()));
+            }
+        }
+        assert_eq!(r.diameter(), Some(4));
+    }
+
+    #[test]
+    fn mesh_manhattan_distance() {
+        let t = Topology::mesh(3, 5);
+        let r = RoutingTable::build(&t);
+        let id = |row: u32, col: u32| ProcId(row * 5 + col);
+        assert_eq!(r.hops(id(0, 0), id(2, 4)), Some(6));
+        assert_eq!(r.diameter(), Some(6));
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let t = Topology::star(8);
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.diameter(), Some(2));
+        assert_eq!(r.hops(ProcId(3), ProcId(5)), Some(2));
+        assert_eq!(r.path(ProcId(3), ProcId(5)), vec![ProcId(3), ProcId(0), ProcId(5)]);
+    }
+
+    #[test]
+    fn fully_connected_diameter_one() {
+        let t = Topology::fully_connected(5);
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.diameter(), Some(1));
+        assert!((r.mean_distance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::ring(6);
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.hops(ProcId(0), ProcId(5)), Some(1));
+        assert_eq!(r.hops(ProcId(0), ProcId(3)), Some(3));
+        assert_eq!(r.diameter(), Some(3));
+    }
+
+    #[test]
+    fn paths_are_consistent_with_hops() {
+        for t in [
+            Topology::hypercube(3),
+            Topology::mesh(3, 3),
+            Topology::tree(2, 3),
+            Topology::ring(7),
+        ] {
+            let r = RoutingTable::build(&t);
+            for s in t.proc_ids() {
+                for d in t.proc_ids() {
+                    let p = r.path(s, d);
+                    assert_eq!(p.len() as u32 - 1, r.hops(s, d).unwrap(), "{s}->{d}");
+                    assert_eq!(p.first(), Some(&s));
+                    assert_eq!(p.last(), Some(&d));
+                    // every step is a real link
+                    for w in p.windows(2) {
+                        assert!(t.neighbors(w[0]).contains(&w[1]), "{:?}", w);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_path() {
+        let t = Topology::mesh(2, 2);
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.path(ProcId(1), ProcId(1)), vec![ProcId(1)]);
+        assert!(r.links(ProcId(1), ProcId(1)).is_empty());
+        assert_eq!(r.hops(ProcId(1), ProcId(1)), Some(0));
+    }
+
+    #[test]
+    fn disconnected_machine() {
+        let t = Topology::from_edges("x", 4, &[(0, 1), (2, 3)]).unwrap();
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.hops(ProcId(0), ProcId(2)), None);
+        assert_eq!(r.diameter(), None);
+        assert!(r.path(ProcId(0), ProcId(2)).is_empty());
+    }
+
+    #[test]
+    fn links_direction() {
+        let t = Topology::linear(4);
+        let r = RoutingTable::build(&t);
+        assert_eq!(
+            r.links(ProcId(0), ProcId(3)),
+            vec![
+                (ProcId(0), ProcId(1)),
+                (ProcId(1), ProcId(2)),
+                (ProcId(2), ProcId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_processor_table() {
+        let t = Topology::single();
+        let r = RoutingTable::build(&t);
+        assert_eq!(r.diameter(), Some(0));
+        assert_eq!(r.mean_distance(), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Lower bounds on schedule length, used to report heuristic quality
+//! (makespan / lower-bound ratios in the comparison tables).
+
+use banger_machine::Machine;
+use banger_taskgraph::TaskGraph;
+
+/// The critical-path bound: the heaviest computation-only path, executed
+/// on the fastest processor with free communication. No schedule on `m`
+/// can finish sooner.
+pub fn critical_path_bound(g: &TaskGraph, m: &Machine) -> f64 {
+    let fastest = m
+        .proc_ids()
+        .map(|p| m.relative_speed(p))
+        .fold(0.0f64, f64::max);
+    let speed = m.params().processor_speed * fastest;
+    let order = match g.topo_order() {
+        Ok(o) => o,
+        Err(_) => return f64::INFINITY,
+    };
+    let mut finish = vec![0.0f64; g.task_count()];
+    let mut best = 0.0f64;
+    for t in order {
+        let start = g
+            .predecessors(t)
+            .map(|p| finish[p.index()])
+            .fold(0.0f64, f64::max);
+        finish[t.index()] =
+            start + m.params().process_startup + g.task(t).weight / speed;
+        best = best.max(finish[t.index()]);
+    }
+    best
+}
+
+/// The work bound: total computation divided by the machine's aggregate
+/// speed. Even perfect load balance cannot beat it.
+pub fn work_bound(g: &TaskGraph, m: &Machine) -> f64 {
+    let aggregate: f64 = m
+        .proc_ids()
+        .map(|p| m.params().processor_speed * m.relative_speed(p))
+        .sum();
+    let startup_total = m.params().process_startup * g.task_count() as f64;
+    (g.total_weight() + 0.0) / aggregate + startup_total / m.processors() as f64
+}
+
+/// The tighter of the two bounds.
+pub fn lower_bound(g: &TaskGraph, m: &Machine) -> f64 {
+    critical_path_bound(g, m).max(work_bound(g, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{etf, hlfet};
+    use crate::mh::mh;
+    use banger_machine::{MachineParams, ProcId, Topology};
+    use banger_taskgraph::generators;
+
+    #[test]
+    fn cp_bound_on_chain() {
+        let g = generators::chain(4, 5.0, 100.0);
+        let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+        assert_eq!(critical_path_bound(&g, &m), 20.0);
+    }
+
+    #[test]
+    fn work_bound_on_independent() {
+        let g = generators::independent(8, 10.0);
+        let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+        assert_eq!(work_bound(&g, &m), 20.0);
+        assert_eq!(lower_bound(&g, &m), 20.0);
+    }
+
+    #[test]
+    fn startup_counts_in_bounds() {
+        let g = generators::independent(4, 10.0);
+        let m = Machine::new(
+            Topology::fully_connected(2),
+            MachineParams {
+                process_startup: 1.0,
+                ..MachineParams::default()
+            },
+        );
+        // work: 40/2 = 20, startups: 4*1/2 = 2 => 22; cp: 11.
+        assert_eq!(work_bound(&g, &m), 22.0);
+        assert_eq!(critical_path_bound(&g, &m), 11.0);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_in_bounds() {
+        let g = generators::independent(2, 12.0);
+        let mut m = Machine::new(Topology::fully_connected(2), MachineParams::default());
+        m.set_relative_speed(ProcId(1), 2.0).unwrap();
+        // aggregate speed 3 => 24/3 = 8; cp on fastest = 6.
+        assert_eq!(work_bound(&g, &m), 8.0);
+        assert_eq!(critical_path_bound(&g, &m), 6.0);
+    }
+
+    #[test]
+    fn no_schedule_beats_the_bound() {
+        let graphs = vec![
+            generators::gauss_elimination(5, 2.0, 1.0),
+            generators::lattice(3, 4, 3.0, 2.0),
+            generators::fft(8, 2.0, 1.0),
+            generators::fork_join(6, 1.0, 8.0, 1.0, 2.0),
+        ];
+        for g in &graphs {
+            for topo in [Topology::hypercube(2), Topology::mesh(2, 2)] {
+                let m = Machine::new(
+                    topo,
+                    MachineParams {
+                        msg_startup: 0.5,
+                        process_startup: 0.25,
+                        ..MachineParams::default()
+                    },
+                );
+                let lb = lower_bound(g, &m);
+                for s in [hlfet(g, &m), etf(g, &m), mh(g, &m), crate::dsh::dsh(g, &m)] {
+                    assert!(
+                        s.makespan() + 1e-9 >= lb,
+                        "{} on {}: makespan {} < bound {lb}",
+                        s.heuristic(),
+                        g.name(),
+                        s.makespan()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_bound_is_infinite() {
+        let mut g = banger_taskgraph::TaskGraph::new("cyc");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_edge(a, b, 0.0, "x").unwrap();
+        g.add_edge(b, a, 0.0, "y").unwrap();
+        let m = Machine::new(Topology::single(), MachineParams::default());
+        assert!(critical_path_bound(&g, &m).is_infinite());
+    }
+}

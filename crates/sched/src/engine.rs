@@ -1,0 +1,417 @@
+//! Shared list-scheduling machinery: processor timelines with
+//! insertion-based slot search, data-arrival computation (analytic and
+//! link-contention models), and the mutable engine state every heuristic
+//! drives.
+
+use crate::schedule::Schedule;
+use banger_machine::{Machine, ProcId, SwitchingMode};
+use banger_taskgraph::{TaskGraph, TaskId};
+use std::collections::HashMap;
+
+/// Busy intervals of one processor, kept sorted by start time.
+#[derive(Debug, Clone, Default)]
+pub struct ProcTimeline {
+    /// `(start, finish)` of committed placements, sorted by start.
+    busy: Vec<(f64, f64)>,
+}
+
+impl ProcTimeline {
+    /// Earliest start `>= ready` of a free slot of length `dur`, using
+    /// insertion between existing placements (the classic insertion-based
+    /// variant; an append-only policy falls out when gaps never fit).
+    pub fn earliest_slot(&self, ready: f64, dur: f64) -> f64 {
+        let mut candidate = ready;
+        for &(s, f) in &self.busy {
+            if candidate + dur <= s + crate::schedule::TIME_EPS {
+                return candidate;
+            }
+            if f > candidate {
+                candidate = f;
+            }
+        }
+        candidate
+    }
+
+    /// Commits an interval. Panics in debug builds if it overlaps.
+    pub fn reserve(&mut self, start: f64, dur: f64) {
+        let finish = start + dur;
+        let idx = self
+            .busy
+            .partition_point(|&(s, _)| s < start);
+        debug_assert!(
+            idx == 0 || self.busy[idx - 1].1 <= start + crate::schedule::TIME_EPS,
+            "overlapping reservation"
+        );
+        debug_assert!(
+            idx == self.busy.len() || finish <= self.busy[idx].0 + crate::schedule::TIME_EPS,
+            "overlapping reservation"
+        );
+        self.busy.insert(idx, (start, finish));
+    }
+
+    /// Finish time of the last committed interval (0 when idle forever).
+    pub fn last_finish(&self) -> f64 {
+        self.busy.last().map(|&(_, f)| f).unwrap_or(0.0)
+    }
+}
+
+/// Busy intervals per directed link, for contention-aware estimates.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
+    links: HashMap<(ProcId, ProcId), Vec<(f64, f64)>>,
+}
+
+/// A tentative link reservation produced while costing a message route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkReservation {
+    /// The directed link.
+    pub link: (ProcId, ProcId),
+    /// Occupancy start.
+    pub start: f64,
+    /// Occupancy end.
+    pub end: f64,
+}
+
+impl LinkState {
+    /// Earliest start `>= ready` at which the link is free for `dur`.
+    fn earliest(&self, link: (ProcId, ProcId), ready: f64, dur: f64) -> f64 {
+        let mut candidate = ready;
+        if let Some(busy) = self.links.get(&link) {
+            for &(s, f) in busy {
+                if candidate + dur <= s + crate::schedule::TIME_EPS {
+                    return candidate;
+                }
+                if f > candidate {
+                    candidate = f;
+                }
+            }
+        }
+        candidate
+    }
+
+    /// Commits a reservation.
+    pub fn reserve(&mut self, r: LinkReservation) {
+        let busy = self.links.entry(r.link).or_default();
+        let idx = busy.partition_point(|&(s, _)| s < r.start);
+        busy.insert(idx, (r.start, r.end));
+    }
+
+    /// Routes a message of `volume` units from `src` (available at time
+    /// `depart`) to `dst` under store-and-forward link occupancy, returning
+    /// the arrival time and the link reservations the transfer would make.
+    ///
+    /// The message startup cost is paid once at injection. Under
+    /// [`SwitchingMode::CutThrough`] the per-hop transmission collapses to
+    /// the hop latency plus a single transfer charged on every link
+    /// simultaneously; we conservatively occupy each link for the full
+    /// transfer time.
+    pub fn route_message(
+        &self,
+        m: &Machine,
+        src: ProcId,
+        dst: ProcId,
+        depart: f64,
+        volume: f64,
+    ) -> (f64, Vec<LinkReservation>) {
+        if src == dst {
+            return (depart, Vec::new());
+        }
+        let links = m.routing().links(src, dst);
+        if links.is_empty() {
+            return (f64::INFINITY, Vec::new());
+        }
+        let transfer = m.link_transfer_time(volume);
+        let hop_extra = match m.params().switching {
+            SwitchingMode::StoreAndForward => 0.0,
+            SwitchingMode::CutThrough { hop_latency } => hop_latency,
+        };
+        let mut t = depart + m.params().msg_startup;
+        let mut reservations = Vec::with_capacity(links.len());
+        for link in links {
+            let start = self.earliest(link, t, transfer);
+            let end = start + transfer;
+            reservations.push(LinkReservation { link, start, end });
+            t = end + hop_extra;
+        }
+        (t, reservations)
+    }
+}
+
+/// How data-arrival times are estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommModel {
+    /// The closed-form machine formula ([`Machine::comm_time`]); links are
+    /// assumed contention-free.
+    Analytic,
+    /// Link-level store-and-forward occupancy tracked in a [`LinkState`]
+    /// (the Mapping Heuristic's model).
+    Contention,
+}
+
+/// One committed copy of a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Copy {
+    /// The processor holding the copy.
+    pub proc: ProcId,
+    /// When the copy finishes.
+    pub finish: f64,
+}
+
+/// Mutable state of a scheduling run.
+pub struct Engine<'a> {
+    /// The design being scheduled.
+    pub g: &'a TaskGraph,
+    /// The target machine.
+    pub m: &'a Machine,
+    /// One timeline per processor.
+    pub timelines: Vec<ProcTimeline>,
+    /// Committed copies per task (first = primary).
+    pub copies: Vec<Vec<Copy>>,
+    /// Link occupancy (only consulted under [`CommModel::Contention`]).
+    pub links: LinkState,
+    /// The communication model in force.
+    pub comm: CommModel,
+    schedule: Schedule,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for one heuristic run.
+    pub fn new(name: &str, g: &'a TaskGraph, m: &'a Machine, comm: CommModel) -> Self {
+        Engine {
+            g,
+            m,
+            timelines: vec![ProcTimeline::default(); m.processors()],
+            copies: vec![Vec::new(); g.task_count()],
+            links: LinkState::default(),
+            comm,
+            schedule: Schedule::new(name, g.task_count()),
+        }
+    }
+
+    /// Earliest time the data of edge `pred -> t` can be present on `p`,
+    /// taking the cheapest committed copy of the predecessor. Under the
+    /// contention model, also returns the link reservations of the winning
+    /// route so a commit can reserve them.
+    pub fn edge_arrival(
+        &self,
+        pred: TaskId,
+        volume: f64,
+        p: ProcId,
+    ) -> (f64, Vec<LinkReservation>) {
+        let mut best = (f64::INFINITY, Vec::new());
+        for c in &self.copies[pred.index()] {
+            let (arrival, res) = match self.comm {
+                CommModel::Analytic => {
+                    (c.finish + self.m.comm_time(c.proc, p, volume), Vec::new())
+                }
+                CommModel::Contention => {
+                    self.links.route_message(self.m, c.proc, p, c.finish, volume)
+                }
+            };
+            if arrival < best.0 {
+                best = (arrival, res);
+            }
+        }
+        best
+    }
+
+    /// Ready time of task `t` on processor `p`: the latest arrival over all
+    /// inputs. Also returns every input's reservations (for committing).
+    /// Panics if a predecessor has not been placed yet — heuristics must
+    /// respect topological readiness.
+    pub fn ready_time(&self, t: TaskId, p: ProcId) -> (f64, Vec<LinkReservation>) {
+        let mut ready = 0.0f64;
+        let mut all_res = Vec::new();
+        for &e in self.g.in_edges(t) {
+            let edge = self.g.edge(e);
+            assert!(
+                !self.copies[edge.src.index()].is_empty(),
+                "predecessor {} of {} not yet placed",
+                edge.src,
+                t
+            );
+            let (arrival, res) = self.edge_arrival(edge.src, edge.volume, p);
+            ready = ready.max(arrival);
+            all_res.extend(res);
+        }
+        (ready, all_res)
+    }
+
+    /// Earliest start of `t` on `p` given current state: ready time plus
+    /// insertion slot search.
+    pub fn earliest_start(&self, t: TaskId, p: ProcId) -> f64 {
+        let (ready, _) = self.ready_time(t, p);
+        let dur = self.m.exec_time(self.g.task(t).weight, p);
+        self.timelines[p.index()].earliest_slot(ready, dur)
+    }
+
+    /// Commits task `t` on processor `p` at the earliest feasible time,
+    /// reserving links under the contention model. Returns the placement's
+    /// `(start, finish)`. The first commit of a task is its primary copy.
+    pub fn commit(&mut self, t: TaskId, p: ProcId) -> (f64, f64) {
+        let (ready, reservations) = self.ready_time(t, p);
+        let dur = self.m.exec_time(self.g.task(t).weight, p);
+        let start = self.timelines[p.index()].earliest_slot(ready, dur);
+        let finish = start + dur;
+        self.timelines[p.index()].reserve(start, dur);
+        for r in reservations {
+            self.links.reserve(r);
+        }
+        let primary = self.copies[t.index()].is_empty();
+        self.copies[t.index()].push(Copy { proc: p, finish });
+        self.schedule.place(t, p, start, finish, primary);
+        (start, finish)
+    }
+
+    /// True once the task has at least one committed copy.
+    pub fn placed(&self, t: TaskId) -> bool {
+        !self.copies[t.index()].is_empty()
+    }
+
+    /// Consumes the engine, returning the accumulated schedule.
+    pub fn finish(self) -> Schedule {
+        self.schedule
+    }
+
+    /// Selects the processor minimising the earliest start of `t`
+    /// (ties broken toward lower processor ids), the proc-selection rule
+    /// shared by HLFET and MCP.
+    pub fn best_processor(&self, t: TaskId) -> ProcId {
+        let mut best = ProcId(0);
+        let mut best_start = f64::INFINITY;
+        for p in self.m.proc_ids() {
+            let s = self.earliest_start(t, p);
+            if s < best_start - crate::schedule::TIME_EPS {
+                best_start = s;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_machine::{MachineParams, Topology};
+
+    #[test]
+    fn timeline_appends_and_inserts() {
+        let mut tl = ProcTimeline::default();
+        assert_eq!(tl.earliest_slot(0.0, 5.0), 0.0);
+        tl.reserve(0.0, 5.0);
+        assert_eq!(tl.earliest_slot(0.0, 5.0), 5.0);
+        tl.reserve(10.0, 5.0);
+        // gap [5, 10) fits a 4-unit job
+        assert_eq!(tl.earliest_slot(0.0, 4.0), 5.0);
+        // but not a 6-unit job
+        assert_eq!(tl.earliest_slot(0.0, 6.0), 15.0);
+        // ready time inside the gap
+        assert_eq!(tl.earliest_slot(6.0, 3.0), 6.0);
+        assert_eq!(tl.last_finish(), 15.0);
+    }
+
+    #[test]
+    fn timeline_insertion_keeps_order() {
+        let mut tl = ProcTimeline::default();
+        tl.reserve(10.0, 2.0);
+        tl.reserve(0.0, 2.0);
+        tl.reserve(5.0, 2.0);
+        assert_eq!(tl.busy, vec![(0.0, 2.0), (5.0, 7.0), (10.0, 12.0)]);
+    }
+
+    #[test]
+    fn link_routing_charges_per_hop() {
+        let m = Machine::new(
+            Topology::linear(3),
+            MachineParams {
+                msg_startup: 1.0,
+                transmission_rate: 2.0,
+                ..MachineParams::default()
+            },
+        );
+        let links = LinkState::default();
+        // 4 units at rate 2 = 2 per link; 2 hops; startup 1.
+        let (arrival, res) = links.route_message(&m, ProcId(0), ProcId(2), 0.0, 4.0);
+        assert!((arrival - 5.0).abs() < 1e-12);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].link, (ProcId(0), ProcId(1)));
+        assert!((res[0].start - 1.0).abs() < 1e-12);
+        assert!((res[1].start - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_contention_delays_second_message() {
+        let m = Machine::new(Topology::linear(2), MachineParams::default());
+        let mut links = LinkState::default();
+        let (a1, r1) = links.route_message(&m, ProcId(0), ProcId(1), 0.0, 10.0);
+        assert_eq!(a1, 10.0);
+        for r in r1 {
+            links.reserve(r);
+        }
+        // Second message must queue behind the first on the only link.
+        let (a2, _) = links.route_message(&m, ProcId(0), ProcId(1), 0.0, 10.0);
+        assert_eq!(a2, 20.0);
+    }
+
+    #[test]
+    fn local_message_is_free() {
+        let m = Machine::new(Topology::linear(2), MachineParams::default());
+        let links = LinkState::default();
+        let (a, res) = links.route_message(&m, ProcId(1), ProcId(1), 3.0, 100.0);
+        assert_eq!(a, 3.0);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn engine_commit_and_est() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task("a", 4.0);
+        let b = g.add_task("b", 4.0);
+        g.add_edge(a, b, 6.0, "x").unwrap();
+        let m = Machine::new(Topology::fully_connected(2), MachineParams::default());
+        let mut eng = Engine::new("test", &g, &m, CommModel::Analytic);
+        assert!(!eng.placed(a));
+        eng.commit(a, ProcId(0));
+        assert!(eng.placed(a));
+        // same proc: start at 4; other proc: 4 + 6 comm = 10
+        assert_eq!(eng.earliest_start(b, ProcId(0)), 4.0);
+        assert_eq!(eng.earliest_start(b, ProcId(1)), 10.0);
+        assert_eq!(eng.best_processor(b), ProcId(0));
+        eng.commit(b, ProcId(0));
+        let s = eng.finish();
+        s.validate(&g, &m).unwrap();
+        assert_eq!(s.makespan(), 8.0);
+    }
+
+    #[test]
+    fn engine_duplicate_copy_reduces_arrival() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task("a", 4.0);
+        let b = g.add_task("b", 4.0);
+        g.add_edge(a, b, 6.0, "x").unwrap();
+        let m = Machine::new(Topology::fully_connected(2), MachineParams::default());
+        let mut eng = Engine::new("test", &g, &m, CommModel::Analytic);
+        eng.commit(a, ProcId(0));
+        eng.commit(a, ProcId(1)); // duplicate
+        // now b on P1 sees the local copy
+        assert_eq!(eng.earliest_start(b, ProcId(1)), 4.0);
+        eng.commit(b, ProcId(1));
+        let s = eng.finish();
+        s.validate(&g, &m).unwrap();
+        // first copy is primary
+        assert_eq!(s.primary(a).unwrap().proc, ProcId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet placed")]
+    fn unplaced_pred_panics() {
+        let mut g = TaskGraph::new("p");
+        let a = g.add_task("a", 4.0);
+        let b = g.add_task("b", 4.0);
+        g.add_edge(a, b, 6.0, "x").unwrap();
+        let m = Machine::new(Topology::fully_connected(2), MachineParams::default());
+        let eng = Engine::new("test", &g, &m, CommModel::Analytic);
+        let _ = eng.ready_time(b, ProcId(0));
+    }
+}

@@ -1,0 +1,499 @@
+//! Grain packing — Kruatrachue & Lewis's answer to "how big should a task
+//! be?" (IEEE Software 1988). Fine-grain designs drown in process startup
+//! and message costs; grain packing merges tasks into clusters until the
+//! estimated parallel time stops improving, then hands the coarsened graph
+//! to any scheduler.
+//!
+//! The implementation follows Sarkar-style **edge zeroing**: walk the arcs
+//! in decreasing volume order and merge the two endpoint clusters whenever
+//! the merge does not increase the estimated parallel time on an unbounded
+//! processor set (intra-cluster messages cost zero; each cluster is
+//! sequential).
+
+use banger_taskgraph::{GraphError, TaskGraph, TaskId};
+
+/// The result of packing: a cluster id per original task plus the packed
+/// (coarsened) graph whose tasks are the clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// `cluster_of[t]` = index of the packed task containing original `t`.
+    pub cluster_of: Vec<usize>,
+    /// The coarsened graph: one task per cluster, weights summed,
+    /// inter-cluster arc volumes summed per (src, dst) pair.
+    pub packed: TaskGraph,
+    /// Estimated parallel time of the final clustering (unbounded
+    /// processors, zero intra-cluster communication).
+    pub estimated_pt: f64,
+}
+
+/// Estimates parallel time of a clustering on unboundedly many processors:
+/// each cluster executes its tasks sequentially in topological order;
+/// inter-cluster arcs cost their volume, intra-cluster arcs cost zero.
+pub fn estimate_pt(g: &TaskGraph, cluster_of: &[usize]) -> f64 {
+    let order = g.topo_order().expect("packing requires a DAG");
+    let nclusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut cluster_free = vec![0.0f64; nclusters];
+    let mut finish = vec![0.0f64; g.task_count()];
+    let mut pt = 0.0f64;
+    for t in order {
+        let c = cluster_of[t.index()];
+        let mut ready = cluster_free[c];
+        for &e in g.in_edges(t) {
+            let edge = g.edge(e);
+            let comm = if cluster_of[edge.src.index()] == c {
+                0.0
+            } else {
+                edge.volume
+            };
+            ready = ready.max(finish[edge.src.index()] + comm);
+        }
+        let f = ready + g.task(t).weight;
+        finish[t.index()] = f;
+        cluster_free[c] = f;
+        pt = pt.max(f);
+    }
+    pt
+}
+
+/// Packs `g` by iterative edge zeroing. Returns the clustering and the
+/// coarsened graph. The packed graph is always a DAG (merges that would
+/// create cycles are rejected).
+///
+/// ```
+/// use banger_sched::grain;
+/// use banger_taskgraph::generators;
+/// // A chain with heavy messages collapses to one cluster.
+/// let g = generators::chain(5, 1.0, 100.0);
+/// let p = grain::pack(&g).unwrap();
+/// assert_eq!(p.packed.task_count(), 1);
+/// assert_eq!(p.estimated_pt, 5.0);
+/// ```
+pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
+    let n = g.task_count();
+    let mut cluster_of: Vec<usize> = (0..n).collect();
+    if n > 0 {
+        let mut edge_ids: Vec<_> = g.edge_ids().collect();
+        edge_ids.sort_by(|&a, &b| {
+            g.edge(b)
+                .volume
+                .total_cmp(&g.edge(a).volume)
+                .then(a.cmp(&b))
+        });
+        let mut current_pt = estimate_pt(g, &cluster_of);
+        for e in edge_ids {
+            let edge = g.edge(e);
+            let (cs, cd) = (
+                cluster_of[edge.src.index()],
+                cluster_of[edge.dst.index()],
+            );
+            if cs == cd {
+                continue;
+            }
+            // Tentatively merge cd into cs.
+            let trial: Vec<usize> = cluster_of
+                .iter()
+                .map(|&c| if c == cd { cs } else { c })
+                .collect();
+            if clustering_is_acyclic(g, &trial) {
+                let pt = estimate_pt(g, &trial);
+                if pt <= current_pt {
+                    cluster_of = trial;
+                    current_pt = pt;
+                }
+            }
+        }
+    }
+
+    // Renumber clusters densely in topological order of first appearance.
+    let order = g.topo_order()?;
+    let mut dense: Vec<Option<usize>> = vec![None; n];
+    let mut next = 0usize;
+    for &t in &order {
+        let c = cluster_of[t.index()];
+        if dense[c].is_none() {
+            dense[c] = Some(next);
+            next += 1;
+        }
+    }
+    let cluster_of: Vec<usize> = cluster_of.iter().map(|&c| dense[c].unwrap()).collect();
+
+    // Build the packed graph.
+    let mut packed = TaskGraph::new(format!("{}-packed", g.name()));
+    let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); next];
+    for &t in &order {
+        members[cluster_of[t.index()]].push(t);
+    }
+    for (c, mem) in members.iter().enumerate() {
+        let weight: f64 = mem.iter().map(|&t| g.task(t).weight).sum();
+        let name = if mem.len() == 1 {
+            g.task(mem[0]).name.clone()
+        } else {
+            format!("pack{c}[{}]", mem.len())
+        };
+        packed.try_add_task(name, weight)?;
+    }
+    // Sum inter-cluster volumes per ordered pair.
+    let mut volumes: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
+    for (_, edge) in g.edges() {
+        let (cs, cd) = (
+            cluster_of[edge.src.index()],
+            cluster_of[edge.dst.index()],
+        );
+        if cs != cd {
+            *volumes.entry((cs, cd)).or_insert(0.0) += edge.volume;
+        }
+    }
+    for ((cs, cd), vol) in volumes {
+        packed.add_edge(
+            TaskId(cs as u32),
+            TaskId(cd as u32),
+            vol,
+            format!("pk{cs}_{cd}"),
+        )?;
+    }
+    let estimated_pt = estimate_pt(g, &cluster_of);
+    Ok(Packing {
+        cluster_of,
+        packed,
+        estimated_pt,
+    })
+}
+
+/// The result of linear clustering: a cluster id per task. Unlike
+/// [`Packing`], no contracted graph is built — contracting a *path*
+/// cluster of a DAG can create cycles (think of one branch of a diamond),
+/// so linear clusters are used as a **processor assignment**, via
+/// [`schedule_clusters`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearClusters {
+    /// `cluster_of[t]` = cluster index of task `t` (dense, in discovery
+    /// order — cluster 0 is the heaviest path).
+    pub cluster_of: Vec<usize>,
+    /// Number of clusters.
+    pub count: usize,
+    /// Estimated parallel time of the clustering (unbounded processors).
+    pub estimated_pt: f64,
+}
+
+/// Linear clustering (Kim & Browne 1988): repeatedly take the heaviest
+/// remaining computation+communication path among unclustered tasks and
+/// make it one linear cluster, until every task is clustered.
+pub fn linear_cluster(g: &TaskGraph) -> Result<LinearClusters, GraphError> {
+    let n = g.task_count();
+    let order = g.topo_order()?;
+    let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+    let mut next_cluster = 0usize;
+
+    // Repeat: find the heaviest path through *unclustered* tasks (comm
+    // counts between consecutive unclustered tasks), make it a cluster.
+    loop {
+        let mut best_finish = f64::NEG_INFINITY;
+        let mut best_end: Option<TaskId> = None;
+        let mut finish = vec![f64::NEG_INFINITY; n];
+        let mut from: Vec<Option<TaskId>> = vec![None; n];
+        for &t in &order {
+            if cluster_of[t.index()].is_some() {
+                continue;
+            }
+            let mut start = 0.0f64;
+            let mut via = None;
+            for &e in g.in_edges(t) {
+                let edge = g.edge(e);
+                if cluster_of[edge.src.index()].is_some() {
+                    continue;
+                }
+                let cand = finish[edge.src.index()] + edge.volume;
+                if cand > start {
+                    start = cand;
+                    via = Some(edge.src);
+                }
+            }
+            finish[t.index()] = start + g.task(t).weight;
+            from[t.index()] = via;
+            if finish[t.index()] > best_finish {
+                best_finish = finish[t.index()];
+                best_end = Some(t);
+            }
+        }
+        let Some(mut cur) = best_end else { break };
+        let c = next_cluster;
+        next_cluster += 1;
+        loop {
+            cluster_of[cur.index()] = Some(c);
+            match from[cur.index()] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+    }
+
+    let cluster_of: Vec<usize> = cluster_of.into_iter().map(|c| c.unwrap_or(0)).collect();
+    let estimated_pt = estimate_pt(g, &cluster_of);
+    Ok(LinearClusters {
+        count: next_cluster.max(usize::from(n > 0)),
+        cluster_of,
+        estimated_pt,
+    })
+}
+
+/// Schedules `g` on `m` with a **fixed processor assignment**: cluster `c`
+/// lives on processor `c % P` (wrap mapping), and tasks run in b-level
+/// list order at the earliest feasible slot on their assigned processor.
+/// This is the cluster-then-map pipeline linear clustering was designed
+/// for.
+pub fn schedule_clusters(
+    g: &TaskGraph,
+    m: &banger_machine::Machine,
+    clusters: &LinearClusters,
+) -> crate::schedule::Schedule {
+    use crate::engine::{CommModel, Engine};
+    let a = banger_taskgraph::analysis::GraphAnalysis::analyze(g);
+    let nprocs = m.processors();
+    let mut eng = Engine::new("linear-cluster", g, m, CommModel::Analytic);
+    let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
+    let mut ready: Vec<TaskId> = g
+        .task_ids()
+        .filter(|&t| remaining[t.index()] == 0)
+        .collect();
+    while !ready.is_empty() {
+        let (pos, &t) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, x), (_, y)| {
+                a.b_level[x.index()]
+                    .total_cmp(&a.b_level[y.index()])
+                    .then(y.0.cmp(&x.0))
+            })
+            .unwrap();
+        ready.swap_remove(pos);
+        let proc = banger_machine::ProcId((clusters.cluster_of[t.index()] % nprocs) as u32);
+        eng.commit(t, proc);
+        for s in g.successors(t) {
+            let r = &mut remaining[s.index()];
+            *r -= 1;
+            if *r == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    eng.finish()
+}
+
+/// True when contracting each cluster to one node leaves a DAG.
+fn clustering_is_acyclic(g: &TaskGraph, cluster_of: &[usize]) -> bool {
+    // Kahn over the contracted multigraph.
+    let nclusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut indeg = vec![0usize; nclusters];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nclusters];
+    for (_, e) in g.edges() {
+        let (a, b) = (cluster_of[e.src.index()], cluster_of[e.dst.index()]);
+        if a != b {
+            succ[a].push(b);
+            indeg[b] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..nclusters).filter(|&c| indeg[c] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(c) = queue.pop() {
+        seen += 1;
+        for &d in &succ[c] {
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                queue.push(d);
+            }
+        }
+    }
+    seen == nclusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_taskgraph::generators;
+
+    #[test]
+    fn estimate_pt_unclustered_includes_comm() {
+        let g = generators::chain(3, 2.0, 5.0);
+        let each_own: Vec<usize> = (0..3).collect();
+        // 2 + 5 + 2 + 5 + 2 = 16
+        assert_eq!(estimate_pt(&g, &each_own), 16.0);
+        let all_one = vec![0usize; 3];
+        assert_eq!(estimate_pt(&g, &all_one), 6.0);
+    }
+
+    #[test]
+    fn chain_packs_to_single_cluster() {
+        let g = generators::chain(6, 2.0, 5.0);
+        let p = pack(&g).unwrap();
+        assert_eq!(p.packed.task_count(), 1);
+        assert_eq!(p.packed.total_weight(), 12.0);
+        assert_eq!(p.estimated_pt, 12.0);
+        assert!(p.cluster_of.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn independent_tasks_stay_separate() {
+        let g = generators::independent(5, 4.0);
+        let p = pack(&g).unwrap();
+        assert_eq!(p.packed.task_count(), 5);
+        assert_eq!(p.estimated_pt, 4.0);
+    }
+
+    #[test]
+    fn fork_join_with_heavy_comm_collapses() {
+        // Communication dwarfs computation: everything should merge.
+        let g = generators::fork_join(3, 1.0, 1.0, 1.0, 100.0);
+        let p = pack(&g).unwrap();
+        assert_eq!(p.packed.task_count(), 1, "{:?}", p.cluster_of);
+    }
+
+    #[test]
+    fn fork_join_with_cheap_comm_stays_parallel() {
+        let g = generators::fork_join(4, 1.0, 50.0, 1.0, 0.5);
+        let p = pack(&g).unwrap();
+        assert!(
+            p.packed.task_count() >= 4,
+            "parallel middles must not merge: {:?}",
+            p.cluster_of
+        );
+        // PT never increases relative to the unclustered estimate.
+        let trivial: Vec<usize> = (0..g.task_count()).collect();
+        assert!(p.estimated_pt <= estimate_pt(&g, &trivial));
+    }
+
+    #[test]
+    fn packing_never_increases_estimated_pt() {
+        for g in [
+            generators::gauss_elimination(5, 1.0, 3.0),
+            generators::lattice(3, 3, 2.0, 6.0),
+            generators::fft(8, 1.0, 4.0),
+            generators::outtree(3, 2, 1.0, 9.0),
+        ] {
+            let trivial: Vec<usize> = (0..g.task_count()).collect();
+            let before = estimate_pt(&g, &trivial);
+            let p = pack(&g).unwrap();
+            assert!(
+                p.estimated_pt <= before + 1e-9,
+                "{}: {} > {before}",
+                g.name(),
+                p.estimated_pt
+            );
+            assert!(p.packed.is_dag(), "{}", g.name());
+            // weight is conserved
+            assert!((p.packed.total_weight() - g.total_weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn packed_graph_volume_never_exceeds_original() {
+        let g = generators::gauss_elimination(5, 1.0, 3.0);
+        let p = pack(&g).unwrap();
+        assert!(p.packed.total_volume() <= g.total_volume() + 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new("empty");
+        let p = pack(&g).unwrap();
+        assert_eq!(p.packed.task_count(), 0);
+        assert_eq!(p.estimated_pt, 0.0);
+        let lc = linear_cluster(&g).unwrap();
+        assert_eq!(lc.count, 0);
+        assert!(lc.cluster_of.is_empty());
+    }
+
+    #[test]
+    fn linear_clusters_are_paths() {
+        use std::collections::BTreeMap;
+        for g in [
+            generators::gauss_elimination(5, 2.0, 3.0),
+            generators::lattice(4, 4, 1.0, 4.0),
+            generators::fft(8, 2.0, 3.0),
+        ] {
+            let lc = linear_cluster(&g).unwrap();
+            assert_eq!(lc.cluster_of.len(), g.task_count());
+            // Every cluster must be a path: within the cluster, at most one
+            // predecessor and one successor per task stay in-cluster.
+            let mut in_deg: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+            let mut out_deg: BTreeMap<(usize, u32), usize> = BTreeMap::new();
+            for (_, e) in g.edges() {
+                let (cs, cd) = (
+                    lc.cluster_of[e.src.index()],
+                    lc.cluster_of[e.dst.index()],
+                );
+                if cs == cd {
+                    *out_deg.entry((cs, e.src.0)).or_default() += 1;
+                    *in_deg.entry((cd, e.dst.0)).or_default() += 1;
+                }
+            }
+            for (&k, &d) in &in_deg {
+                assert!(d <= 1, "{}: task {k:?} has {d} in-cluster preds", g.name());
+            }
+            for (&k, &d) in &out_deg {
+                assert!(d <= 1, "{}: task {k:?} has {d} in-cluster succs", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_zero_is_the_critical_path() {
+        let g = generators::chain(5, 3.0, 2.0);
+        let lc = linear_cluster(&g).unwrap();
+        assert_eq!(lc.count, 1, "a chain is one path");
+        assert!(lc.cluster_of.iter().all(|&c| c == 0));
+        assert_eq!(lc.estimated_pt, 15.0);
+    }
+
+    #[test]
+    fn schedule_clusters_is_valid_and_respects_assignment() {
+        use banger_machine::{Machine, MachineParams, Topology};
+        let g = generators::lattice(4, 4, 2.0, 5.0);
+        let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+        let lc = linear_cluster(&g).unwrap();
+        let s = schedule_clusters(&g, &m, &lc);
+        s.validate(&g, &m).unwrap();
+        for p in s.placements() {
+            assert_eq!(
+                p.proc.index(),
+                lc.cluster_of[p.task.index()] % m.processors(),
+                "task {} must sit on its cluster's processor",
+                p.task
+            );
+        }
+        // The diamond-contraction case that breaks graph contraction must
+        // still schedule fine under assignment-based clustering.
+        let mut d = TaskGraph::new("diamond");
+        let a = d.add_task("a", 1.0);
+        let b = d.add_task("b", 5.0);
+        let c = d.add_task("c", 1.0);
+        let e = d.add_task("d", 1.0);
+        d.add_edge(a, b, 10.0, "x").unwrap();
+        d.add_edge(a, c, 1.0, "y").unwrap();
+        d.add_edge(b, e, 10.0, "u").unwrap();
+        d.add_edge(c, e, 1.0, "v").unwrap();
+        let lcd = linear_cluster(&d).unwrap();
+        let sd = schedule_clusters(&d, &m, &lcd);
+        sd.validate(&d, &m).unwrap();
+    }
+
+    #[test]
+    fn linear_clustering_wins_when_compute_dominates() {
+        use banger_machine::{Machine, MachineParams, Topology};
+        // Compute-heavy lattice: keeping each heavy path local while
+        // spreading independent paths beats serial comfortably. (On
+        // communication-dominated graphs wrap mapping can lose to serial —
+        // that is the known cost of fixed cluster assignment.)
+        let g = generators::lattice(5, 5, 8.0, 1.0);
+        let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+        let lc = linear_cluster(&g).unwrap();
+        let s = schedule_clusters(&g, &m, &lc);
+        let serial = crate::list::serial(&g, &m);
+        assert!(
+            s.makespan() < 0.8 * serial.makespan(),
+            "clustered {} vs serial {}",
+            s.makespan(),
+            serial.makespan()
+        );
+    }
+}

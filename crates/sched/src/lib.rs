@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! # banger-sched — PPSE scheduling heuristics
+//!
+//! The paper's second principle: *machine-independent parallel programming
+//! can be made efficient by optimal scheduling heuristics which find the
+//! shortest elapsed execution time schedule for a specific parallel
+//! program, given a specific target machine.* Banger inherited its
+//! schedulers from PPSE; this crate re-implements that family:
+//!
+//! * [`list`] — classic analytic list schedulers (HLFET, MCP, ETF, DLS)
+//!   plus the `serial` and communication-blind `naive_no_comm` baselines;
+//! * [`mh`] — the El-Rewini & Lewis **Mapping Heuristic** with hop-accurate
+//!   routing and link contention (the PPSE flagship);
+//! * [`dsh`] — Kruatrachue's **Duplication Scheduling Heuristic**;
+//! * [`grain`] — grain packing (edge-zeroing clustering) to coarsen
+//!   fine-grain designs before scheduling;
+//! * [`schedule`] — the validated [`Schedule`] representation shared by
+//!   all of the above;
+//! * [`bounds`] — lower bounds for reporting heuristic quality.
+//!
+//! ## Example
+//!
+//! ```
+//! use banger_machine::{Machine, MachineParams, Topology};
+//! use banger_sched::{list, mh};
+//! use banger_taskgraph::generators;
+//!
+//! let g = generators::gauss_elimination(4, 2.0, 1.0);
+//! let m = Machine::new(Topology::hypercube(2), MachineParams::default());
+//! let schedule = mh::mh(&g, &m);
+//! schedule.validate(&g, &m).unwrap();
+//! assert!(schedule.makespan() <= list::serial(&g, &m).makespan());
+//! ```
+
+pub mod bounds;
+pub mod dsh;
+pub mod engine;
+pub mod grain;
+pub mod list;
+pub mod mh;
+pub mod schedule;
+pub mod textfmt;
+
+pub use schedule::{Placement, Schedule, ScheduleError, ScheduleSummary};
+
+use banger_machine::Machine;
+use banger_taskgraph::TaskGraph;
+
+/// Every heuristic in the crate, by name — the comparison tables and
+/// benches iterate over this list.
+pub const HEURISTIC_NAMES: [&str; 7] = ["serial", "naive", "HLFET", "MCP", "ETF", "DLS", "MH"];
+
+/// Runs a heuristic by name (see [`HEURISTIC_NAMES`]; `"DSH"` is also
+/// accepted). Returns `None` for unknown names.
+pub fn run_heuristic(name: &str, g: &TaskGraph, m: &Machine) -> Option<Schedule> {
+    Some(match name {
+        "serial" => list::serial(g, m),
+        "naive" => list::naive_no_comm(g, m),
+        "HLFET" => list::hlfet(g, m),
+        "MCP" => list::mcp(g, m),
+        "ETF" => list::etf(g, m),
+        "DLS" => list::dls(g, m),
+        "MH" => mh::mh(g, m),
+        "DSH" => dsh::dsh(g, m),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_machine::{MachineParams, Topology};
+    use banger_taskgraph::generators;
+
+    #[test]
+    fn run_heuristic_dispatch() {
+        let g = generators::gauss_elimination(4, 2.0, 1.0);
+        let m = Machine::new(Topology::hypercube(2), MachineParams::default());
+        for name in HEURISTIC_NAMES.iter().chain(["DSH"].iter()) {
+            let s = run_heuristic(name, &g, &m).unwrap_or_else(|| panic!("{name} missing"));
+            s.validate(&g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(s.heuristic(), if *name == "naive" { "naive-no-comm" } else { *name });
+        }
+        assert!(run_heuristic("bogus", &g, &m).is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! Classic list-scheduling heuristics: HLFET, MCP, ETF and DLS.
+//!
+//! All four share the [`Engine`]'s analytic communication model and
+//! insertion-based slot search; they differ only in how the next
+//! `(task, processor)` decision is made:
+//!
+//! * **HLFET** (Highest Level First with Estimated Times, Adam/Chandy/
+//!   Dickson 1974): pick the ready task with the greatest *static level*
+//!   (computation-only bottom level), then the processor giving it the
+//!   earliest start.
+//! * **MCP** (Modified Critical Path, Wu & Gajski 1990): pick the ready
+//!   task with the smallest ALAP time, then the earliest-start processor.
+//! * **ETF** (Earliest Task First, Hwang et al. 1989): scan every ready
+//!   `(task, processor)` pair and commit the pair with the earliest start;
+//!   ties go to the greater static level.
+//! * **DLS** (Dynamic Level Scheduling, Sih & Lee 1993): commit the pair
+//!   maximising the *dynamic level* `static_level - earliest_start`.
+
+use crate::engine::{CommModel, Engine};
+use crate::schedule::Schedule;
+use banger_machine::Machine;
+use banger_taskgraph::analysis::GraphAnalysis;
+use banger_taskgraph::{TaskGraph, TaskId};
+
+/// Tracks readiness (all predecessors placed) during a list-scheduling run.
+struct ReadyTracker {
+    remaining_preds: Vec<usize>,
+    ready: Vec<TaskId>,
+}
+
+impl ReadyTracker {
+    fn new(g: &TaskGraph) -> Self {
+        let remaining_preds: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
+        let ready = g
+            .task_ids()
+            .filter(|&t| remaining_preds[t.index()] == 0)
+            .collect();
+        ReadyTracker {
+            remaining_preds,
+            ready,
+        }
+    }
+
+    /// Removes `t` from the ready set and promotes any successors whose
+    /// last dependency it was.
+    fn complete(&mut self, g: &TaskGraph, t: TaskId) {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&x| x == t)
+            .expect("completed task must be ready");
+        self.ready.swap_remove(pos);
+        for s in g.successors(t) {
+            let r = &mut self.remaining_preds[s.index()];
+            *r -= 1;
+            if *r == 0 {
+                self.ready.push(s);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.ready.is_empty()
+    }
+}
+
+/// Task-first list scheduling: repeatedly take the ready task with the
+/// highest `priority` (greater = earlier; ties toward lower task id), then
+/// commit it to the processor giving the earliest start.
+fn task_first(name: &str, g: &TaskGraph, m: &Machine, priority: &[f64]) -> Schedule {
+    let mut eng = Engine::new(name, g, m, CommModel::Analytic);
+    let mut tracker = ReadyTracker::new(g);
+    while !tracker.is_done() {
+        let &t = tracker
+            .ready
+            .iter()
+            .max_by(|a, b| {
+                priority[a.index()]
+                    .total_cmp(&priority[b.index()])
+                    .then(b.0.cmp(&a.0))
+            })
+            .unwrap();
+        let p = eng.best_processor(t);
+        eng.commit(t, p);
+        tracker.complete(g, t);
+    }
+    eng.finish()
+}
+
+/// HLFET: static-level priority, earliest-start processor.
+pub fn hlfet(g: &TaskGraph, m: &Machine) -> Schedule {
+    let a = GraphAnalysis::analyze(g);
+    task_first("HLFET", g, m, &a.static_level)
+}
+
+/// MCP: smallest-ALAP priority (implemented as `-alap`), earliest-start
+/// processor.
+pub fn mcp(g: &TaskGraph, m: &Machine) -> Schedule {
+    let a = GraphAnalysis::analyze(g);
+    let neg_alap: Vec<f64> = a.alap.iter().map(|&x| -x).collect();
+    task_first("MCP", g, m, &neg_alap)
+}
+
+/// ETF: commit the ready `(task, processor)` pair with the earliest start;
+/// break ties by greater static level, then lower ids.
+pub fn etf(g: &TaskGraph, m: &Machine) -> Schedule {
+    let a = GraphAnalysis::analyze(g);
+    let mut eng = Engine::new("ETF", g, m, CommModel::Analytic);
+    let mut tracker = ReadyTracker::new(g);
+    while !tracker.is_done() {
+        // Key: (start, -static_level, task id, proc id), lexicographic min.
+        let mut best: Option<(f64, f64, TaskId, banger_machine::ProcId)> = None;
+        for &t in &tracker.ready {
+            for p in m.proc_ids() {
+                let s = eng.earliest_start(t, p);
+                let cand = (s, -a.static_level[t.index()], t, p);
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        cand.0
+                            .total_cmp(&b.0)
+                            .then(cand.1.total_cmp(&b.1))
+                            .then(cand.2.cmp(&b.2))
+                            .then(cand.3.cmp(&b.3))
+                            .is_lt()
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, _, t, p) = best.unwrap();
+        eng.commit(t, p);
+        tracker.complete(g, t);
+    }
+    eng.finish()
+}
+
+/// DLS: commit the ready pair maximising `static_level - earliest_start`.
+pub fn dls(g: &TaskGraph, m: &Machine) -> Schedule {
+    let a = GraphAnalysis::analyze(g);
+    let mut eng = Engine::new("DLS", g, m, CommModel::Analytic);
+    let mut tracker = ReadyTracker::new(g);
+    while !tracker.is_done() {
+        // Key: (-dynamic_level, task id, proc id), lexicographic min.
+        let mut best: Option<(f64, TaskId, banger_machine::ProcId)> = None;
+        for &t in &tracker.ready {
+            for p in m.proc_ids() {
+                let dl = a.static_level[t.index()] - eng.earliest_start(t, p);
+                let cand = (-dl, t, p);
+                let better = match &best {
+                    None => true,
+                    Some(b) => cand
+                        .0
+                        .total_cmp(&b.0)
+                        .then(cand.1.cmp(&b.1))
+                        .then(cand.2.cmp(&b.2))
+                        .is_lt(),
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, t, p) = best.unwrap();
+        eng.commit(t, p);
+        tracker.complete(g, t);
+    }
+    eng.finish()
+}
+
+/// A naive baseline that ignores communication entirely when choosing
+/// processors (it balances load by earliest-finishing processor). Used by
+/// the A1 ablation to quantify the value of communication awareness.
+pub fn naive_no_comm(g: &TaskGraph, m: &Machine) -> Schedule {
+    let a = GraphAnalysis::analyze(g);
+    let mut eng = Engine::new("naive-no-comm", g, m, CommModel::Analytic);
+    let mut tracker = ReadyTracker::new(g);
+    while !tracker.is_done() {
+        let &t = tracker
+            .ready
+            .iter()
+            .max_by(|x, y| {
+                a.static_level[x.index()]
+                    .total_cmp(&a.static_level[y.index()])
+                    .then(y.0.cmp(&x.0))
+            })
+            .unwrap();
+        // Pick the processor that is free soonest, blind to where the
+        // task's inputs live.
+        let p = m
+            .proc_ids()
+            .min_by(|x, y| {
+                eng.timelines[x.index()]
+                    .last_finish()
+                    .total_cmp(&eng.timelines[y.index()].last_finish())
+                    .then(x.0.cmp(&y.0))
+            })
+            .unwrap();
+        eng.commit(t, p);
+        tracker.complete(g, t);
+    }
+    eng.finish()
+}
+
+/// Serial baseline: every task on processor 0 in topological order.
+pub fn serial(g: &TaskGraph, m: &Machine) -> Schedule {
+    let mut eng = Engine::new("serial", g, m, CommModel::Analytic);
+    for t in g.topo_order().expect("scheduling requires a DAG") {
+        eng.commit(t, banger_machine::ProcId(0));
+    }
+    eng.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_machine::{MachineParams, Topology};
+    use banger_taskgraph::generators;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(Topology::fully_connected(n), MachineParams::default())
+    }
+
+    type Heuristic = fn(&TaskGraph, &Machine) -> Schedule;
+
+    fn all_heuristics() -> Vec<(&'static str, Heuristic)> {
+        vec![
+            ("HLFET", hlfet as Heuristic),
+            ("MCP", mcp),
+            ("ETF", etf),
+            ("DLS", dls),
+            ("naive", naive_no_comm),
+            ("serial", serial),
+        ]
+    }
+
+    #[test]
+    fn all_valid_on_gauss() {
+        let g = generators::gauss_elimination(5, 2.0, 1.0);
+        let m = machine(4);
+        for (name, h) in all_heuristics() {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(s.makespan() > 0.0);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_spread_across_processors() {
+        let g = generators::independent(8, 10.0);
+        let m = machine(4);
+        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("ETF", etf), ("DLS", dls)] {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap();
+            assert_eq!(s.makespan(), 20.0, "{name} should perfectly balance");
+            assert_eq!(s.processors_used(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn chain_stays_on_one_processor() {
+        let g = generators::chain(6, 5.0, 10.0);
+        let m = machine(4);
+        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("ETF", etf), ("MCP", mcp)] {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap();
+            assert_eq!(s.makespan(), 30.0, "{name}: a chain cannot go faster");
+            assert_eq!(s.processors_used(), 1, "{name}: moving would pay comm");
+        }
+    }
+
+    #[test]
+    fn serial_baseline_uses_one_processor() {
+        let g = generators::fork_join(4, 1.0, 5.0, 1.0, 2.0);
+        let m = machine(4);
+        let s = serial(&g, &m);
+        s.validate(&g, &m).unwrap();
+        assert_eq!(s.processors_used(), 1);
+        assert_eq!(s.makespan(), g.total_weight());
+    }
+
+    #[test]
+    fn parallel_heuristics_beat_serial_when_comm_cheap() {
+        let g = generators::fork_join(8, 1.0, 20.0, 1.0, 0.5);
+        let m = machine(4);
+        let base = serial(&g, &m).makespan();
+        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("MCP", mcp), ("ETF", etf), ("DLS", dls)] {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap();
+            assert!(
+                s.makespan() < base,
+                "{name}: {} !< {base}",
+                s.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_respect_expensive_comm() {
+        // With enormous communication volumes, good heuristics serialise
+        // rather than paying the messages.
+        let mut g = generators::fork_join(4, 1.0, 2.0, 1.0, 1.0);
+        g.scale_volumes(1000.0);
+        let m = machine(4);
+        for (name, h) in [("ETF", etf as fn(&TaskGraph, &Machine) -> Schedule), ("DLS", dls)] {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap();
+            assert_eq!(
+                s.processors_used(),
+                1,
+                "{name} should avoid 1000-unit messages"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_worse_or_equal_when_comm_matters() {
+        let mut g = generators::fork_join(4, 1.0, 2.0, 1.0, 1.0);
+        g.scale_volumes(100.0);
+        let m = machine(4);
+        let naive = naive_no_comm(&g, &m);
+        naive.validate(&g, &m).unwrap();
+        let smart = etf(&g, &m);
+        assert!(smart.makespan() <= naive.makespan());
+        // The gap should be dramatic here: naive pays four 200-unit routes.
+        assert!(naive.makespan() > 2.0 * smart.makespan());
+    }
+
+    #[test]
+    fn works_on_machine_with_topology() {
+        let g = generators::gauss_elimination(4, 3.0, 2.0);
+        let m = Machine::new(
+            Topology::hypercube(2),
+            MachineParams {
+                msg_startup: 0.5,
+                ..MachineParams::default()
+            },
+        );
+        for (name, h) in all_heuristics() {
+            let s = h(&g, &m);
+            s.validate(&g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn single_processor_machine_degenerates_to_serial() {
+        let g = generators::gauss_elimination(4, 3.0, 2.0);
+        let m = Machine::new(Topology::single(), MachineParams::default());
+        let s = etf(&g, &m);
+        s.validate(&g, &m).unwrap();
+        assert_eq!(s.makespan(), g.total_weight());
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::gauss_elimination(6, 2.0, 1.5);
+        let m = machine(4);
+        for (_, h) in all_heuristics() {
+            let s1 = h(&g, &m);
+            let s2 = h(&g, &m);
+            assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_schedule() {
+        let g = TaskGraph::new("empty");
+        let m = machine(2);
+        let s = etf(&g, &m);
+        assert_eq!(s.makespan(), 0.0);
+        s.validate(&g, &m).unwrap();
+    }
+}

@@ -1,0 +1,155 @@
+//! Graphviz DOT rendering — the headless stand-in for Banger's graph
+//! editor display. Tasks render as ovals, storage as open rectangles and
+//! compound nodes as bold clusters, matching the visual vocabulary of the
+//! paper's Figure 1.
+
+use crate::graph::TaskGraph;
+use crate::hierarchy::{HierGraph, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders a flat task graph as DOT. Node labels include the task weight;
+/// edge labels include the variable name and volume.
+pub fn taskgraph_to_dot(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(g.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=oval];");
+    for (id, t) in g.tasks() {
+        let _ = writeln!(
+            out,
+            "  t{} [label=\"{}\\nw={}\"];",
+            id.0,
+            escape(&t.name),
+            t.weight
+        );
+    }
+    for (_, e) in g.edges() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"{} ({})\"];",
+            e.src.0,
+            e.dst.0,
+            escape(&e.label),
+            e.volume
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a hierarchical design as DOT, expanding compound nodes into
+/// `cluster` subgraphs so every level is visible at once.
+pub fn hiergraph_to_dot(g: &HierGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(g.name()));
+    let _ = writeln!(out, "  rankdir=TB; compound=true;");
+    let mut counter = 0usize;
+    emit_level(g, "", &mut out, &mut counter);
+    out.push_str("}\n");
+    out
+}
+
+fn emit_level(g: &HierGraph, prefix: &str, out: &mut String, counter: &mut usize) {
+    // Node names must be globally unique: prefix with the path.
+    let mangle = |id: u32| format!("n{}_{}", prefix.replace('.', "_"), id);
+    for (id, node) in g.nodes() {
+        match &node.kind {
+            NodeKind::Task { weight, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  {} [shape=oval label=\"{}\\nw={}\"];",
+                    mangle(id.0),
+                    escape(&node.name),
+                    weight
+                );
+            }
+            NodeKind::Storage { size } => {
+                let _ = writeln!(
+                    out,
+                    "  {} [shape=box style=\"\" label=\"{} [{}]\"];",
+                    mangle(id.0),
+                    escape(&node.name),
+                    size
+                );
+            }
+            NodeKind::Compound { expansion, .. } => {
+                *counter += 1;
+                let _ = writeln!(out, "  subgraph cluster_{counter} {{");
+                let _ = writeln!(out, "    label=\"{}\"; style=bold;", escape(&node.name));
+                let child_prefix = if prefix.is_empty() {
+                    node.name.clone()
+                } else {
+                    format!("{prefix}.{}", node.name)
+                };
+                emit_level(expansion, &child_prefix, out, counter);
+                let _ = writeln!(out, "  }}");
+                // An anchor node lets this level's arcs attach to the cluster.
+                let _ = writeln!(
+                    out,
+                    "  {} [shape=point style=invis];",
+                    mangle(id.0)
+                );
+            }
+        }
+    }
+    for arc in g.arcs() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            mangle(arc.src.0),
+            mangle(arc.dst.0),
+            escape(&arc.label)
+        );
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn flat_dot_contains_nodes_and_edges() {
+        let g = generators::fork_join(2, 1.0, 2.0, 1.0, 3.0);
+        let dot = taskgraph_to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("fork"));
+        assert!(dot.contains("join"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn hier_dot_contains_clusters_and_storage_boxes() {
+        let h = generators::lu_hierarchical(3);
+        let dot = hiergraph_to_dot(&h);
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("subgraph cluster_2"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("Factor"));
+        assert!(dot.contains("fan1"));
+    }
+
+    #[test]
+    fn escaping() {
+        let mut g = TaskGraph::new("has\"quote");
+        g.add_task("a\"b", 1.0);
+        let dot = taskgraph_to_dot(&g);
+        assert!(dot.contains("has\\\"quote"));
+        assert!(dot.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn dot_node_names_unique_across_levels() {
+        let h = generators::lu_hierarchical(2);
+        let dot = hiergraph_to_dot(&h);
+        // Factor and Solve levels both have a node 0; mangling must keep
+        // them distinct.
+        assert!(dot.contains("n_0"), "top-level node");
+        assert!(dot.contains("nFactor_0"), "factor-level node:\n{dot}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types shared by the graph layer.
+
+use std::fmt;
+
+/// Errors produced while constructing or analysing dataflow graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referred to a node that does not exist in this graph.
+    UnknownNode(u32),
+    /// Adding the edge would create a self-loop, which a dataflow graph
+    /// forbids (a task cannot precede itself).
+    SelfLoop(u32),
+    /// The graph contains a cycle; dataflow designs must be acyclic.
+    /// Carries one node id known to participate in a cycle.
+    Cycle(u32),
+    /// A duplicate edge between the same pair of nodes with the same label.
+    DuplicateEdge {
+        /// Source node id.
+        src: u32,
+        /// Destination node id.
+        dst: u32,
+        /// The repeated variable label.
+        label: String,
+    },
+    /// A task weight or edge volume was negative or non-finite.
+    BadWeight(f64),
+    /// Hierarchy error: a compound node's expansion is missing or invalid.
+    BadExpansion(String),
+    /// Text (de)serialisation error.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop on node {id} is not allowed"),
+            GraphError::Cycle(id) => {
+                write!(f, "graph is cyclic (node {id} participates in a cycle)")
+            }
+            GraphError::DuplicateEdge { src, dst, label } => {
+                write!(f, "duplicate edge {src} -> {dst} with label {label:?}")
+            }
+            GraphError::BadWeight(w) => {
+                write!(f, "weight/volume must be finite and non-negative, got {w}")
+            }
+            GraphError::BadExpansion(msg) => write!(f, "bad hierarchical expansion: {msg}"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::DuplicateEdge {
+            src: 1,
+            dst: 2,
+            label: "x".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("duplicate"), "{s}");
+        assert!(s.contains("\"x\""), "{s}");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::Cycle(3));
+        assert!(e.to_string().contains("cyclic"));
+    }
+}

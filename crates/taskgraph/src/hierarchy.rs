@@ -1,0 +1,912 @@
+//! Hierarchical PITL dataflow graphs — the user-facing design
+//! representation of Banger's graph editor (paper Figure 1).
+//!
+//! A [`HierGraph`] contains three kinds of nodes:
+//!
+//! * **Task** — a primitive sequential node (oval in the paper) with a
+//!   computational weight and, optionally, the name of the PITS program
+//!   that implements it;
+//! * **Storage** — a named data item (open rectangle) with a size in
+//!   abstract data units; arcs in/out of storage model reads and writes;
+//! * **Compound** — a bold-lined node that expands into a lower-level
+//!   [`HierGraph`]. Arcs crossing a compound boundary are connected to
+//!   inner nodes through explicit *port bindings* keyed by the arc label.
+//!
+//! [`HierGraph::flatten`] recursively expands compounds and eliminates
+//! storage nodes, producing the flat weighted [`TaskGraph`] consumed by the
+//! scheduler, plus the design's external inputs and outputs (storage items
+//! with no producer / no consumer).
+
+use crate::error::GraphError;
+use crate::graph::{TaskGraph, TaskId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a node within one level of a [`HierGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HierNodeId(pub u32);
+
+impl HierNodeId {
+    /// Dense index of the node at its level.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HierNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// What a hierarchical node is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// A primitive sequential task.
+    Task {
+        /// Computational weight in abstract operations.
+        weight: f64,
+        /// Name of the PITS program implementing the task, if any.
+        program: Option<String>,
+    },
+    /// A named data item of the given size (abstract units).
+    Storage {
+        /// Data size; becomes the volume of the flattened arcs through it.
+        size: f64,
+    },
+    /// A node that expands into a lower-level dataflow graph.
+    Compound {
+        /// The lower-level design.
+        expansion: Box<HierGraph>,
+        /// For each externally visible input variable: the inner nodes that
+        /// receive it.
+        inputs: BTreeMap<String, Vec<HierNodeId>>,
+        /// For each externally visible output variable: the inner nodes
+        /// that produce it.
+        outputs: BTreeMap<String, Vec<HierNodeId>>,
+    },
+}
+
+/// One node of a hierarchical design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierNode {
+    /// Display name (`fan1`, `A`, `LUD`, ...).
+    pub name: String,
+    /// The node kind.
+    pub kind: NodeKind,
+}
+
+/// A directed arc at one hierarchy level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierArc {
+    /// Source node.
+    pub src: HierNodeId,
+    /// Destination node.
+    pub dst: HierNodeId,
+    /// Variable name drawn on the arc; used to select compound port
+    /// bindings.
+    pub label: String,
+    /// Data volume carried by the arc when it connects two tasks directly.
+    /// Arcs through storage use the storage size instead.
+    pub volume: f64,
+}
+
+/// An external port of a flattened design: a storage item with no producer
+/// (input) or no consumer (output), together with the flat tasks touching
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalPort {
+    /// Variable (storage) name.
+    pub var: String,
+    /// Tasks that read (for inputs) or write (for outputs) the variable.
+    pub tasks: Vec<TaskId>,
+}
+
+/// Result of flattening a hierarchical design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flattened {
+    /// The flat weighted DAG for the scheduler.
+    pub graph: TaskGraph,
+    /// External inputs: storage read but never written inside the design.
+    pub inputs: Vec<ExternalPort>,
+    /// External outputs: storage written but never read inside the design.
+    pub outputs: Vec<ExternalPort>,
+}
+
+/// A hierarchical PITL dataflow design.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierGraph {
+    name: String,
+    nodes: Vec<HierNode>,
+    arcs: Vec<HierArc>,
+}
+
+impl HierGraph {
+    /// Creates an empty design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        HierGraph {
+            name: name.into(),
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes at this level.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs at this level.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Adds a primitive task node.
+    pub fn add_task(&mut self, name: impl Into<String>, weight: f64) -> HierNodeId {
+        self.push(HierNode {
+            name: name.into(),
+            kind: NodeKind::Task {
+                weight,
+                program: None,
+            },
+        })
+    }
+
+    /// Adds a primitive task node with an attached PITS program name.
+    pub fn add_task_with_program(
+        &mut self,
+        name: impl Into<String>,
+        weight: f64,
+        program: impl Into<String>,
+    ) -> HierNodeId {
+        self.push(HierNode {
+            name: name.into(),
+            kind: NodeKind::Task {
+                weight,
+                program: Some(program.into()),
+            },
+        })
+    }
+
+    /// Adds a storage node (named data item).
+    pub fn add_storage(&mut self, name: impl Into<String>, size: f64) -> HierNodeId {
+        self.push(HierNode {
+            name: name.into(),
+            kind: NodeKind::Storage { size },
+        })
+    }
+
+    /// Adds a compound node expanding into `expansion`. Port bindings are
+    /// attached afterwards with [`HierGraph::bind_input`] /
+    /// [`HierGraph::bind_output`].
+    pub fn add_compound(&mut self, name: impl Into<String>, expansion: HierGraph) -> HierNodeId {
+        self.push(HierNode {
+            name: name.into(),
+            kind: NodeKind::Compound {
+                expansion: Box::new(expansion),
+                inputs: BTreeMap::new(),
+                outputs: BTreeMap::new(),
+            },
+        })
+    }
+
+    fn push(&mut self, node: HierNode) -> HierNodeId {
+        let id = HierNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Declares that variable `label` entering compound `c` is received by
+    /// inner node `inner` (an id in the compound's expansion).
+    pub fn bind_input(
+        &mut self,
+        c: HierNodeId,
+        label: impl Into<String>,
+        inner: HierNodeId,
+    ) -> Result<(), GraphError> {
+        match &mut self.node_mut(c)?.kind {
+            NodeKind::Compound { inputs, .. } => {
+                inputs.entry(label.into()).or_default().push(inner);
+                Ok(())
+            }
+            _ => Err(GraphError::BadExpansion(format!(
+                "node {c} is not a compound node"
+            ))),
+        }
+    }
+
+    /// Declares that variable `label` leaving compound `c` is produced by
+    /// inner node `inner`.
+    pub fn bind_output(
+        &mut self,
+        c: HierNodeId,
+        label: impl Into<String>,
+        inner: HierNodeId,
+    ) -> Result<(), GraphError> {
+        match &mut self.node_mut(c)?.kind {
+            NodeKind::Compound { outputs, .. } => {
+                outputs.entry(label.into()).or_default().push(inner);
+                Ok(())
+            }
+            _ => Err(GraphError::BadExpansion(format!(
+                "node {c} is not a compound node"
+            ))),
+        }
+    }
+
+    /// Adds an arc between two nodes at this level. `volume` applies only
+    /// to direct task-to-task (or compound-boundary) arcs; arcs through
+    /// storage take the storage size.
+    pub fn add_arc(
+        &mut self,
+        src: HierNodeId,
+        dst: HierNodeId,
+        label: impl Into<String>,
+        volume: f64,
+    ) -> Result<(), GraphError> {
+        if src.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(src.0));
+        }
+        if dst.index() >= self.nodes.len() {
+            return Err(GraphError::UnknownNode(dst.0));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src.0));
+        }
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(GraphError::BadWeight(volume));
+        }
+        if matches!(self.nodes[src.index()].kind, NodeKind::Storage { .. })
+            && matches!(self.nodes[dst.index()].kind, NodeKind::Storage { .. })
+        {
+            return Err(GraphError::BadExpansion(
+                "storage-to-storage arcs are not allowed; route through a task".into(),
+            ));
+        }
+        self.arcs.push(HierArc {
+            src,
+            dst,
+            label: label.into(),
+            volume,
+        });
+        Ok(())
+    }
+
+    /// Convenience: arc whose label is the destination/source storage name
+    /// and volume comes from the storage node.
+    pub fn add_flow(&mut self, src: HierNodeId, dst: HierNodeId) -> Result<(), GraphError> {
+        let label = match (&self.nodes[src.index()].kind, &self.nodes[dst.index()].kind) {
+            (_, NodeKind::Storage { .. }) => self.nodes[dst.index()].name.clone(),
+            (NodeKind::Storage { .. }, _) => self.nodes[src.index()].name.clone(),
+            _ => format!(
+                "{}_{}",
+                self.nodes[src.index()].name, self.nodes[dst.index()].name
+            ),
+        };
+        self.add_arc(src, dst, label, 0.0)
+    }
+
+    /// The node record for `id`.
+    pub fn node(&self, id: HierNodeId) -> Option<&HierNode> {
+        self.nodes.get(id.index())
+    }
+
+    fn node_mut(&mut self, id: HierNodeId) -> Result<&mut HierNode, GraphError> {
+        let raw = id.0;
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(GraphError::UnknownNode(raw))
+    }
+
+    /// Iterates over nodes with ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (HierNodeId, &HierNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (HierNodeId(i as u32), n))
+    }
+
+    /// Iterates over arcs at this level.
+    pub fn arcs(&self) -> impl Iterator<Item = &HierArc> {
+        self.arcs.iter()
+    }
+
+    /// Sets the weight of a task node. Returns true when `id` names a task
+    /// node at this level (storage/compound nodes are left untouched).
+    pub fn set_task_weight(&mut self, id: HierNodeId, weight: f64) -> bool {
+        match self.nodes.get_mut(id.index()) {
+            Some(HierNode {
+                kind: NodeKind::Task { weight: w, .. },
+                ..
+            }) => {
+                *w = weight;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Replaces a *task* node in place with a compound node expanding into
+    /// `expansion`, keeping the node id (so existing arcs remain attached)
+    /// and installing the given port bindings. Used by design transforms
+    /// such as data-parallel expansion. Fails when `id` is not a task.
+    pub fn replace_task_with_compound(
+        &mut self,
+        id: HierNodeId,
+        expansion: HierGraph,
+        inputs: BTreeMap<String, Vec<HierNodeId>>,
+        outputs: BTreeMap<String, Vec<HierNodeId>>,
+    ) -> Result<(), GraphError> {
+        let node = self.node_mut(id)?;
+        if !matches!(node.kind, NodeKind::Task { .. }) {
+            return Err(GraphError::BadExpansion(format!(
+                "node {id} is not a task; only tasks can be expanded"
+            )));
+        }
+        node.kind = NodeKind::Compound {
+            expansion: Box::new(expansion),
+            inputs,
+            outputs,
+        };
+        Ok(())
+    }
+
+    /// Runs `f` on the expansion of compound node `id`; returns `None` for
+    /// non-compound nodes. Enables recursive edits (e.g. re-weighting tasks
+    /// from trial runs) without exposing the boxed sub-graph directly.
+    pub fn with_expansion_mut<R>(
+        &mut self,
+        id: HierNodeId,
+        f: impl FnOnce(&mut HierGraph) -> R,
+    ) -> Option<R> {
+        match self.nodes.get_mut(id.index()) {
+            Some(HierNode {
+                kind: NodeKind::Compound { expansion, .. },
+                ..
+            }) => Some(f(expansion)),
+            _ => None,
+        }
+    }
+
+    /// Maximum nesting depth: 1 for a design with no compound nodes.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Compound { expansion, .. } => Some(expansion.depth()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of primitive tasks across all levels.
+    pub fn leaf_task_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Task { .. } => 1,
+                NodeKind::Compound { expansion, .. } => expansion.leaf_task_count(),
+                NodeKind::Storage { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Recursively expands compounds and eliminates storage, producing the
+    /// flat scheduler graph plus the design's external ports.
+    pub fn flatten(&self) -> Result<Flattened, GraphError> {
+        let mut acc = FlatAccum::default();
+        let level = expand_level(self, "", &mut acc)?;
+        // Re-route this top level's arcs into the accumulator.
+        route_arcs(self, &level, &mut acc)?;
+        acc.finish(self.name.clone())
+    }
+}
+
+/// A node in the intermediate flat accumulation (tasks and storage only).
+#[derive(Debug, Clone)]
+enum FlatKind {
+    Task { weight: f64, program: Option<String> },
+    Storage { size: f64, base: String },
+}
+
+#[derive(Debug, Clone)]
+struct FlatNode {
+    name: String,
+    kind: FlatKind,
+}
+
+#[derive(Debug, Default)]
+struct FlatAccum {
+    nodes: Vec<FlatNode>,
+    /// (src, dst, label, volume) in flat-node space.
+    arcs: Vec<(usize, usize, String, f64)>,
+}
+
+/// How a hierarchical node at some level is represented in flat space.
+#[derive(Debug, Clone)]
+enum Repr {
+    Simple(usize),
+    Compound {
+        inputs: BTreeMap<String, Vec<usize>>,
+        outputs: BTreeMap<String, Vec<usize>>,
+    },
+}
+
+struct Level {
+    repr: Vec<Repr>,
+}
+
+fn qualified(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+fn expand_level(g: &HierGraph, prefix: &str, acc: &mut FlatAccum) -> Result<Level, GraphError> {
+    let mut repr = Vec::with_capacity(g.nodes.len());
+    for node in &g.nodes {
+        match &node.kind {
+            NodeKind::Task { weight, program } => {
+                let idx = acc.nodes.len();
+                acc.nodes.push(FlatNode {
+                    name: qualified(prefix, &node.name),
+                    kind: FlatKind::Task {
+                        weight: *weight,
+                        program: program.clone(),
+                    },
+                });
+                repr.push(Repr::Simple(idx));
+            }
+            NodeKind::Storage { size } => {
+                let idx = acc.nodes.len();
+                acc.nodes.push(FlatNode {
+                    name: qualified(prefix, &node.name),
+                    kind: FlatKind::Storage {
+                        size: *size,
+                        base: node.name.clone(),
+                    },
+                });
+                repr.push(Repr::Simple(idx));
+            }
+            NodeKind::Compound {
+                expansion,
+                inputs,
+                outputs,
+            } => {
+                let child_prefix = qualified(prefix, &node.name);
+                let child = expand_level(expansion, &child_prefix, acc)?;
+                route_arcs(expansion, &child, acc)?;
+                let resolve = |bindings: &BTreeMap<String, Vec<HierNodeId>>,
+                               side_in: bool|
+                 -> Result<BTreeMap<String, Vec<usize>>, GraphError> {
+                    let mut out = BTreeMap::new();
+                    for (label, ids) in bindings {
+                        let mut flats = Vec::new();
+                        for &inner in ids {
+                            let r = child.repr.get(inner.index()).ok_or_else(|| {
+                                GraphError::BadExpansion(format!(
+                                    "binding for {label:?} in compound {child_prefix:?} \
+                                     names missing inner node {inner}"
+                                ))
+                            })?;
+                            match r {
+                                Repr::Simple(i) => flats.push(*i),
+                                Repr::Compound { inputs, outputs } => {
+                                    // Binding to a nested compound passes
+                                    // through the same label.
+                                    let map = if side_in { inputs } else { outputs };
+                                    let nested = map.get(label).ok_or_else(|| {
+                                        GraphError::BadExpansion(format!(
+                                            "nested compound lacks a binding for {label:?}"
+                                        ))
+                                    })?;
+                                    flats.extend(nested.iter().copied());
+                                }
+                            }
+                        }
+                        out.insert(label.clone(), flats);
+                    }
+                    Ok(out)
+                };
+                repr.push(Repr::Compound {
+                    inputs: resolve(inputs, true)?,
+                    outputs: resolve(outputs, false)?,
+                });
+            }
+        }
+    }
+    Ok(Level { repr })
+}
+
+fn endpoints(
+    level: &Level,
+    id: HierNodeId,
+    label: &str,
+    incoming: bool,
+    ctx: &str,
+) -> Result<Vec<usize>, GraphError> {
+    match &level.repr[id.index()] {
+        Repr::Simple(i) => Ok(vec![*i]),
+        Repr::Compound { inputs, outputs } => {
+            let map = if incoming { inputs } else { outputs };
+            map.get(label).cloned().ok_or_else(|| {
+                GraphError::BadExpansion(format!(
+                    "compound node {id} in {ctx:?} has no {} binding for variable {label:?}",
+                    if incoming { "input" } else { "output" },
+                ))
+            })
+        }
+    }
+}
+
+fn route_arcs(g: &HierGraph, level: &Level, acc: &mut FlatAccum) -> Result<(), GraphError> {
+    for arc in &g.arcs {
+        let srcs = endpoints(level, arc.src, &arc.label, false, g.name())?;
+        let dsts = endpoints(level, arc.dst, &arc.label, true, g.name())?;
+        for &s in &srcs {
+            for &d in &dsts {
+                acc.arcs.push((s, d, arc.label.clone(), arc.volume));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Union-find over flat node indices, used to merge storage nodes that are
+/// aliases of the same data item (an outer storage bound to an inner one
+/// across a compound boundary).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+impl FlatAccum {
+    /// Eliminates storage nodes and produces the final [`Flattened`] result.
+    fn finish(self, name: String) -> Result<Flattened, GraphError> {
+        let n = self.nodes.len();
+        // Storage-to-storage arcs only arise from compound port bindings —
+        // the two nodes are aliases of one data item, so merge them.
+        let mut uf = UnionFind::new(n);
+        for (s, d, _, _) in &self.arcs {
+            let s_store = matches!(self.nodes[*s].kind, FlatKind::Storage { .. });
+            let d_store = matches!(self.nodes[*d].kind, FlatKind::Storage { .. });
+            if s_store && d_store {
+                uf.union(*s, *d);
+            }
+        }
+        // Producer/consumer lists per storage class representative.
+        let mut writers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut direct: Vec<(usize, usize, String, f64)> = Vec::new();
+        for (s, d, label, vol) in &self.arcs {
+            let s_store = matches!(self.nodes[*s].kind, FlatKind::Storage { .. });
+            let d_store = matches!(self.nodes[*d].kind, FlatKind::Storage { .. });
+            match (s_store, d_store) {
+                (false, false) => direct.push((*s, *d, label.clone(), *vol)),
+                (false, true) => writers[uf.find(*d)].push(*s),
+                (true, false) => readers[uf.find(*s)].push(*d),
+                (true, true) => {} // alias arc, already merged
+            }
+        }
+
+        // Map flat task indices to dense TaskGraph ids.
+        let mut graph = TaskGraph::new(name);
+        let mut task_of: Vec<Option<TaskId>> = vec![None; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let FlatKind::Task { weight, program } = &node.kind {
+                let t = graph.try_add_task(node.name.clone(), *weight)?;
+                if let Some(p) = program {
+                    graph.set_program(t, p.clone())?;
+                }
+                task_of[i] = Some(t);
+            }
+        }
+
+        let add_edge = |graph: &mut TaskGraph,
+                            s: usize,
+                            d: usize,
+                            label: &str,
+                            vol: f64|
+         -> Result<(), GraphError> {
+            let (ts, td) = (task_of[s].unwrap(), task_of[d].unwrap());
+            if ts == td {
+                // A task both writing and reading the same storage collapses
+                // to nothing after elimination.
+                return Ok(());
+            }
+            match graph.add_edge(ts, td, vol, label) {
+                Ok(_) | Err(GraphError::DuplicateEdge { .. }) => Ok(()),
+                Err(e) => Err(e),
+            }
+        };
+
+        for (s, d, label, vol) in &direct {
+            add_edge(&mut graph, *s, *d, label, *vol)?;
+        }
+
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !matches!(node.kind, FlatKind::Storage { .. }) || uf.find(i) != i {
+                continue;
+            }
+            // Size and base name of the class: take the largest size (the
+            // aliases describe the same item, sizes should agree) and the
+            // representative's base name.
+            let mut size = 0.0f64;
+            let mut base = String::new();
+            for (j, other) in self.nodes.iter().enumerate() {
+                if let FlatKind::Storage { size: s, base: b } = &other.kind {
+                    if uf.find(j) == i {
+                        if *s > size {
+                            size = *s;
+                        }
+                        if base.is_empty() {
+                            base = b.clone();
+                        }
+                    }
+                }
+            }
+            match (writers[i].is_empty(), readers[i].is_empty()) {
+                (true, true) => {} // isolated storage: ignored
+                (true, false) => inputs.push(ExternalPort {
+                    var: base,
+                    tasks: readers[i].iter().map(|&r| task_of[r].unwrap()).collect(),
+                }),
+                (false, true) => outputs.push(ExternalPort {
+                    var: base,
+                    tasks: writers[i].iter().map(|&w| task_of[w].unwrap()).collect(),
+                }),
+                (false, false) => {
+                    for &w in &writers[i] {
+                        for &r in &readers[i] {
+                            add_edge(&mut graph, w, r, &base, size)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        if !graph.is_dag() {
+            let culprit = graph
+                .topo_order()
+                .err()
+                .map(|e| match e {
+                    GraphError::Cycle(c) => c,
+                    _ => 0,
+                })
+                .unwrap_or(0);
+            return Err(GraphError::Cycle(culprit));
+        }
+
+        Ok(Flattened {
+            graph,
+            inputs,
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-level design: A --(a)--> sqrt --(x)--> X
+    fn simple() -> HierGraph {
+        let mut g = HierGraph::new("sqrtprog");
+        let a = g.add_storage("a", 1.0);
+        let t = g.add_task_with_program("sqrt", 10.0, "sqrt_body");
+        let x = g.add_storage("x", 1.0);
+        g.add_flow(a, t).unwrap();
+        g.add_flow(t, x).unwrap();
+        g
+    }
+
+    #[test]
+    fn flatten_simple() {
+        let f = simple().flatten().unwrap();
+        assert_eq!(f.graph.task_count(), 1);
+        assert_eq!(f.graph.edge_count(), 0);
+        assert_eq!(f.inputs.len(), 1);
+        assert_eq!(f.inputs[0].var, "a");
+        assert_eq!(f.outputs.len(), 1);
+        assert_eq!(f.outputs[0].var, "x");
+        let t = f.graph.find_task("sqrt").unwrap();
+        assert_eq!(f.graph.task(t).program.as_deref(), Some("sqrt_body"));
+    }
+
+    #[test]
+    fn storage_between_tasks_becomes_edge() {
+        let mut g = HierGraph::new("pipe");
+        let p = g.add_task("produce", 5.0);
+        let s = g.add_storage("buf", 64.0);
+        let c = g.add_task("consume", 3.0);
+        g.add_flow(p, s).unwrap();
+        g.add_flow(s, c).unwrap();
+        let f = g.flatten().unwrap();
+        assert_eq!(f.graph.task_count(), 2);
+        assert_eq!(f.graph.edge_count(), 1);
+        let (_, e) = f.graph.edges().next().unwrap();
+        assert_eq!(e.volume, 64.0);
+        assert_eq!(e.label, "buf");
+        assert!(f.inputs.is_empty());
+        assert!(f.outputs.is_empty());
+    }
+
+    #[test]
+    fn fan_out_fan_in_through_storage() {
+        let mut g = HierGraph::new("fan");
+        let w1 = g.add_task("w1", 1.0);
+        let w2 = g.add_task("w2", 1.0);
+        let s = g.add_storage("s", 8.0);
+        let r1 = g.add_task("r1", 1.0);
+        let r2 = g.add_task("r2", 1.0);
+        g.add_flow(w1, s).unwrap();
+        g.add_flow(w2, s).unwrap();
+        g.add_flow(s, r1).unwrap();
+        g.add_flow(s, r2).unwrap();
+        let f = g.flatten().unwrap();
+        // Cross product: 2 writers x 2 readers = 4 edges.
+        assert_eq!(f.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn compound_expansion() {
+        // Inner: in storage "v" -> double -> out storage "w"
+        let mut inner = HierGraph::new("inner");
+        let iv = inner.add_storage("v", 4.0);
+        let t = inner.add_task("double", 2.0);
+        let iw = inner.add_storage("w", 4.0);
+        inner.add_flow(iv, t).unwrap();
+        inner.add_flow(t, iw).unwrap();
+
+        // Outer: gen -> [C] -> use, bound through v/w.
+        let mut outer = HierGraph::new("outer");
+        let gen = outer.add_task("gen", 1.0);
+        let c = outer.add_compound("C", inner);
+        let use_ = outer.add_task("use", 1.0);
+        outer.bind_input(c, "v", iv).unwrap();
+        outer.bind_output(c, "w", iw).unwrap();
+        outer.add_arc(gen, c, "v", 4.0).unwrap();
+        outer.add_arc(c, use_, "w", 4.0).unwrap();
+
+        let f = outer.flatten().unwrap();
+        assert_eq!(f.graph.task_count(), 3);
+        assert_eq!(f.graph.edge_count(), 2);
+        let names: Vec<String> = f.graph.tasks().map(|(_, t)| t.name.clone()).collect();
+        assert!(names.contains(&"C.double".to_string()), "{names:?}");
+        // gen -> C.double and C.double -> use must exist
+        let gen_t = f.graph.find_task("gen").unwrap();
+        let dbl = f.graph.find_task("C.double").unwrap();
+        let use_t = f.graph.find_task("use").unwrap();
+        assert_eq!(f.graph.successors(gen_t).collect::<Vec<_>>(), vec![dbl]);
+        assert_eq!(f.graph.successors(dbl).collect::<Vec<_>>(), vec![use_t]);
+        assert!(f.graph.is_dag());
+    }
+
+    #[test]
+    fn compound_binding_directly_to_inner_task() {
+        let mut inner = HierGraph::new("inner");
+        let t = inner.add_task("work", 2.0);
+
+        let mut outer = HierGraph::new("outer");
+        let gen = outer.add_task("gen", 1.0);
+        let c = outer.add_compound("C", inner);
+        outer.bind_input(c, "d", t).unwrap();
+        outer.add_arc(gen, c, "d", 3.0).unwrap();
+
+        let f = outer.flatten().unwrap();
+        assert_eq!(f.graph.edge_count(), 1);
+        let (_, e) = f.graph.edges().next().unwrap();
+        assert_eq!(e.volume, 3.0);
+        assert_eq!(e.label, "d");
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let inner = HierGraph::new("inner");
+        let mut outer = HierGraph::new("outer");
+        let gen = outer.add_task("gen", 1.0);
+        let c = outer.add_compound("C", inner);
+        outer.add_arc(gen, c, "d", 3.0).unwrap();
+        let err = outer.flatten().unwrap_err();
+        assert!(matches!(err, GraphError::BadExpansion(_)), "{err:?}");
+    }
+
+    #[test]
+    fn two_level_nesting() {
+        let mut leaf = HierGraph::new("leaf");
+        let lt = leaf.add_task("w", 1.0);
+
+        let mut mid = HierGraph::new("mid");
+        let mc = mid.add_compound("L", leaf);
+        mid.bind_input(mc, "x", lt).unwrap();
+
+        let mut top = HierGraph::new("top");
+        let gen = top.add_task("gen", 1.0);
+        let tc = top.add_compound("M", mid);
+        // Binding to a nested compound resolves through its own binding.
+        top.bind_input(tc, "x", mc).unwrap();
+        top.add_arc(gen, tc, "x", 2.0).unwrap();
+
+        let f = top.flatten().unwrap();
+        assert_eq!(f.graph.task_count(), 2);
+        assert_eq!(f.graph.edge_count(), 1);
+        assert!(f.graph.find_task("M.L.w").is_some());
+        assert_eq!(top.depth(), 3);
+        assert_eq!(top.leaf_task_count(), 2);
+    }
+
+    #[test]
+    fn storage_to_storage_rejected() {
+        let mut g = HierGraph::new("ss");
+        let a = g.add_storage("a", 1.0);
+        let b = g.add_storage("b", 1.0);
+        assert!(g.add_arc(a, b, "x", 1.0).is_err());
+    }
+
+    #[test]
+    fn bind_on_non_compound_rejected() {
+        let mut g = HierGraph::new("bn");
+        let t = g.add_task("t", 1.0);
+        assert!(g.bind_input(t, "x", HierNodeId(0)).is_err());
+        assert!(g.bind_output(t, "x", HierNodeId(0)).is_err());
+    }
+
+    #[test]
+    fn task_reading_and_writing_same_storage_no_self_loop() {
+        let mut g = HierGraph::new("rw");
+        let t = g.add_task("t", 1.0);
+        let s = g.add_storage("s", 4.0);
+        let u = g.add_task("u", 1.0);
+        g.add_flow(t, s).unwrap();
+        g.add_flow(s, t).unwrap(); // t updates s in place
+        g.add_flow(s, u).unwrap();
+        let f = g.flatten().unwrap();
+        // Only t -> u survives; the t -> t edge is dropped.
+        assert_eq!(f.graph.edge_count(), 1);
+        assert!(f.graph.is_dag());
+    }
+
+    #[test]
+    fn flatten_cycle_detected() {
+        let mut g = HierGraph::new("cyc");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        g.add_arc(b, a, "y", 1.0).unwrap();
+        assert!(matches!(g.flatten(), Err(GraphError::Cycle(_))));
+    }
+}

@@ -1,0 +1,187 @@
+//! A tiny line-oriented text format for flat task graphs, so designs can be
+//! saved, versioned and exchanged without pulling in a serialisation
+//! framework (the paper's environment stored designs as documents).
+//!
+//! Format:
+//!
+//! ```text
+//! taskgraph <name>
+//! task <name> <weight> [program]
+//! edge <src-name> <dst-name> <volume> <label>
+//! ```
+//!
+//! Task names are written with `%20`-style escaping for whitespace, so the
+//! format round-trips arbitrary names.
+
+use crate::error::GraphError;
+use crate::graph::TaskGraph;
+use std::fmt::Write as _;
+
+fn enc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '%' => out.push_str("%25"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn dec(s: &str) -> Result<String, GraphError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let h1 = chars.next();
+            let h2 = chars.next();
+            let (h1, h2) = match (h1, h2) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(GraphError::Parse(format!("truncated escape in {s:?}"))),
+            };
+            let byte = u8::from_str_radix(&format!("{h1}{h2}"), 16)
+                .map_err(|_| GraphError::Parse(format!("bad escape %{h1}{h2}")))?;
+            out.push(byte as char);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Serialises a flat graph to the text format.
+pub fn to_text(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "taskgraph {}", enc(g.name()));
+    for (_, t) in g.tasks() {
+        match &t.program {
+            Some(p) => {
+                let _ = writeln!(out, "task {} {} {}", enc(&t.name), t.weight, enc(p));
+            }
+            None => {
+                let _ = writeln!(out, "task {} {}", enc(&t.name), t.weight);
+            }
+        }
+    }
+    for (_, e) in g.edges() {
+        let _ = writeln!(
+            out,
+            "edge {} {} {} {}",
+            enc(&g.task(e.src).name),
+            enc(&g.task(e.dst).name),
+            e.volume,
+            enc(&e.label)
+        );
+    }
+    out
+}
+
+/// Parses the text format back into a graph. Unknown directives, missing
+/// fields and unknown task names are reported as [`GraphError::Parse`].
+pub fn from_text(text: &str) -> Result<TaskGraph, GraphError> {
+    let mut g: Option<TaskGraph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().unwrap();
+        let ctx = |msg: &str| GraphError::Parse(format!("line {}: {msg}", lineno + 1));
+        match directive {
+            "taskgraph" => {
+                let name = dec(parts.next().ok_or_else(|| ctx("missing graph name"))?)?;
+                if g.is_some() {
+                    return Err(ctx("duplicate taskgraph header"));
+                }
+                g = Some(TaskGraph::new(name));
+            }
+            "task" => {
+                let g = g.as_mut().ok_or_else(|| ctx("task before header"))?;
+                let name = dec(parts.next().ok_or_else(|| ctx("missing task name"))?)?;
+                let weight: f64 = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing weight"))?
+                    .parse()
+                    .map_err(|_| ctx("weight is not a number"))?;
+                let id = g.try_add_task(name, weight)?;
+                if let Some(p) = parts.next() {
+                    g.set_program(id, dec(p)?)?;
+                }
+            }
+            "edge" => {
+                let g = g.as_mut().ok_or_else(|| ctx("edge before header"))?;
+                let src = dec(parts.next().ok_or_else(|| ctx("missing src"))?)?;
+                let dst = dec(parts.next().ok_or_else(|| ctx("missing dst"))?)?;
+                let volume: f64 = parts
+                    .next()
+                    .ok_or_else(|| ctx("missing volume"))?
+                    .parse()
+                    .map_err(|_| ctx("volume is not a number"))?;
+                let label = dec(parts.next().ok_or_else(|| ctx("missing label"))?)?;
+                let s = g
+                    .find_task(&src)
+                    .ok_or_else(|| ctx(&format!("unknown task {src:?}")))?;
+                let d = g
+                    .find_task(&dst)
+                    .ok_or_else(|| ctx(&format!("unknown task {dst:?}")))?;
+                g.add_edge(s, d, volume, label)?;
+            }
+            other => return Err(ctx(&format!("unknown directive {other:?}"))),
+        }
+    }
+    g.ok_or_else(|| GraphError::Parse("empty document".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_simple() {
+        let g = generators::gauss_elimination(4, 2.0, 3.0);
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trip_with_programs_and_spaces() {
+        let mut g = TaskGraph::new("my design");
+        let a = g.add_task("task one", 1.5);
+        let b = g.add_task("task%two", 2.5);
+        g.set_program(a, "prog a").unwrap();
+        g.add_edge(a, b, 3.0, "var x").unwrap();
+        let back = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ntaskgraph t\ntask a 1\n# more\ntask b 2\nedge a b 0.5 x\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(from_text("").is_err());
+        assert!(from_text("task a 1\n").is_err(), "task before header");
+        assert!(from_text("taskgraph t\ntask a notanumber\n").is_err());
+        assert!(from_text("taskgraph t\nedge a b 1 x\n").is_err(), "unknown tasks");
+        assert!(from_text("taskgraph t\nbogus\n").is_err());
+        assert!(from_text("taskgraph a\ntaskgraph b\n").is_err(), "duplicate header");
+        assert!(from_text("taskgraph t\ntask a%GG 1\n").is_err(), "bad escape");
+    }
+
+    #[test]
+    fn error_mentions_line_number() {
+        let err = from_text("taskgraph t\ntask a x\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

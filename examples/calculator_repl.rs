@@ -1,0 +1,191 @@
+//! An interactive session with the Figure 4 calculator panel: immediate
+//! expression evaluation, `STO` registers, and task recording.
+//!
+//! Run with: `cargo run --example calculator_repl` and type expressions;
+//! or pipe a script: `echo "2 + sqrt(2)" | cargo run --example calculator_repl`.
+//!
+//! Commands:
+//!   <expr>            evaluate immediately (the `=` key)
+//!   sto <var> <expr>  evaluate and store in a register
+//!   task <name>       begin recording a task
+//!   in/out/local <v>  declare variables for the recording
+//!   rec <line>        record a raw program line (while/if/end/...)
+//!   finish            finish the recording, print and trial-run it
+//!   tape              show the feedback tape
+//!   quit              exit
+
+use banger_calc::{interp, Button, Panel, Value};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let stdin = io::stdin();
+    let mut panel = Panel::new();
+    let mut finished: Option<banger_calc::Program> = None;
+
+    println!("Banger calculator — type an expression, or `task <name>` to record (Ctrl-D to exit)");
+    print!("> ");
+    io::stdout().flush().unwrap();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            print!("> ");
+            io::stdout().flush().unwrap();
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "quit" | "exit" => break,
+            "tape" => {
+                for entry in panel.tape() {
+                    println!("  {entry}");
+                }
+            }
+            "task" => {
+                panel.begin_task(rest.trim());
+                println!("recording task {:?}", rest.trim());
+            }
+            "in" => {
+                // `in x = 3` gives the variable a trial value
+                let (name, value) = rest.split_once('=').unwrap_or((rest, "0"));
+                let trial = value.trim().parse().unwrap_or(0.0);
+                match panel.declare_in(name.trim(), Value::Num(trial)) {
+                    Ok(()) => println!("in {} (trial value {trial})", name.trim()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "out" => match panel.declare_out(rest.trim()) {
+                Ok(()) => println!("out {}", rest.trim()),
+                Err(e) => println!("error: {e}"),
+            },
+            "local" => match panel.declare_local(rest.trim()) {
+                Ok(()) => println!("local {}", rest.trim()),
+                Err(e) => println!("error: {e}"),
+            },
+            "rec" => match panel.record_line(rest) {
+                Ok(()) => println!("  | {rest}"),
+                Err(e) => println!("error: {e}"),
+            },
+            "sto" => {
+                let (var, expr) = rest.split_once(' ').unwrap_or((rest, ""));
+                type_expr(&mut panel, expr);
+                match panel.store(var) {
+                    Ok(v) => println!("{var} := {v}"),
+                    Err(e) => {
+                        println!("error: {e}");
+                        panel.press(Button::Clear).unwrap();
+                    }
+                }
+            }
+            "finish" => match panel.finish_task() {
+                Ok((prog, src)) => {
+                    println!("--- recorded program ---\n{src}");
+                    finished = Some(prog);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "run" => {
+                // `run a=2 b=3` trial-runs the finished task
+                if let Some(prog) = &finished {
+                    let mut inputs = std::collections::BTreeMap::new();
+                    for pair in rest.split_whitespace() {
+                        if let Some((k, v)) = pair.split_once('=') {
+                            if let Ok(num) = v.parse::<f64>() {
+                                inputs.insert(k.to_string(), Value::Num(num));
+                            }
+                        }
+                    }
+                    match interp::run(prog, &inputs) {
+                        Ok(out) => {
+                            for (k, v) in &out.outputs {
+                                println!("{k} = {v}");
+                            }
+                            println!("({} ops)", out.ops);
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                } else {
+                    println!("no finished task; use `task`/`finish` first");
+                }
+            }
+            _ => {
+                // Immediate mode: the whole line is an expression.
+                type_expr(&mut panel, line);
+                match panel.equals() {
+                    Ok(v) => println!("= {v}"),
+                    Err(e) => {
+                        println!("error: {e}");
+                        panel.press(Button::Clear).unwrap();
+                    }
+                }
+            }
+        }
+        print!("> ");
+        io::stdout().flush().unwrap();
+    }
+    println!();
+}
+
+/// Feeds a typed expression through the panel's button interface, one
+/// character at a time — the headless equivalent of clicking the keypad.
+fn type_expr(panel: &mut Panel, expr: &str) {
+    panel.press(Button::Clear).unwrap();
+    let mut word = String::new();
+    let flush = |panel: &mut Panel, word: &mut String| {
+        if !word.is_empty() {
+            panel.press(Button::Var(word.clone())).unwrap();
+            word.clear();
+        }
+    };
+    for c in expr.chars() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' => word.push(c),
+            '0'..='9' => {
+                if word.is_empty() {
+                    panel.press(Button::Digit(c as u8 - b'0')).unwrap();
+                } else {
+                    word.push(c);
+                }
+            }
+            '.' => {
+                flush(panel, &mut word);
+                panel.press(Button::Dot).unwrap();
+            }
+            '+' | '-' | '*' | '/' | '^' | '%' => {
+                flush(panel, &mut word);
+                panel.press(Button::Op(c)).unwrap();
+            }
+            '(' => {
+                // A pending word followed by `(` is a function button.
+                if word.is_empty() {
+                    panel.press(Button::LParen).unwrap();
+                } else {
+                    panel.press(Button::Func(std::mem::take(&mut word))).unwrap();
+                }
+            }
+            ')' => {
+                flush(panel, &mut word);
+                panel.press(Button::RParen).unwrap();
+            }
+            '[' => {
+                flush(panel, &mut word);
+                panel.press(Button::LBracket).unwrap();
+            }
+            ']' => {
+                flush(panel, &mut word);
+                panel.press(Button::RBracket).unwrap();
+            }
+            ',' => {
+                flush(panel, &mut word);
+                panel.press(Button::Comma).unwrap();
+            }
+            ' ' => flush(panel, &mut word),
+            _ => {}
+        }
+    }
+    flush(panel, &mut word);
+}

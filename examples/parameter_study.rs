@@ -1,0 +1,117 @@
+//! A parameter study — the workload the paper's introduction motivates: a
+//! scientist sweeps a model parameter across many simulation runs and
+//! wants them done in parallel *today*, not after learning MPI.
+//!
+//! Model: a damped oscillator `x'' = -k x - c x'` integrated with
+//! semi-implicit Euler inside a PITS task; the study sweeps the damping
+//! coefficient `c` and reports which value settles the system fastest.
+//!
+//! Run with: `cargo run --example parameter_study [-- runs]` (default 12).
+
+use banger::project::Project;
+use banger_calc::Value;
+use banger_machine::{Machine, MachineParams, Topology};
+use banger_taskgraph::HierGraph;
+use std::collections::BTreeMap;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12)
+        .clamp(2, 64);
+
+    // --- design: one simulation task per damping value, plus a picker ----
+    let mut design = HierGraph::new("damping-study");
+    let k_store = design.add_storage("k", 1.0);
+    let best = design.add_task_with_program("pick_best", runs as f64, "PickBest");
+    let out = design.add_storage("best", 2.0);
+    design.add_flow(best, out).unwrap();
+    for r in 0..runs {
+        let sim = design.add_task_with_program(
+            format!("run{r}"),
+            5_000.0,
+            format!("Sim{r}"),
+        );
+        design.add_flow(k_store, sim).unwrap();
+        design.add_arc(sim, best, format!("settle{r}"), 1.0).unwrap();
+    }
+
+    let mut project = Project::new("damping-study", design);
+
+    // --- PITS tasks -------------------------------------------------------
+    // Each run simulates 2000 steps with its own damping coefficient and
+    // reports a settle metric: the remaining energy at the end.
+    for r in 0..runs {
+        let c = 0.05 + 0.4 * r as f64 / (runs - 1) as f64;
+        let src = format!(
+            "task Sim{r}
+               in k
+               out settle{r}
+               local x, v, dt, i
+             begin
+               x := 1
+               v := 0
+               dt := 0.01
+               for i := 1 to 2000 do
+                 v := v + (0 - k * x - {c} * v) * dt
+                 x := x + v * dt
+               end
+               settle{r} := k * x * x / 2 + v * v / 2
+             end"
+        );
+        project.library_mut().add_source(&src).expect("sim parses");
+    }
+    let settles: Vec<String> = (0..runs).map(|r| format!("settle{r}")).collect();
+    let mut pick_body = String::from("best := zeros(2) best[1] := 0 best[2] := settle0 ");
+    for (r, s) in settles.iter().enumerate() {
+        pick_body.push_str(&format!(
+            "if {s} < best[2] then best[1] := {r} best[2] := {s} end "
+        ));
+    }
+    project
+        .library_mut()
+        .add_source(&format!(
+            "task PickBest in {} out best begin {pick_body} end",
+            settles.join(", ")
+        ))
+        .expect("picker parses");
+
+    // --- machine + schedule ------------------------------------------------
+    project.set_machine(Machine::new(
+        Topology::mesh(2, 4),
+        MachineParams {
+            msg_startup: 0.5,
+            transmission_rate: 8.0,
+            process_startup: 0.2,
+            ..MachineParams::default()
+        },
+    ));
+    let schedule = project.schedule("MH").expect("schedules");
+    println!("{}", project.gantt(&schedule).unwrap());
+    let g = project.flatten().unwrap().graph.clone();
+    println!(
+        "predicted: makespan {:.0}, speedup {:.2}x on 8-processor mesh\n",
+        schedule.makespan(),
+        schedule.speedup(&g, project.machine().unwrap())
+    );
+
+    // --- execute -----------------------------------------------------------
+    let inputs: BTreeMap<String, Value> =
+        [("k".to_string(), Value::Num(4.0))].into_iter().collect();
+    let report = project.run(&inputs).expect("executes");
+    let best = report.outputs["best"].as_array("best").unwrap();
+    let best_run = best[0] as usize;
+    let c_best = 0.05 + 0.4 * best_run as f64 / (runs - 1) as f64;
+    println!(
+        "{} simulations in {:?}; least residual energy: run {} (c = {:.3}, E = {:.3e})",
+        runs,
+        report.wall,
+        best_run,
+        c_best,
+        best[1]
+    );
+    // Sanity: higher damping settles faster over this window, so the last
+    // run should win.
+    assert_eq!(best_run, runs - 1, "strongest damping should settle best");
+}

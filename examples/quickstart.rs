@@ -1,0 +1,98 @@
+//! Quickstart: the paper's four-step workflow in ~60 lines.
+//!
+//! 1. draw a hierarchical dataflow graph;
+//! 2. define a target machine;
+//! 3. write the sequential tasks in the PITS calculator language;
+//! 4. schedule, trial-run, and execute.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use banger::project::Project;
+use banger_calc::Value;
+use banger_machine::{Machine, MachineParams, Topology};
+use banger_taskgraph::HierGraph;
+use std::collections::BTreeMap;
+
+fn main() {
+    // Step 1 — the PITL design: split a vector, process both halves in
+    // parallel, merge. Storage nodes (rectangles) hold named data; task
+    // nodes (ovals) carry the programs.
+    let mut design = HierGraph::new("quickstart");
+    let input = design.add_storage("v", 8.0);
+    let split = design.add_task_with_program("split", 10.0, "Split");
+    let left = design.add_task_with_program("left", 40.0, "SumHalf");
+    let right = design.add_task_with_program("right", 40.0, "SumSquares");
+    let merge = design.add_task_with_program("merge", 5.0, "Merge");
+    let output = design.add_storage("result", 1.0);
+    design.add_flow(input, split).unwrap();
+    design.add_arc(split, left, "lo", 4.0).unwrap();
+    design.add_arc(split, right, "hi", 4.0).unwrap();
+    design.add_arc(left, merge, "s1", 1.0).unwrap();
+    design.add_arc(right, merge, "s2", 1.0).unwrap();
+    design.add_flow(merge, output).unwrap();
+
+    let mut project = Project::new("quickstart", design);
+
+    // Step 3 — PITS tasks (normally typed on the calculator panel).
+    for src in [
+        "task Split in v out lo, hi local i, n, h begin
+           n := len(v)  h := n / 2
+           lo := zeros(h)  hi := zeros(n - h)
+           for i := 1 to h do lo[i] := v[i] end
+           for i := h + 1 to n do hi[i - h] := v[i] end
+         end",
+        "task SumHalf in lo out s1 begin s1 := sum(lo) end",
+        "task SumSquares in hi out s2 local i begin
+           s2 := 0
+           for i := 1 to len(hi) do s2 := s2 + hi[i] ^ 2 end
+         end",
+        "task Merge in s1, s2 out result begin result := s1 + s2 end",
+    ] {
+        project.library_mut().add_source(src).expect("task parses");
+    }
+
+    // Step 2 — the target machine: a 4-processor hypercube with the
+    // paper's four cost parameters.
+    project.set_machine(Machine::new(
+        Topology::hypercube(2),
+        MachineParams {
+            processor_speed: 1.0,
+            process_startup: 0.5,
+            msg_startup: 1.0,
+            transmission_rate: 4.0,
+            ..MachineParams::default()
+        },
+    ));
+
+    // Schedule with the Mapping Heuristic and show the Gantt chart.
+    let schedule = project.schedule("MH").expect("schedules");
+    println!("{}", project.gantt(&schedule).unwrap());
+
+    // Trial-run a single task (instant feedback on one node).
+    let trial = project
+        .trial_run(
+            "SumSquares",
+            &[("hi".to_string(), Value::Array(vec![1.0, 2.0, 3.0]))]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+    println!(
+        "trial run SumSquares([1,2,3]) = {} ({} ops)\n",
+        trial.outputs["s2"], trial.ops
+    );
+
+    // Step 4 — run the whole design for real on host threads.
+    let v: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+    let inputs: BTreeMap<String, Value> =
+        [("v".to_string(), Value::Array(v))].into_iter().collect();
+    let report = project.run(&inputs).expect("executes");
+    println!(
+        "executed {} tasks in {:?}; result = {}",
+        report.runs.len(),
+        report.wall,
+        report.outputs["result"]
+    );
+    // sum(1..4) + sum of squares(5..8) = 10 + 174 = 184
+    assert_eq!(report.outputs["result"], Value::Num(184.0));
+}

@@ -1,0 +1,11 @@
+//! Workspace umbrella crate: re-exports every Banger crate so integration
+//! tests and examples can use one import root.
+
+pub use banger as core;
+pub use banger_calc as calc;
+pub use banger_codegen as codegen;
+pub use banger_exec as exec;
+pub use banger_machine as machine;
+pub use banger_sched as sched;
+pub use banger_sim as sim;
+pub use banger_taskgraph as taskgraph;

@@ -1,0 +1,253 @@
+//! Integration tests for the `banger` CLI on the bundled `.bang` project.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn banger() -> Command {
+    // The CLI lives in another workspace package, so CARGO_BIN_EXE_* is not
+    // set here; locate it next to this test executable
+    // (target/debug/deps/this_test -> target/debug/banger) and build it on
+    // demand the first time.
+    let mut dir = std::env::current_exe().expect("test exe path");
+    dir.pop(); // deps/
+    dir.pop(); // debug/
+    let path: PathBuf = dir.join("banger");
+    if !path.exists() {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "banger", "--bin", "banger"])
+            .status()
+            .expect("cargo build runs");
+        assert!(status.success(), "building the banger CLI failed");
+    }
+    Command::new(path)
+}
+
+fn project_path() -> &'static str {
+    "examples/projects/heat_probe.bang"
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = banger().args(args).output().expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "banger {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn show_reports_design() {
+    let out = run_ok(&["show", project_path()]);
+    assert!(out.contains("project heat_probe"));
+    assert!(out.contains("5 leaf tasks"));
+    assert!(out.contains("digraph"));
+    assert!(out.contains("inputs: [\"left\", \"right\"]"));
+}
+
+#[test]
+fn gantt_renders_schedule() {
+    let out = run_ok(&["gantt", project_path()]);
+    assert!(out.contains("Gantt chart — MH"));
+    assert!(out.contains("P0"));
+    assert!(out.contains("makespan"));
+    // Alternate heuristic selection works.
+    let out2 = run_ok(&["gantt", project_path(), "-H", "ETF"]);
+    assert!(out2.contains("Gantt chart — ETF"));
+}
+
+#[test]
+fn compare_lists_all_heuristics() {
+    let out = run_ok(&["compare", project_path()]);
+    for h in ["serial", "HLFET", "MCP", "ETF", "DLS", "MH", "DSH"] {
+        assert!(out.contains(h), "missing {h} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_executes_with_inputs() {
+    let out = run_ok(&[
+        "run",
+        project_path(),
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+    ]);
+    assert!(out.contains("summary = ["), "{out}");
+    // Steady-state endpoints of the relaxed halves straddle 50 degrees.
+    let inner = out
+        .lines()
+        .find(|l| l.starts_with("summary"))
+        .unwrap()
+        .split_once('[')
+        .unwrap()
+        .1
+        .trim_end_matches(']');
+    let vals: Vec<f64> = inner
+        .split(',')
+        .map(|s| s.trim().parse().unwrap())
+        .collect();
+    assert!(vals[0] > vals[1], "lower half is hotter: {vals:?}");
+    assert!((vals[2] - 50.0).abs() < 10.0, "midpoint near 50: {vals:?}");
+}
+
+#[test]
+fn advise_reports_bottlenecks() {
+    let out = run_ok(&["advise", project_path()]);
+    assert!(out.contains("binding chain"), "{out}");
+    assert!(out.contains("suggestions:"), "{out}");
+}
+
+#[test]
+fn animate_renders_frames() {
+    let out = run_ok(&["animate", project_path()]);
+    assert!(out.contains("Animation"), "{out}");
+    assert!(out.contains("t="), "{out}");
+}
+
+#[test]
+fn parallelize_rewrites_document() {
+    // `init` is top-level but not a reduction: expect a clean error.
+    let out = banger()
+        .args(["parallelize", project_path(), "init", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot parallelize"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Tasks nested inside compounds are reported as unknown (the transform
+    // works on top-level nodes).
+    let out2 = banger()
+        .args(["parallelize", project_path(), "lower", "4"])
+        .output()
+        .unwrap();
+    assert!(!out2.status.success());
+    assert!(
+        String::from_utf8_lossy(&out2.stderr).contains("no program"),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
+}
+
+#[test]
+fn svg_writes_three_files() {
+    let dir = std::env::temp_dir().join("banger_svg_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    run_ok(&["svg", project_path(), "-o", dir.to_str().unwrap()]);
+    for name in ["gantt.svg", "speedup.svg", "utilization.svg"] {
+        let body = std::fs::read_to_string(dir.join(name)).unwrap();
+        assert!(body.starts_with("<svg"), "{name}");
+        assert!(body.trim_end().ends_with("</svg>"), "{name}");
+    }
+}
+
+#[test]
+fn simulate_reports_ratio() {
+    let out = run_ok(&["simulate", project_path()]);
+    assert!(out.contains("predicted"));
+    assert!(out.contains("ratio"));
+    assert!(out.contains("messages"));
+}
+
+#[test]
+fn speedup_chart_renders() {
+    let out = run_ok(&[
+        "speedup",
+        project_path(),
+        "-t",
+        "single,hypercube:1,hypercube:2",
+    ]);
+    assert!(out.contains("predicted speedup"));
+    assert!(out.contains("1 procs"));
+    assert!(out.contains("4 procs"));
+}
+
+#[test]
+fn codegen_emits_rust_and_c() {
+    let rust = run_ok(&[
+        "codegen",
+        project_path(),
+        "rust",
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+    ]);
+    assert!(rust.contains("fn main()"));
+    assert!(rust.contains("task_RelaxLower"));
+    let c = run_ok(&[
+        "codegen",
+        project_path(),
+        "c",
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+    ]);
+    assert!(c.contains("MPI_Init"));
+}
+
+#[test]
+fn save_and_verify_schedule_round_trip() {
+    let path = std::env::temp_dir().join("banger_cli_test.sched");
+    run_ok(&[
+        "save-schedule",
+        project_path(),
+        "-H",
+        "DSH",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    let out = run_ok(&["verify", project_path(), "-s", path.to_str().unwrap()]);
+    assert!(out.contains("VALID"), "{out}");
+    assert!(out.contains("ratio"), "{out}");
+
+    // Corrupt the schedule: verification must fail.
+    let mut text = std::fs::read_to_string(&path).unwrap();
+    text = text.replacen("primary", "copy", 1);
+    std::fs::write(&path, text).unwrap();
+    let bad = banger()
+        .args(["verify", project_path(), "-s", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("INVALID"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}
+
+#[test]
+fn matmul_project_computes_identity_product() {
+    let a = "A=[1,0,0,0,0,0,0,1,0,0,0,0,0,0,1,0,0,0,0,0,0,1,0,0,0,0,0,0,1,0,0,0,0,0,0,1]";
+    let b = "B=[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,35,36]";
+    let out = run_ok(&["run", "examples/projects/matmul.bang", "-i", a, "-i", b]);
+    // Identity * B = B.
+    assert!(
+        out.contains("C = [1, 2, 3, 4, 5, 6,"),
+        "{out}"
+    );
+    assert!(out.contains("35, 36]"), "{out}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = banger().args(["gantt", "/no/such/file.bang"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let out2 = banger().args(["frobnicate", project_path()]).output().unwrap();
+    assert!(!out2.status.success());
+
+    let out3 = banger()
+        .args(["run", project_path(), "-i", "notapair"])
+        .output()
+        .unwrap();
+    assert!(!out3.status.success());
+    assert!(String::from_utf8_lossy(&out3.stderr).contains("var=value"));
+}
