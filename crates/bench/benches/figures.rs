@@ -12,7 +12,9 @@ fn bench_fig1_graph(c: &mut Criterion) {
             black_box(h.flatten().unwrap())
         })
     });
-    c.bench_function("fig1/render report", |b| b.iter(|| black_box(figures::figure1())));
+    c.bench_function("fig1/render report", |b| {
+        b.iter(|| black_box(figures::figure1()))
+    });
 }
 
 fn bench_fig2_topologies(c: &mut Criterion) {

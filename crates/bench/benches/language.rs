@@ -26,8 +26,9 @@ fn bench_interpreter_scaling(c: &mut Criterion) {
     let prog = parser::parse_program(PI_SRC).unwrap();
     let mut group = c.benchmark_group("interp_pi_iterations");
     for n in [100u32, 1_000, 10_000] {
-        let inputs: BTreeMap<String, Value> =
-            [("n".to_string(), Value::Num(n as f64))].into_iter().collect();
+        let inputs: BTreeMap<String, Value> = [("n".to_string(), Value::Num(n as f64))]
+            .into_iter()
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &inputs, |b, inputs| {
             b.iter(|| black_box(interp::run(&prog, inputs).unwrap()))
         });

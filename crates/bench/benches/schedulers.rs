@@ -40,9 +40,7 @@ fn bench_simulation(c: &mut Criterion) {
     let s = banger_sched::mh::mh(&g, &m);
     c.bench_function("sim/DES replay of MH schedule (gauss-10)", |b| {
         b.iter(|| {
-            black_box(
-                banger_sim::simulate(&g, &m, &s, banger_sim::SimOptions::default()).unwrap(),
-            )
+            black_box(banger_sim::simulate(&g, &m, &s, banger_sim::SimOptions::default()).unwrap())
         })
     });
 }

@@ -1,0 +1,67 @@
+//! `sweep` benches: the parallel scheduling-sweep layer against the
+//! sequential loop it replaced — predict_speedup over 1..=64-processor
+//! hypercubes on the flattened LU design, and compare_heuristics on Gauss
+//! graphs. `BENCH_sched.json` (written by the `bench_sched` binary) tracks
+//! the same quantities over time.
+
+use banger_bench as xb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_predict_speedup(c: &mut Criterion) {
+    let g = banger_taskgraph::generators::lu_hierarchical(5)
+        .flatten()
+        .unwrap()
+        .graph;
+    let machines = xb::hypercube_suite();
+    // Sanity: the parallel sweep must be bit-identical to the sequential.
+    assert_eq!(
+        xb::speedup_points_sequential(&g, &machines),
+        xb::speedup_points_parallel(&g, &machines)
+    );
+    let mut group = c.benchmark_group("sweep");
+    group.bench_function("predict_speedup/sequential/lu5-hypercube-1..64", |b| {
+        b.iter(|| black_box(xb::speedup_points_sequential(&g, &machines)))
+    });
+    group.bench_function("predict_speedup/parallel/lu5-hypercube-1..64", |b| {
+        b.iter(|| black_box(xb::speedup_points_parallel(&g, &machines)))
+    });
+    group.finish();
+}
+
+fn bench_compare_heuristics(c: &mut Criterion) {
+    let m = xb::bench_machine();
+    let names: Vec<&str> = banger_sched::HEURISTIC_NAMES
+        .iter()
+        .chain(["DSH"].iter())
+        .copied()
+        .collect();
+    let mut group = c.benchmark_group("sweep");
+    for n in [6usize, 8, 10] {
+        let g = banger_taskgraph::generators::gauss_elimination(n, 2.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("compare_heuristics/sequential", format!("gauss-{n}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    for name in &names {
+                        black_box(banger_sched::run_heuristic(name, g, &m).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compare_heuristics/parallel", format!("gauss-{n}")),
+            &g,
+            |b, g| b.iter(|| black_box(banger_sched::sweep::sweep_heuristics(&names, g, &m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    sweep_benches,
+    bench_predict_speedup,
+    bench_compare_heuristics
+);
+criterion_main!(sweep_benches);

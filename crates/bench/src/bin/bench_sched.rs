@@ -1,0 +1,97 @@
+//! `bench_sched` — measures the scheduling-sweep layer and writes
+//! `BENCH_sched.json` (mean ns per sweep, sequential vs parallel, plus
+//! engine probe counts) so the perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p banger-bench --bin bench_sched
+//! ```
+
+use banger_bench as xb;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean wall time of `f` in nanoseconds: one warmup call, then doubling
+/// batches until a batch takes >= 200ms (or 1024 iterations).
+fn mean_ns<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 || iters >= 1024 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+fn main() {
+    let g = banger_taskgraph::generators::lu_hierarchical(5)
+        .flatten()
+        .unwrap()
+        .graph;
+    let machines = xb::hypercube_suite();
+
+    // Correctness gate before timing anything.
+    let seq_points = xb::speedup_points_sequential(&g, &machines);
+    let par_points = xb::speedup_points_parallel(&g, &machines);
+    assert_eq!(
+        seq_points, par_points,
+        "parallel sweep must be bit-identical"
+    );
+
+    let seq_ns = mean_ns(|| {
+        black_box(xb::speedup_points_sequential(&g, &machines));
+    });
+    let par_ns = mean_ns(|| {
+        black_box(xb::speedup_points_parallel(&g, &machines));
+    });
+
+    let cmp_g = banger_taskgraph::generators::gauss_elimination(8, 2.0, 1.0);
+    let cmp_m = xb::bench_machine();
+    let names: Vec<&str> = banger_sched::HEURISTIC_NAMES
+        .iter()
+        .chain(["DSH"].iter())
+        .copied()
+        .collect();
+    let cmp_seq_ns = mean_ns(|| {
+        for name in &names {
+            black_box(banger_sched::run_heuristic(name, &cmp_g, &cmp_m).unwrap());
+        }
+    });
+    let cmp_par_ns = mean_ns(|| {
+        black_box(banger_sched::sweep::sweep_heuristics(
+            &names, &cmp_g, &cmp_m,
+        ));
+    });
+
+    // Engine probe counts for one parallel predict_speedup sweep.
+    banger_sched::engine::reset_probe_totals();
+    black_box(xb::speedup_points_parallel(&g, &machines));
+    let (arrival_probes, slot_searches) = banger_sched::engine::probe_totals();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"predict_speedup_lu5_hypercube_1_64\": {{\n    \
+         \"sequential_mean_ns\": {seq_ns:.0},\n    \
+         \"parallel_mean_ns\": {par_ns:.0},\n    \
+         \"speedup\": {:.2}\n  }},\n  \
+         \"compare_heuristics_gauss8\": {{\n    \
+         \"sequential_mean_ns\": {cmp_seq_ns:.0},\n    \
+         \"parallel_mean_ns\": {cmp_par_ns:.0},\n    \
+         \"speedup\": {:.2}\n  }},\n  \
+         \"engine_probes_per_predict_sweep\": {{\n    \
+         \"arrival_probes\": {arrival_probes},\n    \
+         \"slot_searches\": {slot_searches}\n  }},\n  \
+         \"threads\": {threads}\n}}\n",
+        seq_ns / par_ns,
+        cmp_seq_ns / cmp_par_ns,
+    );
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    print!("{json}");
+}

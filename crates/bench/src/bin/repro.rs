@@ -19,7 +19,10 @@ fn main() {
     let mut section = |name: &str, body: &dyn Fn() -> String| {
         if want(name) {
             ran = true;
-            println!("=== {name} {}", "=".repeat(60usize.saturating_sub(name.len())));
+            println!(
+                "=== {name} {}",
+                "=".repeat(60usize.saturating_sub(name.len()))
+            );
             println!("{}", body());
         }
     };
@@ -47,8 +50,8 @@ fn main() {
             xb::suite_params(),
         );
         let s = banger_sched::mh::mh(&g, &m);
-        let r = banger_sim::simulate(&g, &m, &s, banger_sim::SimOptions::default())
-            .expect("simulates");
+        let r =
+            banger_sim::simulate(&g, &m, &s, banger_sim::SimOptions::default()).expect("simulates");
         banger::animate::animate(
             &g,
             m.processors(),

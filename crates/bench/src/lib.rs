@@ -22,14 +22,23 @@ use std::fmt::Write as _;
 pub fn workload_suite() -> Vec<(&'static str, TaskGraph)> {
     let mut rng = StdRng::seed_from_u64(1994); // ICPP 1994
     vec![
-        ("lu-5", generators::lu_hierarchical(5).flatten().unwrap().graph),
+        (
+            "lu-5",
+            generators::lu_hierarchical(5).flatten().unwrap().graph,
+        ),
         ("gauss-8", generators::gauss_elimination(8, 2.0, 1.0)),
         ("fft-16", generators::fft(16, 4.0, 8.0)),
         ("lattice-6x6", generators::lattice(6, 6, 3.0, 6.0)),
-        ("forkjoin-12", generators::fork_join(12, 2.0, 10.0, 2.0, 12.0)),
+        (
+            "forkjoin-12",
+            generators::fork_join(12, 2.0, 10.0, 2.0, 12.0),
+        ),
         ("outtree-4x2", generators::outtree(4, 2, 3.0, 8.0)),
         ("cholesky-7", generators::cholesky(7, 2.0, 1.5)),
-        ("divcon-4", generators::divide_conquer(4, 1.0, 12.0, 2.0, 4.0)),
+        (
+            "divcon-4",
+            generators::divide_conquer(4, 1.0, 12.0, 2.0, 4.0),
+        ),
         (
             "random-48",
             generators::random_layered(
@@ -86,17 +95,25 @@ pub fn sched_compare_table() -> String {
         "R1 — scheduler comparison (makespan | speedup | makespan/LB)"
     );
     for (wname, g) in workload_suite() {
-        let _ = writeln!(out, "\nworkload {wname} ({} tasks, ccr {:.2}):", g.task_count(), g.ccr());
+        let _ = writeln!(
+            out,
+            "\nworkload {wname} ({} tasks, ccr {:.2}):",
+            g.task_count(),
+            g.ccr()
+        );
         let _ = write!(out, "{:<14}", "machine");
         for h in COMPARED.iter().chain(["DSH"].iter()) {
             let _ = write!(out, " {h:>18}");
         }
         out.push('\n');
+        let names: Vec<&str> = COMPARED.iter().chain(["DSH"].iter()).copied().collect();
         for m in machine_suite() {
             let lb = bounds::lower_bound(&g, &m);
             let _ = write!(out, "{:<14}", m.topology().name());
-            for h in COMPARED.iter().chain(["DSH"].iter()) {
-                let s = banger_sched::run_heuristic(h, &g, &m).expect("known heuristic");
+            // One parallel sweep per machine row; identical to the old
+            // heuristic-at-a-time loop.
+            for s in banger_sched::sweep::sweep_heuristics(&names, &g, &m) {
+                let s = s.expect("known heuristic");
                 debug_assert!(s.validate(&g, &m).is_ok());
                 let _ = write!(
                     out,
@@ -153,18 +170,23 @@ pub fn speedup_sweep() -> String {
     let params = figures::figure3_params();
     let mut out = String::new();
     for (name, g) in [
-        ("LU 5x5", generators::lu_hierarchical(5).flatten().unwrap().graph),
+        (
+            "LU 5x5",
+            generators::lu_hierarchical(5).flatten().unwrap().graph,
+        ),
         ("Gauss 8", generators::gauss_elimination(8, 2.0, 1.0)),
     ] {
-        let mut points = Vec::new();
-        for dim in 0..=4u32 {
-            let m = Machine::new(Topology::hypercube(dim), params);
-            let s = banger_sched::mh::mh(&g, &m);
-            points.push(SpeedupPoint {
+        let machines: Vec<Machine> = (0..=4u32)
+            .map(|dim| Machine::new(Topology::hypercube(dim), params))
+            .collect();
+        let points: Vec<SpeedupPoint> = machines
+            .iter()
+            .zip(banger_sched::sweep::sweep_machines("MH", &g, &machines).unwrap())
+            .map(|(m, s)| SpeedupPoint {
                 processors: m.processors(),
-                speedup: s.speedup(&g, &m),
-            });
-        }
+                speedup: s.speedup(&g, m),
+            })
+            .collect();
         out.push_str(&banger::speedup_chart(
             &format!("R3 — {name} on hypercubes, MH"),
             &points,
@@ -192,9 +214,9 @@ pub fn ablation_comm() -> String {
     for scale in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
         let mut g = generators::fork_join(8, 2.0, 10.0, 2.0, 1.0);
         g.scale_volumes(scale * 10.0);
-        let row: Vec<f64> = ["naive", "ETF", "MH"]
-            .iter()
-            .map(|h| banger_sched::run_heuristic(h, &g, &m).unwrap().makespan())
+        let row: Vec<f64> = banger_sched::sweep::sweep_heuristics(&["naive", "ETF", "MH"], &g, &m)
+            .into_iter()
+            .map(|s| s.unwrap().makespan())
             .collect();
         let _ = writeln!(
             out,
@@ -215,7 +237,11 @@ pub fn ablation_duplication() -> String {
         out,
         "A2 — value of duplication (out-tree, msg-startup sweep, 8 procs full)"
     );
-    let _ = writeln!(out, "{:>12} {:>10} {:>10} {:>8}", "msg-startup", "ETF", "DSH", "copies");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>8}",
+        "msg-startup", "ETF", "DSH", "copies"
+    );
     let g = generators::outtree(3, 2, 3.0, 2.0);
     for startup in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let m = Machine::new(
@@ -285,7 +311,9 @@ pub fn codegen_report() -> String {
     let schedule = project.schedule("MH").expect("schedules");
     let (a, b) = banger::lu::test_system(3);
     let inputs = banger::lu::lu_inputs(&a, &b);
-    let rust = project.generate_rust(&schedule, &inputs).expect("rust codegen");
+    let rust = project
+        .generate_rust(&schedule, &inputs)
+        .expect("rust codegen");
     let c = project.generate_c(&schedule, &inputs).expect("c codegen");
     format!(
         "R4 — code generation (LU 3x3, MH on hypercube-2)\n\
@@ -296,6 +324,43 @@ pub fn codegen_report() -> String {
         c.lines().count(),
         c.len()
     )
+}
+
+/// Machines for the sweep benches: hypercubes from 1 to 64 processors
+/// (dims 0..=6) with the Figure 3 cost set.
+pub fn hypercube_suite() -> Vec<Machine> {
+    (0..=6u32)
+        .map(|dim| Machine::new(Topology::hypercube(dim), figures::figure3_params()))
+        .collect()
+}
+
+/// Sequential reference for the sweep benches: MH on every machine, one at
+/// a time — the pre-sweep code path, kept so the benches (and
+/// `BENCH_sched.json`) can report the parallel layer's gain.
+pub fn speedup_points_sequential(g: &TaskGraph, machines: &[Machine]) -> Vec<SpeedupPoint> {
+    machines
+        .iter()
+        .map(|m| {
+            let s = banger_sched::mh::mh(g, m);
+            SpeedupPoint {
+                processors: m.processors(),
+                speedup: s.speedup(g, m),
+            }
+        })
+        .collect()
+}
+
+/// The parallel sweep equivalent of [`speedup_points_sequential`]; the
+/// results are bit-identical.
+pub fn speedup_points_parallel(g: &TaskGraph, machines: &[Machine]) -> Vec<SpeedupPoint> {
+    machines
+        .iter()
+        .zip(banger_sched::sweep::sweep_machines("MH", g, machines).expect("MH is known"))
+        .map(|(m, s)| SpeedupPoint {
+            processors: m.processors(),
+            speedup: s.speedup(g, m),
+        })
+        .collect()
 }
 
 /// Convenience used by benches: one mid-size schedule input.

@@ -144,8 +144,12 @@ impl PartialEq for Stmt {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (
-                Stmt::Assign { var: v1, expr: e1, .. },
-                Stmt::Assign { var: v2, expr: e2, .. },
+                Stmt::Assign {
+                    var: v1, expr: e1, ..
+                },
+                Stmt::Assign {
+                    var: v2, expr: e2, ..
+                },
             ) => v1 == v2 && e1 == e2,
             (
                 Stmt::AssignIndex {
@@ -173,10 +177,9 @@ impl PartialEq for Stmt {
                     else_body: e2,
                 },
             ) => c1 == c2 && t1 == t2 && e1 == e2,
-            (
-                Stmt::While { cond: c1, body: b1 },
-                Stmt::While { cond: c2, body: b2 },
-            ) => c1 == c2 && b1 == b2,
+            (Stmt::While { cond: c1, body: b1 }, Stmt::While { cond: c2, body: b2 }) => {
+                c1 == c2 && b1 == b2
+            }
             (
                 Stmt::For {
                     var: v1,

@@ -24,31 +24,131 @@ pub const CONSTANTS: [(&str, f64); 2] = [("pi", std::f64::consts::PI), ("e", std
 
 /// The builtin table (kept sorted by name for binary search).
 pub const BUILTINS: &[Builtin] = &[
-    Builtin { name: "abs", arity: 1, cost: 1 },
-    Builtin { name: "acos", arity: 1, cost: 8 },
-    Builtin { name: "amax", arity: 1, cost: 4 },
-    Builtin { name: "amin", arity: 1, cost: 4 },
-    Builtin { name: "asin", arity: 1, cost: 8 },
-    Builtin { name: "atan", arity: 1, cost: 8 },
-    Builtin { name: "atan2", arity: 2, cost: 10 },
-    Builtin { name: "ceil", arity: 1, cost: 1 },
-    Builtin { name: "cos", arity: 1, cost: 8 },
-    Builtin { name: "dot", arity: 2, cost: 8 },
-    Builtin { name: "exp", arity: 1, cost: 8 },
-    Builtin { name: "fill", arity: 2, cost: 4 },
-    Builtin { name: "floor", arity: 1, cost: 1 },
-    Builtin { name: "len", arity: 1, cost: 1 },
-    Builtin { name: "ln", arity: 1, cost: 8 },
-    Builtin { name: "log10", arity: 1, cost: 8 },
-    Builtin { name: "max", arity: 2, cost: 1 },
-    Builtin { name: "min", arity: 2, cost: 1 },
-    Builtin { name: "pow", arity: 2, cost: 10 },
-    Builtin { name: "round", arity: 1, cost: 1 },
-    Builtin { name: "sin", arity: 1, cost: 8 },
-    Builtin { name: "sqrt", arity: 1, cost: 6 },
-    Builtin { name: "sum", arity: 1, cost: 4 },
-    Builtin { name: "tan", arity: 1, cost: 8 },
-    Builtin { name: "zeros", arity: 1, cost: 2 },
+    Builtin {
+        name: "abs",
+        arity: 1,
+        cost: 1,
+    },
+    Builtin {
+        name: "acos",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "amax",
+        arity: 1,
+        cost: 4,
+    },
+    Builtin {
+        name: "amin",
+        arity: 1,
+        cost: 4,
+    },
+    Builtin {
+        name: "asin",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "atan",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "atan2",
+        arity: 2,
+        cost: 10,
+    },
+    Builtin {
+        name: "ceil",
+        arity: 1,
+        cost: 1,
+    },
+    Builtin {
+        name: "cos",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "dot",
+        arity: 2,
+        cost: 8,
+    },
+    Builtin {
+        name: "exp",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "fill",
+        arity: 2,
+        cost: 4,
+    },
+    Builtin {
+        name: "floor",
+        arity: 1,
+        cost: 1,
+    },
+    Builtin {
+        name: "len",
+        arity: 1,
+        cost: 1,
+    },
+    Builtin {
+        name: "ln",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "log10",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "max",
+        arity: 2,
+        cost: 1,
+    },
+    Builtin {
+        name: "min",
+        arity: 2,
+        cost: 1,
+    },
+    Builtin {
+        name: "pow",
+        arity: 2,
+        cost: 10,
+    },
+    Builtin {
+        name: "round",
+        arity: 1,
+        cost: 1,
+    },
+    Builtin {
+        name: "sin",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "sqrt",
+        arity: 1,
+        cost: 6,
+    },
+    Builtin {
+        name: "sum",
+        arity: 1,
+        cost: 4,
+    },
+    Builtin {
+        name: "tan",
+        arity: 1,
+        cost: 8,
+    },
+    Builtin {
+        name: "zeros",
+        arity: 1,
+        cost: 2,
+    },
 ];
 
 /// Looks up a builtin by name.
@@ -162,10 +262,22 @@ mod tests {
     #[test]
     fn array_functions() {
         let a = Value::Array(vec![1.0, 2.0, 3.0]);
-        assert_eq!(apply("len", std::slice::from_ref(&a)).unwrap(), Value::Num(3.0));
-        assert_eq!(apply("sum", std::slice::from_ref(&a)).unwrap(), Value::Num(6.0));
-        assert_eq!(apply("amin", std::slice::from_ref(&a)).unwrap(), Value::Num(1.0));
-        assert_eq!(apply("amax", std::slice::from_ref(&a)).unwrap(), Value::Num(3.0));
+        assert_eq!(
+            apply("len", std::slice::from_ref(&a)).unwrap(),
+            Value::Num(3.0)
+        );
+        assert_eq!(
+            apply("sum", std::slice::from_ref(&a)).unwrap(),
+            Value::Num(6.0)
+        );
+        assert_eq!(
+            apply("amin", std::slice::from_ref(&a)).unwrap(),
+            Value::Num(1.0)
+        );
+        assert_eq!(
+            apply("amax", std::slice::from_ref(&a)).unwrap(),
+            Value::Num(3.0)
+        );
         assert_eq!(
             apply("dot", &[a.clone(), a.clone()]).unwrap(),
             Value::Num(14.0)

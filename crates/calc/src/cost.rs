@@ -36,9 +36,7 @@ fn stmt_cost(s: &Stmt) -> f64 {
             // Branch prediction for estimators: average both arms.
             expr_cost(cond) + 0.5 * (block_cost(then_body) + block_cost(else_body)) + 1.0
         }
-        Stmt::While { cond, body } => {
-            LOOP_FACTOR * (expr_cost(cond) + block_cost(body) + 1.0)
-        }
+        Stmt::While { cond, body } => LOOP_FACTOR * (expr_cost(cond) + block_cost(body) + 1.0),
         Stmt::For {
             var: _,
             from,
@@ -115,19 +113,16 @@ mod tests {
 
     #[test]
     fn while_uses_loop_factor() {
-        let p =
-            parse_program("task T in a out x begin x := a while x > 1 do x := x / 2 end end")
-                .unwrap();
+        let p = parse_program("task T in a out x begin x := a while x > 1 do x := x / 2 end end")
+            .unwrap();
         // x := a -> 1; while: 10 * (cond 1 + body 2 + 1) = 40 => 41
         assert_eq!(estimate_program(&p), 41.0);
     }
 
     #[test]
     fn if_averages_branches() {
-        let p = parse_program(
-            "task T in a out x begin if a > 0 then x := 1 else x := 2 end end",
-        )
-        .unwrap();
+        let p = parse_program("task T in a out x begin if a > 0 then x := 1 else x := 2 end end")
+            .unwrap();
         // cond 1 + 0.5 * (1 + 1) + 1 = 3
         assert_eq!(estimate_program(&p), 3.0);
     }

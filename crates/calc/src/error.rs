@@ -105,7 +105,9 @@ mod tests {
             message: "expected `:=`".into(),
         };
         assert_eq!(p.to_string(), "parse error at 3:7: expected `:=`");
-        assert!(RunError::Undefined("x".into()).to_string().contains("\"x\""));
+        assert!(RunError::Undefined("x".into())
+            .to_string()
+            .contains("\"x\""));
         assert!(RunError::StepLimit(10).to_string().contains("10"));
         assert!(RunError::BadArity {
             name: "atan2".into(),

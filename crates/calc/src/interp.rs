@@ -361,10 +361,8 @@ end";
 
     #[test]
     fn if_else_branches() {
-        let p = parse_program(
-            "task T in a out s begin if a >= 0 then s := 1 else s := -1 end end",
-        )
-        .unwrap();
+        let p = parse_program("task T in a out s begin if a >= 0 then s := 1 else s := -1 end end")
+            .unwrap();
         let pos = run(&p, &inputs(&[("a", Value::Num(3.0))])).unwrap();
         assert_eq!(pos.outputs["s"], Value::Num(1.0));
         let neg = run(&p, &inputs(&[("a", Value::Num(-3.0))])).unwrap();

@@ -86,7 +86,8 @@ mod tests {
     #[test]
     fn replace_on_same_name() {
         let mut lib = ProgramLibrary::new();
-        lib.add_source("task T in a out b begin b := a end").unwrap();
+        lib.add_source("task T in a out b begin b := a end")
+            .unwrap();
         lib.add_source("task T in a out b begin b := a * 3 end")
             .unwrap();
         assert_eq!(lib.len(), 1);

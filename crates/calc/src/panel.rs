@@ -153,7 +153,10 @@ impl Panel {
     }
 
     /// Presses a sequence of buttons.
-    pub fn press_all(&mut self, buttons: impl IntoIterator<Item = Button>) -> Result<(), PanelError> {
+    pub fn press_all(
+        &mut self,
+        buttons: impl IntoIterator<Item = Button>,
+    ) -> Result<(), PanelError> {
         for b in buttons {
             self.press(b)?;
         }
@@ -395,8 +398,12 @@ mod tests {
     fn registers_accessible() {
         let mut p = Panel::new();
         p.set_register("v", Value::Array(vec![1.0, 2.0, 3.0]));
-        p.press_all([Button::Func("sum".into()), Button::Var("v".into()), Button::RParen])
-            .unwrap();
+        p.press_all([
+            Button::Func("sum".into()),
+            Button::Var("v".into()),
+            Button::RParen,
+        ])
+        .unwrap();
         assert_eq!(p.equals().unwrap(), Value::Num(6.0));
         assert!(p.registers().contains_key("ans"));
     }

@@ -30,7 +30,11 @@ use crate::token::{lex, Spanned, Tok};
 /// Parses a complete `task ... begin ... end` program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        depth: 0,
+    };
     let prog = p.program()?;
     p.expect(Tok::Eof, "end of input")?;
     Ok(prog)
@@ -40,7 +44,11 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// evaluation mode).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        depth: 0,
+    };
     let e = p.expr()?;
     p.expect(Tok::Eof, "end of input")?;
     Ok(e)

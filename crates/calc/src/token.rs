@@ -240,7 +240,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '+' => {
                 advance(&mut i, &mut col);
-                out.push(Spanned { tok: Tok::Plus, pos });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    pos,
+                });
             }
             '-' => {
                 advance(&mut i, &mut col);
@@ -251,7 +254,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '*' => {
                 advance(&mut i, &mut col);
-                out.push(Spanned { tok: Tok::Star, pos });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
             }
             '/' => {
                 advance(&mut i, &mut col);
@@ -395,7 +401,15 @@ mod tests {
     fn comparisons() {
         assert_eq!(
             toks("= <> < <= > >="),
-            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
         );
     }
 

@@ -124,9 +124,9 @@ fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
             else_body,
         } => uses_var(cond, v) || stmts_use_var(then_body, v) || stmts_use_var(else_body, v),
         Stmt::While { cond, body } => uses_var(cond, v) || stmts_use_var(body, v),
-        Stmt::For {
-            from, to, body, ..
-        } => uses_var(from, v) || uses_var(to, v) || stmts_use_var(body, v),
+        Stmt::For { from, to, body, .. } => {
+            uses_var(from, v) || uses_var(to, v) || stmts_use_var(body, v)
+        }
         Stmt::Print(e) => uses_var(e, v),
     })
 }
@@ -145,10 +145,7 @@ fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
 /// assert_eq!(split.chunks.len(), 4);
 /// assert_eq!(split.combine.outputs, vec!["s"]);
 /// ```
-pub fn parallelize_reduction(
-    prog: &Program,
-    k: usize,
-) -> Result<ReductionSplit, TransformError> {
+pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit, TransformError> {
     if k < 2 {
         return Err(TransformError::BadChunkCount(k));
     }
@@ -184,18 +181,25 @@ pub fn parallelize_reduction(
     }
     let init_idx = init_idx.ok_or(TransformError::NoReductionLoop)?;
 
-    let (init_expr, loop_var, lo, hi, loop_body) = match (&prog.body[init_idx], &prog.body[init_idx + 1]) {
-        (
-            Stmt::Assign { expr: init, .. },
-            Stmt::For {
-                var,
-                from,
-                to,
-                body,
-            },
-        ) => (init.clone(), var.clone(), from.clone(), to.clone(), body.clone()),
-        _ => unreachable!("checked above"),
-    };
+    let (init_expr, loop_var, lo, hi, loop_body) =
+        match (&prog.body[init_idx], &prog.body[init_idx + 1]) {
+            (
+                Stmt::Assign { expr: init, .. },
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                },
+            ) => (
+                init.clone(),
+                var.clone(),
+                from.clone(),
+                to.clone(),
+                body.clone(),
+            ),
+            _ => unreachable!("checked above"),
+        };
 
     if uses_var(&lo, &loop_var) || uses_var(&hi, &loop_var) {
         return Err(TransformError::LoopBoundsUseLoopVar);
@@ -375,10 +379,7 @@ end";
             let ins = inputs(&[("n", Value::Num(1000.0))]);
             let serial = run(&prog, &ins).unwrap().outputs["p"].clone();
             let parallel = run_split(&split, &ins);
-            let (s, p) = (
-                serial.as_num("p").unwrap(),
-                parallel.as_num("p").unwrap(),
-            );
+            let (s, p) = (serial.as_num("p").unwrap(), parallel.as_num("p").unwrap());
             assert!((s - p).abs() < 1e-9, "k={k}: {s} vs {p}");
             assert!((p - std::f64::consts::PI).abs() < 1e-4, "k={k}");
         }
@@ -426,10 +427,7 @@ end";
     #[test]
     fn rejections() {
         // Two outputs.
-        let p2 = parse_program(
-            "task T out a, b begin a := 1 b := 2 end",
-        )
-        .unwrap();
+        let p2 = parse_program("task T out a, b begin a := 1 b := 2 end").unwrap();
         assert_eq!(
             parallelize_reduction(&p2, 2),
             Err(TransformError::NotSingleOutput)
@@ -480,8 +478,8 @@ end";
         let split = parallelize_reduction(&prog, 4).unwrap();
         for p in split.chunks.iter().chain([&split.combine]) {
             let printed = crate::pretty::print_program(p);
-            let reparsed = parse_program(&printed)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
+            let reparsed =
+                parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
             assert_eq!(&reparsed, p);
         }
     }

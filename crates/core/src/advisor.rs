@@ -14,7 +14,7 @@
 //! * targeted suggestions (pack grains, duplicate, use fewer processors,
 //!   upgrade the network) keyed on what actually dominates.
 
-use banger_machine::{Machine, ProcId};
+use banger_machine::{Machine, MachineParams, ProcId, Topology};
 use banger_sched::{Placement, Schedule};
 use banger_taskgraph::{TaskGraph, TaskId};
 use std::fmt::Write as _;
@@ -78,10 +78,7 @@ pub struct Advice {
 /// Analyses a schedule. The schedule must be valid for `g` on `m`.
 pub fn advise(g: &TaskGraph, m: &Machine, s: &Schedule) -> Advice {
     let makespan = s.makespan().max(1e-12);
-    let utilization: Vec<f64> = m
-        .proc_ids()
-        .map(|p| s.busy_time(p) / makespan)
-        .collect();
+    let utilization: Vec<f64> = m.proc_ids().map(|p| s.busy_time(p) / makespan).collect();
     let speedup = s.speedup(g, m);
     let efficiency = s.efficiency(g, m);
 
@@ -108,7 +105,9 @@ pub fn advise(g: &TaskGraph, m: &Machine, s: &Schedule) -> Advice {
             .max_by(|a, b| a.finish.total_cmp(&b.finish))
         {
             if (prev.finish - pl.start).abs() <= eps {
-                reason = StartReason::Processor { previous: prev.task };
+                reason = StartReason::Processor {
+                    previous: prev.task,
+                };
                 next = Some(*prev);
             }
         }
@@ -210,6 +209,91 @@ pub fn advise(g: &TaskGraph, m: &Machine, s: &Schedule) -> Advice {
         heavy_messages: heavy,
         suggestions,
     }
+}
+
+/// One candidate machine's outcome in a machine-space search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineChoice {
+    /// Topology name (e.g. `hypercube-3`).
+    pub topology: String,
+    /// Processor count.
+    pub processors: usize,
+    /// MH makespan of the design on this machine.
+    pub makespan: f64,
+    /// Speedup over the single-fastest-processor baseline.
+    pub speedup: f64,
+    /// Efficiency (speedup / processors).
+    pub efficiency: f64,
+}
+
+/// The Figure 2 topology family up to `max_procs` processors — the
+/// candidate space a non-programmer would shop from.
+pub fn standard_candidates(max_procs: usize, params: MachineParams) -> Vec<Machine> {
+    let mut topos: Vec<Topology> = vec![Topology::single()];
+    let mut dim = 1u32;
+    while (1usize << dim) <= max_procs {
+        topos.push(Topology::hypercube(dim));
+        dim += 1;
+    }
+    for n in [4usize, 8, 16, 32, 64] {
+        if n > max_procs {
+            break;
+        }
+        topos.push(Topology::mesh(2, n / 2));
+        topos.push(Topology::ring(n));
+        topos.push(Topology::star(n));
+        topos.push(Topology::fully_connected(n));
+    }
+    topos.into_iter().map(|t| Machine::new(t, params)).collect()
+}
+
+/// Machine-space search: schedules `g` with MH on every candidate machine
+/// (fanned across worker threads via [`banger_sched::sweep`]) and ranks the
+/// outcomes best-first — shortest makespan, then fewest processors, then
+/// topology name. Deterministic: the ranking is a pure function of the
+/// candidate list.
+pub fn search_machines(g: &TaskGraph, candidates: &[Machine]) -> Vec<MachineChoice> {
+    let schedules = banger_sched::sweep::sweep_machines("MH", g, candidates).expect("MH is known");
+    let mut choices: Vec<MachineChoice> = candidates
+        .iter()
+        .zip(schedules)
+        .map(|(m, s)| MachineChoice {
+            topology: m.topology().name().to_string(),
+            processors: m.processors(),
+            makespan: s.makespan(),
+            speedup: s.speedup(g, m),
+            efficiency: s.efficiency(g, m),
+        })
+        .collect();
+    choices.sort_by(|a, b| {
+        a.makespan
+            .total_cmp(&b.makespan)
+            .then(a.processors.cmp(&b.processors))
+            .then(a.topology.cmp(&b.topology))
+    });
+    choices
+}
+
+/// Renders a machine-space search as a table, best machine first.
+pub fn render_machine_search(choices: &[MachineChoice]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>6} {:>10} {:>8} {:>6}",
+        "machine", "procs", "makespan", "speedup", "eff"
+    );
+    for c in choices {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6} {:>10.2} {:>7.2}x {:>5.0}%",
+            c.topology,
+            c.processors,
+            c.makespan,
+            c.speedup,
+            100.0 * c.efficiency
+        );
+    }
+    out
 }
 
 /// Renders advice as a human-readable report.
@@ -353,6 +437,44 @@ mod tests {
             "{:?}",
             a.suggestions
         );
+    }
+
+    #[test]
+    fn machine_search_is_ranked_and_deterministic() {
+        let g = generators::gauss_elimination(6, 2.0, 3.0);
+        let candidates = standard_candidates(
+            8,
+            MachineParams {
+                msg_startup: 0.5,
+                ..MachineParams::default()
+            },
+        );
+        let choices = search_machines(&g, &candidates);
+        assert_eq!(choices.len(), candidates.len());
+        for w in choices.windows(2) {
+            assert!(w[0].makespan <= w[1].makespan + 1e-12);
+        }
+        // Bit-identical to a second (and a sequential) evaluation.
+        assert_eq!(choices, search_machines(&g, &candidates));
+        for c in &choices {
+            let m = candidates
+                .iter()
+                .find(|m| m.topology().name() == c.topology)
+                .unwrap();
+            let s = banger_sched::mh::mh(&g, m);
+            assert_eq!(c.makespan, s.makespan(), "{}", c.topology);
+        }
+        let table = render_machine_search(&choices);
+        assert!(table.contains("makespan"));
+        assert!(table.contains("single"));
+    }
+
+    #[test]
+    fn standard_candidates_respect_budget() {
+        let cands = standard_candidates(8, MachineParams::default());
+        assert!(cands.iter().all(|m| m.processors() <= 8));
+        assert!(cands.iter().any(|m| m.processors() == 8));
+        assert_eq!(cands[0].processors(), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! banger simulate <file> [-H <heuristic>] predicted vs achieved
 //! banger animate <file> [-H <heuristic>]  frame-by-frame replay
 //! banger advise <file> [-H <heuristic>]   bottleneck analysis + suggestions
+//! banger recommend <file> [-p <procs>]    rank standard machines for the design
 //! banger svg <file> [-H h] [-o dir]       write gantt/speedup/utilization SVGs
 //! banger save-schedule <file> [-H h] [-o path]  persist a schedule
 //! banger verify <file> -s <schedule>      validate + replay a saved schedule
@@ -50,6 +51,7 @@ fn main() {
         "simulate" => cmd_simulate(&mut project, rest),
         "animate" => cmd_animate(&mut project, rest),
         "advise" => cmd_advise(&mut project, rest),
+        "recommend" => cmd_recommend(&mut project, rest),
         "svg" => cmd_svg(&mut project, rest),
         "save-schedule" => cmd_save_schedule(&mut project, rest),
         "verify" => cmd_verify(&mut project, rest),
@@ -68,10 +70,11 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: banger <show|gantt|compare|simulate|animate|advise|svg|run|speedup|codegen|parallelize|save-schedule|verify> <file.bang> [options]\n\
+        "usage: banger <show|gantt|compare|simulate|animate|advise|recommend|svg|run|speedup|codegen|parallelize|save-schedule|verify> <file.bang> [options]\n\
          options: -H <heuristic>   (serial naive HLFET MCP ETF DLS MH DSH; default MH)\n\
          \x20        -i var=value     (run/codegen inputs; arrays as [1,2,3])\n\
-         \x20        -t spec,spec,... (speedup topologies, e.g. single,hypercube:1,hypercube:2)"
+         \x20        -t spec,spec,... (speedup topologies, e.g. single,hypercube:1,hypercube:2)\n\
+         \x20        -p <procs>       (recommend: processor budget, default 16)"
     );
     exit(2)
 }
@@ -148,7 +151,12 @@ fn cmd_show(project: &mut Project) -> Result<(), String> {
     let stats = banger_taskgraph::analysis::stats(&f.graph);
     println!(
         "flattened: {} tasks, {} arcs, width {}, depth {}, cp {:.2}, avg parallelism {:.2}",
-        stats.tasks, stats.edges, stats.width, stats.depth, stats.cp_length, stats.average_parallelism
+        stats.tasks,
+        stats.edges,
+        stats.width,
+        stats.depth,
+        stats.cp_length,
+        stats.average_parallelism
     );
     println!(
         "inputs: {:?}  outputs: {:?}",
@@ -236,6 +244,27 @@ fn cmd_advise(project: &mut Project, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_recommend(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger recommend <file> [-p maxprocs] — sweep the standard machine
+    // candidates (MH on each) and print them ranked by makespan.
+    let max_procs = match rest.windows(2).find(|w| w[0] == "-p") {
+        Some(w) => w[1]
+            .parse::<usize>()
+            .map_err(|_| format!("bad processor budget {:?} (want a number)", w[1]))?,
+        None => 16,
+    };
+    if max_procs == 0 {
+        return Err("processor budget must be at least 1".to_string());
+    }
+    let params = project.machine().map(|m| *m.params()).unwrap_or_default();
+    let choices = project
+        .recommend_machine(max_procs, params)
+        .map_err(|e| e.to_string())?;
+    println!("machine search — {} (budget {max_procs})", project.name());
+    print!("{}", banger::advisor::render_machine_search(&choices));
+    Ok(())
+}
+
 fn cmd_svg(project: &mut Project, rest: &[String]) -> Result<(), String> {
     // banger svg <file> [-H h] [-o dir] — writes gantt.svg, speedup.svg and
     // utilization.svg into dir (default: current directory).
@@ -263,10 +292,8 @@ fn cmd_svg(project: &mut Project, rest: &[String]) -> Result<(), String> {
             *m.params(),
         )
         .map_err(|e| e.to_string())?;
-    let speedup = banger::svg::speedup_svg(
-        &format!("{} — predicted speedup", project.name()),
-        &points,
-    );
+    let speedup =
+        banger::svg::speedup_svg(&format!("{} — predicted speedup", project.name()), &points);
     for (name, body) in [
         ("gantt.svg", &gantt),
         ("utilization.svg", &util),
@@ -330,11 +357,7 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
     for (var, value) in &report.outputs {
         println!("{var} = {value}");
     }
-    eprintln!(
-        "({} task runs, wall {:?})",
-        report.runs.len(),
-        report.wall
-    );
+    eprintln!("({} task runs, wall {:?})", report.runs.len(), report.wall);
     Ok(())
 }
 
@@ -348,10 +371,7 @@ fn cmd_speedup(project: &mut Project, rest: &[String]) -> Result<(), String> {
     for spec in specs.split(',') {
         topos.push(Topology::parse(spec.trim()).map_err(|e| e.to_string())?);
     }
-    let params = project
-        .machine()
-        .map(|m| *m.params())
-        .unwrap_or_default();
+    let params = project.machine().map(|m| *m.params()).unwrap_or_default();
     let points = project
         .predict_speedup(&topos, params)
         .map_err(|e| e.to_string())?;
@@ -391,7 +411,9 @@ fn cmd_codegen(project: &mut Project, rest: &[String]) -> Result<(), String> {
     let h = opt_heuristic(rest);
     let s = project.schedule(&h).map_err(|e| e.to_string())?;
     let code = match lang {
-        "rust" => project.generate_rust(&s, &inputs).map_err(|e| e.to_string())?,
+        "rust" => project
+            .generate_rust(&s, &inputs)
+            .map_err(|e| e.to_string())?,
         "c" => project.generate_c(&s, &inputs).map_err(|e| e.to_string())?,
         other => return Err(format!("unknown language {other:?} (rust|c)")),
     };

@@ -84,8 +84,8 @@ pub fn parse_project(text: &str) -> Result<Project, DocError> {
                 let spec = parts
                     .next()
                     .ok_or_else(|| err(no, "machine needs a topology spec"))?;
-                let topo = Topology::parse(spec)
-                    .map_err(|e| err(no, &format!("bad topology: {e}")))?;
+                let topo =
+                    Topology::parse(spec).map_err(|e| err(no, &format!("bad topology: {e}")))?;
                 machine = Some(parse_machine_body(&mut lines, topo)?);
             }
             "design" => {
@@ -203,8 +203,7 @@ fn parse_machine_body(lines: &mut Numbered<'_>, topo: Topology) -> Result<Machin
     if let Some(h) = hop_latency {
         params.switching = SwitchingMode::CutThrough { hop_latency: h };
     }
-    let mut m =
-        Machine::try_new(topo, params).map_err(|e| err(0, &format!("bad machine: {e}")))?;
+    let mut m = Machine::try_new(topo, params).map_err(|e| err(0, &format!("bad machine: {e}")))?;
     for (p, f) in speeds {
         m.set_relative_speed(banger_machine::ProcId(p), f)
             .map_err(|e| err(0, &e))?;
@@ -258,7 +257,9 @@ fn parse_design_body(lines: &mut Numbered<'_>, g: &mut HierGraph) -> Result<(), 
             }
             "bind" => {
                 // bind <compound> in|out <label> <inner-node-name>
-                let c = parts.next().ok_or_else(|| err(no, "bind needs a compound"))?;
+                let c = parts
+                    .next()
+                    .ok_or_else(|| err(no, "bind needs a compound"))?;
                 let dir = parts.next().ok_or_else(|| err(no, "bind needs in|out"))?;
                 let label = parts.next().ok_or_else(|| err(no, "bind needs a label"))?;
                 let inner_name = parts
@@ -402,10 +403,9 @@ fn print_design_body(g: &HierGraph, out: &mut String, depth: usize) {
                 out.push_str(&format!("{pad}storage {} {}\n", node.name, size));
             }
             NodeKind::Task { weight, program } => match program {
-                Some(p) => out.push_str(&format!(
-                    "{pad}task {} {} prog {}\n",
-                    node.name, weight, p
-                )),
+                Some(p) => {
+                    out.push_str(&format!("{pad}task {} {} prog {}\n", node.name, weight, p))
+                }
                 None => out.push_str(&format!("{pad}task {} {}\n", node.name, weight)),
             },
             NodeKind::Compound {
@@ -419,10 +419,7 @@ fn print_design_body(g: &HierGraph, out: &mut String, depth: usize) {
                 for (label, ids) in inputs {
                     for id in ids {
                         let inner = &expansion.node(*id).unwrap().name;
-                        out.push_str(&format!(
-                            "{pad}bind {} in {} {}\n",
-                            node.name, label, inner
-                        ));
+                        out.push_str(&format!("{pad}bind {} in {} {}\n", node.name, label, inner));
                     }
                 }
                 for (label, ids) in outputs {
@@ -516,12 +513,14 @@ end-program
         let f = p.flatten().unwrap();
         assert_eq!(f.graph.task_count(), 3);
         let report = p
-            .run(&[(
-                "v".to_string(),
-                banger_calc::Value::Array(vec![1.0, 2.0, 3.0]),
-            )]
-            .into_iter()
-            .collect())
+            .run(
+                &[(
+                    "v".to_string(),
+                    banger_calc::Value::Array(vec![1.0, 2.0, 3.0]),
+                )]
+                .into_iter()
+                .collect(),
+            )
             .unwrap();
         // sum=6, doubled=12, +1=13
         assert_eq!(report.outputs["result"], banger_calc::Value::Num(13.0));
@@ -571,13 +570,25 @@ end
             ("project\n", "needs a name"),
             ("project x\nfrobnicate\n", "unknown directive"),
             ("project x\ndesign\n  task t\nend\n", "needs a weight"),
-            ("project x\ndesign\n  storage s 1\n  storage s 2\nend\n", "duplicate node"),
+            (
+                "project x\ndesign\n  storage s 1\n  storage s 2\nend\n",
+                "duplicate node",
+            ),
             ("project x\ndesign\n  arc a -> b\nend\n", "unknown node"),
             ("project x\ndesign\n  task t 1\n", "unterminated"),
             ("project x\nmachine bogus:9\nend\n", "bad topology"),
-            ("project x\nmachine ring:4\n  warp 9\nend\ndesign\nend\n", "unknown machine key"),
-            ("project x\nbegin-program\ntask T begin end\n", "unterminated begin-program"),
-            ("project x\nbegin-program\nnot pits\nend-program\n", "bad PITS"),
+            (
+                "project x\nmachine ring:4\n  warp 9\nend\ndesign\nend\n",
+                "unknown machine key",
+            ),
+            (
+                "project x\nbegin-program\ntask T begin end\n",
+                "unterminated begin-program",
+            ),
+            (
+                "project x\nbegin-program\nnot pits\nend-program\n",
+                "bad PITS",
+            ),
         ] {
             let e = parse_project(doc).unwrap_err();
             assert!(

@@ -32,7 +32,10 @@ pub fn figure1() -> String {
     let f = h.flatten().expect("LU design flattens");
     let stats = analysis::stats(&f.graph);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1 — Hierarchical dataflow graph, LU of 3x3 Ax=b");
+    let _ = writeln!(
+        out,
+        "Figure 1 — Hierarchical dataflow graph, LU of 3x3 Ax=b"
+    );
     let _ = writeln!(out, "design: {} (depth {})", h.name(), h.depth());
     let _ = writeln!(
         out,
@@ -185,19 +188,13 @@ pub fn figure4() -> String {
     panel.declare_local("g").unwrap();
     panel.declare_local("prev").unwrap();
     panel
-        .press_all([
-            Button::Var("a".into()),
-            Button::Op('/'),
-            Button::Digit(2),
-        ])
+        .press_all([Button::Var("a".into()), Button::Op('/'), Button::Digit(2)])
         .unwrap();
     let g0 = panel.store("g").unwrap();
     let _ = writeln!(out, "panel: a / 2 [STO g] -> {g0}   (instant feedback)");
     panel.press(Button::Digit(0)).unwrap();
     panel.store("prev").unwrap();
-    panel
-        .record_line("while abs(g - prev) > 1e-12 do")
-        .unwrap();
+    panel.record_line("while abs(g - prev) > 1e-12 do").unwrap();
     panel.record_line("prev := g").unwrap();
     panel.record_line("g := (g + a / g) / 2").unwrap();
     panel.record_line("end").unwrap();
@@ -279,7 +276,14 @@ mod tests {
     #[test]
     fn figure2_lists_all_topologies() {
         let text = figure2();
-        for name in ["hypercube-3", "mesh-4x4", "tree-2x3", "star-8", "full-8", "ring-8"] {
+        for name in [
+            "hypercube-3",
+            "mesh-4x4",
+            "tree-2x3",
+            "star-8",
+            "full-8",
+            "ring-8",
+        ] {
             assert!(text.contains(name), "missing {name}:\n{text}");
         }
         // hypercube-3 diameter is 3

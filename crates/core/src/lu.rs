@@ -19,7 +19,10 @@ use std::fmt::Write as _;
 /// (`2 <= n <= 9`; larger systems would need multi-digit task names the
 /// Figure 1 naming scheme cannot express).
 pub fn lu_program_library(n: usize) -> ProgramLibrary {
-    assert!((2..=9).contains(&n), "LU program naming supports n in 2..=9");
+    assert!(
+        (2..=9).contains(&n),
+        "LU program naming supports n in 2..=9"
+    );
     let mut lib = ProgramLibrary::new();
     let idx = |i: &str, j: &str| format!("({i} - 1) * {n} + {j}");
 
@@ -75,11 +78,7 @@ pub fn lu_program_library(n: usize) -> ProgramLibrary {
                 // graft column j (updated through stage k-1) onto the
                 // accumulated pivot-chain matrix
                 let _ = writeln!(src, "  for i := 1 to {n} do");
-                let _ = writeln!(
-                    src,
-                    "    M[{0}] := a{j}{k}[{0}]",
-                    idx("i", &j.to_string())
-                );
+                let _ = writeln!(src, "    M[{0}] := a{j}{k}[{0}]", idx("i", &j.to_string()));
                 let _ = writeln!(src, "  end");
             }
             let _ = writeln!(src, "  for i := {} to {n} do", k + 1);
@@ -283,13 +282,8 @@ mod tests {
             let design = generators::lu_hierarchical(n).flatten().unwrap();
             let lib = lu_program_library(n);
             let (a, b) = test_system(n);
-            let report = execute(
-                &design,
-                &lib,
-                &lu_inputs(&a, &b),
-                &ExecOptions::default(),
-            )
-            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            let report = execute(&design, &lib, &lu_inputs(&a, &b), &ExecOptions::default())
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
             let got = report.outputs["x"].as_array("x").unwrap();
             let want = solve_reference(&a, &b);
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {

@@ -198,7 +198,9 @@ impl Project {
             for id in ids {
                 // Only task nodes carry programs.
                 let prog_name = match &design.node(id).unwrap().kind {
-                    banger_taskgraph::NodeKind::Task { program: Some(p), .. } => Some(p.clone()),
+                    banger_taskgraph::NodeKind::Task {
+                        program: Some(p), ..
+                    } => Some(p.clone()),
                     _ => None,
                 };
                 if let Some(p) = prog_name {
@@ -253,38 +255,67 @@ impl Project {
 
     /// Predicts speedup of the design across machines built from the given
     /// topologies with the supplied parameters (paper Figure 3, right).
-    /// Uses the MH scheduler (PPSE's flagship).
+    /// Uses the MH scheduler (PPSE's flagship). The per-topology runs are
+    /// independent and fan out across worker threads
+    /// ([`banger_sched::sweep`]); results are identical to the sequential
+    /// loop and come back in `topologies` order.
     pub fn predict_speedup(
         &mut self,
         topologies: &[Topology],
         params: MachineParams,
     ) -> Result<Vec<SpeedupPoint>, ProjectError> {
         self.flatten()?;
-        let g = self.flattened.as_ref().unwrap().graph.clone();
-        let mut points = Vec::with_capacity(topologies.len());
-        for topo in topologies {
-            let m = Machine::new(topo.clone(), params);
-            let s = banger_sched::mh::mh(&g, &m);
-            points.push(SpeedupPoint {
+        let g = &self.flattened.as_ref().unwrap().graph;
+        let machines: Vec<Machine> = topologies
+            .iter()
+            .map(|topo| Machine::new(topo.clone(), params))
+            .collect();
+        let schedules =
+            banger_sched::sweep::sweep_machines("MH", g, &machines).expect("MH is known");
+        Ok(machines
+            .iter()
+            .zip(schedules)
+            .map(|(m, s)| SpeedupPoint {
                 processors: m.processors(),
-                speedup: s.speedup(&g, &m),
-            });
-        }
-        Ok(points)
+                speedup: s.speedup(g, m),
+            })
+            .collect())
     }
 
     /// Runs every heuristic and summarises the results, sorted best-first.
+    /// The runs fan out across worker threads with a shared graph analysis;
+    /// the table is identical to the sequential loop's.
     pub fn compare_heuristics(&mut self) -> Result<Vec<ScheduleSummary>, ProjectError> {
         self.flatten()?;
-        let m = self.machine_ref()?.clone();
-        let g = self.flattened.as_ref().unwrap().graph.clone();
-        let mut rows = Vec::new();
-        for name in banger_sched::HEURISTIC_NAMES.iter().chain(["DSH"].iter()) {
-            let s = banger_sched::run_heuristic(name, &g, &m).expect("known names");
-            rows.push(s.summarize(&g, &m));
-        }
+        let m = self.machine.as_ref().ok_or(ProjectError::NoMachine)?;
+        let g = &self.flattened.as_ref().unwrap().graph;
+        let names: Vec<&str> = banger_sched::HEURISTIC_NAMES
+            .iter()
+            .chain(["DSH"].iter())
+            .copied()
+            .collect();
+        let mut rows: Vec<ScheduleSummary> = banger_sched::sweep::sweep_heuristics(&names, g, m)
+            .into_iter()
+            .map(|s| s.expect("known names").summarize(g, m))
+            .collect();
         rows.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
         Ok(rows)
+    }
+
+    /// Machine-space search (guidance for the paper's "define a target
+    /// machine" step): evaluates the design on the standard candidate
+    /// machines up to `max_procs` processors — all Figure 2 topologies —
+    /// and returns the outcomes best-first. The candidates are scheduled
+    /// in parallel; the ranking is deterministic.
+    pub fn recommend_machine(
+        &mut self,
+        max_procs: usize,
+        params: MachineParams,
+    ) -> Result<Vec<crate::advisor::MachineChoice>, ProjectError> {
+        self.flatten()?;
+        let g = &self.flattened.as_ref().unwrap().graph;
+        let candidates = crate::advisor::standard_candidates(max_procs, params);
+        Ok(crate::advisor::search_machines(g, &candidates))
     }
 
     /// Expands a top-level reduction task into `chunks` parallel chunk
@@ -317,10 +348,11 @@ impl Project {
             .get(&prog_name)
             .ok_or_else(|| ProjectError::UnknownProgram(prog_name.clone()))?
             .clone();
-        let split = banger_calc::transform::parallelize_reduction(&prog, chunks)
-            .map_err(|e| ProjectError::Graph(banger_taskgraph::GraphError::BadExpansion(
-                format!("cannot parallelize {task_name:?}: {e}"),
-            )))?;
+        let split = banger_calc::transform::parallelize_reduction(&prog, chunks).map_err(|e| {
+            ProjectError::Graph(banger_taskgraph::GraphError::BadExpansion(format!(
+                "cannot parallelize {task_name:?}: {e}"
+            )))
+        })?;
 
         // Build the expansion: chunk tasks feeding a combiner.
         let mut inner = HierGraph::new(format!("{task_name}-par"));
@@ -429,12 +461,12 @@ mod tests {
     use banger_taskgraph::generators;
 
     fn lu_project(n: usize) -> Project {
-        let mut p = Project::new(
-            format!("lu{n}"),
-            generators::lu_hierarchical(n),
-        );
+        let mut p = Project::new(format!("lu{n}"), generators::lu_hierarchical(n));
         *p.library_mut() = lu_program_library(n);
-        p.set_machine(Machine::new(Topology::hypercube(2), MachineParams::default()));
+        p.set_machine(Machine::new(
+            Topology::hypercube(2),
+            MachineParams::default(),
+        ));
         p
     }
 
@@ -527,11 +559,7 @@ mod tests {
         assert_eq!(pts[0].processors, 1);
         assert!((pts[0].speedup - 1.0).abs() < 1e-9);
         for w in pts.windows(2) {
-            assert!(
-                w[1].speedup >= w[0].speedup - 1e-9,
-                "{:?}",
-                pts
-            );
+            assert!(w[1].speedup >= w[0].speedup - 1e-9, "{:?}", pts);
         }
     }
 
@@ -548,13 +576,37 @@ mod tests {
     }
 
     #[test]
+    fn machine_recommendation_ranked() {
+        let mut p = lu_project(4);
+        let rows = p
+            .recommend_machine(
+                8,
+                MachineParams {
+                    msg_startup: 0.2,
+                    transmission_rate: 8.0,
+                    ..MachineParams::default()
+                },
+            )
+            .unwrap();
+        assert!(rows.len() > 4);
+        for w in rows.windows(2) {
+            assert!(w[0].makespan <= w[1].makespan + 1e-12);
+        }
+        // A parallel machine must beat the single processor for LU-4.
+        assert!(rows[0].processors > 1, "{rows:?}");
+    }
+
+    #[test]
     fn calibrate_from_programs_updates_weights() {
         let mut p = lu_project(3);
         let before = p.flatten().unwrap().graph.total_weight();
         let updated = p.calibrate_from_programs().unwrap();
         assert_eq!(updated, p.flatten().unwrap().graph.task_count());
         let after = p.flatten().unwrap().graph.total_weight();
-        assert_ne!(before, after, "static cost estimates should differ from the generator's nominal weights");
+        assert_ne!(
+            before, after,
+            "static cost estimates should differ from the generator's nominal weights"
+        );
     }
 
     /// A one-task serial design computing pi by quadrature.
@@ -592,8 +644,9 @@ mod tests {
 
     #[test]
     fn parallelize_task_preserves_results_and_gains_speedup() {
-        let inputs: BTreeMap<String, Value> =
-            [("n".to_string(), Value::Num(10_000.0))].into_iter().collect();
+        let inputs: BTreeMap<String, Value> = [("n".to_string(), Value::Num(10_000.0))]
+            .into_iter()
+            .collect();
 
         let mut serial = serial_pi_project();
         let serial_ms = serial.schedule("MH").unwrap().makespan();

@@ -16,7 +16,9 @@ const PALETTE: [&str; 8] = [
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a schedule as an SVG Gantt chart. Each processor is a row;
@@ -62,7 +64,11 @@ pub fn gantt_svg(schedule: &Schedule, processors: usize, g: &TaskGraph) -> Strin
         let x = left + chart_w * pl.start / makespan;
         let w = (chart_w * (pl.finish - pl.start) / makespan).max(1.0);
         let color = PALETTE[pl.task.index() % PALETTE.len()];
-        let dash = if pl.primary { "" } else { r#" stroke-dasharray="4 2""# };
+        let dash = if pl.primary {
+            ""
+        } else {
+            r#" stroke-dasharray="4 2""#
+        };
         let name = short_name(&g.task(pl.task).name);
         let _ = writeln!(
             out,
@@ -278,9 +284,18 @@ mod tests {
     #[test]
     fn speedup_svg_structure() {
         let pts = vec![
-            SpeedupPoint { processors: 1, speedup: 1.0 },
-            SpeedupPoint { processors: 2, speedup: 1.8 },
-            SpeedupPoint { processors: 4, speedup: 2.9 },
+            SpeedupPoint {
+                processors: 1,
+                speedup: 1.0,
+            },
+            SpeedupPoint {
+                processors: 2,
+                speedup: 1.8,
+            },
+            SpeedupPoint {
+                processors: 4,
+                speedup: 2.9,
+            },
         ];
         let svg = speedup_svg("LU speedup", &pts);
         well_formed(&svg);

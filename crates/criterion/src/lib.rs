@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! vendors the subset of the criterion 0.5 API the workspace's benches use:
+//! `Criterion::bench_function`, `benchmark_group` + `bench_with_input`,
+//! `BenchmarkId::{new, from_parameter}`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behavior mirrors upstream's two modes:
+//! - Under `cargo bench`, cargo passes `--bench` and each benchmark is timed
+//!   (short adaptive warmup, then enough iterations for a stable mean) and a
+//!   `name  time: [...]` line is printed.
+//! - Under `cargo test` (no `--bench` flag) every benchmark closure runs its
+//!   body exactly once as a smoke test, so tier-1 stays fast.
+//!
+//! There is no statistical analysis, plotting, or baseline comparison; the
+//! printed mean is a plain arithmetic mean of wall-clock time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup + calibration: time a single call to pick an iteration count
+        // targeting ~120ms of measurement, clamped to [10, 1e6].
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(120);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(10, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` when invoked as `cargo bench`; its absence
+        // means we are running under `cargo test` and should only smoke-test.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Criterion { test_mode: !bench }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op: configuration comes from `Default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if !self.test_mode {
+            println!(
+                "{name:<56} time: {:>12.1} ns/iter ({} iters)",
+                b.mean_ns, b.iters
+            );
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(name.as_ref(), &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.c.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("MH", "gauss-8");
+        assert_eq!(id.id, "MH/gauss-8");
+        let id = BenchmarkId::from_parameter(64);
+        assert_eq!(id.id, "64");
+    }
+}

@@ -24,6 +24,4 @@
 
 pub mod runner;
 
-pub use runner::{
-    execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun,
-};
+pub use runner::{execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun};

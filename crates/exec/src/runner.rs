@@ -124,10 +124,16 @@ impl fmt::Display for ExecError {
             ExecError::NoProgram(t) => write!(f, "task {t:?} has no attached program"),
             ExecError::UnknownProgram(p) => write!(f, "program {p:?} not found in library"),
             ExecError::UnboundInput { task, var } => {
-                write!(f, "task {task:?}: input {var:?} has no producer and no external value")
+                write!(
+                    f,
+                    "task {task:?}: input {var:?} has no producer and no external value"
+                )
             }
             ExecError::MissingArcValue { producer, var } => {
-                write!(f, "task {producer:?} did not produce output {var:?} required by an arc")
+                write!(
+                    f,
+                    "task {producer:?} did not produce output {var:?} required by an arc"
+                )
             }
             ExecError::Run { task, error } => write!(f, "task {task:?} failed: {error}"),
             ExecError::Cyclic => write!(f, "design graph is cyclic"),
@@ -225,10 +231,12 @@ fn gather_inputs(
                 let produced = store
                     .get(edge.src)
                     .expect("predecessor must have completed");
-                let v = produced.get(var).ok_or_else(|| ExecError::MissingArcValue {
-                    producer: g.task(edge.src).name.clone(),
-                    var: var.clone(),
-                })?;
+                let v = produced
+                    .get(var)
+                    .ok_or_else(|| ExecError::MissingArcValue {
+                        producer: g.task(edge.src).name.clone(),
+                        var: var.clone(),
+                    })?;
                 inputs.insert(var.clone(), v.clone());
                 continue 'vars;
             }
@@ -279,7 +287,9 @@ pub fn execute(
     let report_core = match &options.mode {
         ExecMode::Greedy { workers } => {
             let n = if *workers == 0 {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             } else {
                 *workers
             };
@@ -332,12 +342,11 @@ fn run_one(
     let prog = program_of(g, lib, t)?;
     let inputs = gather_inputs(g, t, prog, store, ctx.external)?;
     let start = ctx.epoch.elapsed();
-    let outcome = interp::run_with(prog, &inputs, ctx.options.interp).map_err(|error| {
-        ExecError::Run {
+    let outcome =
+        interp::run_with(prog, &inputs, ctx.options.interp).map_err(|error| ExecError::Run {
             task: g.task(t).name.clone(),
             error,
-        }
-    })?;
+        })?;
     let finish = ctx.epoch.elapsed();
     let prints = outcome
         .prints

@@ -34,5 +34,5 @@ pub mod routing;
 pub mod topology;
 
 pub use machine::{Machine, MachineParams, SwitchingMode};
-pub use routing::RoutingTable;
+pub use routing::{LinkId, RoutingTable};
 pub use topology::{ProcId, Topology, TopologyError};

@@ -64,7 +64,10 @@ impl MachineParams {
     /// non-negative startups, finite values).
     pub fn validate(&self) -> Result<(), String> {
         if !(self.processor_speed.is_finite() && self.processor_speed > 0.0) {
-            return Err(format!("processor_speed must be > 0, got {}", self.processor_speed));
+            return Err(format!(
+                "processor_speed must be > 0, got {}",
+                self.processor_speed
+            ));
         }
         if !(self.transmission_rate.is_finite() && self.transmission_rate > 0.0) {
             return Err(format!(
@@ -79,7 +82,10 @@ impl MachineParams {
             ));
         }
         if !(self.msg_startup.is_finite() && self.msg_startup >= 0.0) {
-            return Err(format!("msg_startup must be >= 0, got {}", self.msg_startup));
+            return Err(format!(
+                "msg_startup must be >= 0, got {}",
+                self.msg_startup
+            ));
         }
         if let SwitchingMode::CutThrough { hop_latency } = self.switching {
             if !(hop_latency.is_finite() && hop_latency >= 0.0) {
@@ -171,7 +177,8 @@ impl Machine {
     /// `process_startup + weight / (processor_speed * relative_speed)`.
     #[inline]
     pub fn exec_time(&self, weight: f64, p: ProcId) -> f64 {
-        self.params.process_startup + weight / (self.params.processor_speed * self.speeds[p.index()])
+        self.params.process_startup
+            + weight / (self.params.processor_speed * self.speeds[p.index()])
     }
 
     /// Time for `volume` data units to travel from `src` to `dst`.
@@ -315,7 +322,10 @@ mod tests {
                 ..MachineParams::default()
             },
         ] {
-            assert!(Machine::try_new(Topology::single(), bad).is_err(), "{bad:?}");
+            assert!(
+                Machine::try_new(Topology::single(), bad).is_err(),
+                "{bad:?}"
+            );
         }
     }
 

@@ -2,12 +2,35 @@
 //!
 //! Distances and next-hop tables are computed by one BFS per processor
 //! (links are unweighted). The scheduler uses hop counts to price
-//! communication; the discrete-event simulator uses full [`RoutingTable::path`]s
-//! to occupy individual links and model contention.
+//! communication; the contention model and the discrete-event simulator use
+//! the precomputed per-pair [`RoutingTable::link_slice`]s to occupy
+//! individual links without allocating a route per message.
 
 use crate::topology::{ProcId, Topology};
 
-/// Dense all-pairs hop-count and next-hop tables.
+/// Dense index of one *directed* link (each undirected topology edge yields
+/// two). Indexes into per-link state tables sized by
+/// [`RoutingTable::directed_links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The id as a usize, for table indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Dense all-pairs hop-count and next-hop tables, plus flattened per-pair
+/// link routes so the hot scheduling/simulation paths never materialise a
+/// route `Vec` per message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingTable {
     n: usize,
@@ -16,6 +39,14 @@ pub struct RoutingTable {
     /// `next[s * n + d]` = neighbour of `s` on a shortest path to `d`;
     /// `u32::MAX` when `s == d` or unreachable.
     next: Vec<u32>,
+    /// Endpoints `(a, b)` of each directed link, indexed by [`LinkId`].
+    /// Ids are assigned in `(a, b)` lexicographic order.
+    link_ends: Vec<(ProcId, ProcId)>,
+    /// Concatenated link routes for every ordered pair, `s`-major; the
+    /// `(s, d)` route occupies `pair_links[pair_offsets[s*n+d] .. pair_offsets[s*n+d+1]]`.
+    pair_links: Vec<LinkId>,
+    /// `n * n + 1` offsets into `pair_links`.
+    pair_offsets: Vec<u32>,
 }
 
 impl RoutingTable {
@@ -48,7 +79,71 @@ impl RoutingTable {
                 }
             }
         }
-        RoutingTable { n, dist, next }
+
+        // Directed link ids in (a, b) lexicographic order. Adjacency lists
+        // are sorted, so a simple scan assigns stable ids.
+        let mut link_ends = Vec::with_capacity(2 * topo.link_count());
+        let mut link_of = std::collections::HashMap::new();
+        for a in 0..n {
+            for &b in topo.neighbors(ProcId(a as u32)) {
+                let id = LinkId(link_ends.len() as u32);
+                link_ends.push((ProcId(a as u32), b));
+                link_of.insert((a as u32, b.0), id);
+            }
+        }
+
+        // Flatten every pair's shortest-path link route once, so the
+        // schedulers and the simulator can borrow `&[LinkId]` slices instead
+        // of rebuilding (and allocating) routes per message.
+        let mut pair_links = Vec::new();
+        let mut pair_offsets = Vec::with_capacity(n * n + 1);
+        pair_offsets.push(0u32);
+        for s in 0..n {
+            for d in 0..n {
+                if s != d && dist[s * n + d] != u32::MAX {
+                    let mut cur = s as u32;
+                    while cur != d as u32 {
+                        let nxt = next[cur as usize * n + d];
+                        debug_assert_ne!(nxt, u32::MAX);
+                        pair_links.push(link_of[&(cur, nxt)]);
+                        cur = nxt;
+                    }
+                }
+                pair_offsets.push(pair_links.len() as u32);
+            }
+        }
+
+        RoutingTable {
+            n,
+            dist,
+            next,
+            link_ends,
+            pair_links,
+            pair_offsets,
+        }
+    }
+
+    /// Number of *directed* links (twice the undirected link count).
+    #[inline]
+    pub fn directed_links(&self) -> usize {
+        self.link_ends.len()
+    }
+
+    /// Endpoints `(a, b)` of a directed link.
+    #[inline]
+    pub fn link_endpoints(&self, l: LinkId) -> (ProcId, ProcId) {
+        self.link_ends[l.index()]
+    }
+
+    /// The precomputed shortest-path link route `s -> d`, hop by hop.
+    /// Empty when `s == d` *or* when `d` is unreachable — callers that must
+    /// distinguish the two check [`RoutingTable::hops`].
+    #[inline]
+    pub fn link_slice(&self, s: ProcId, d: ProcId) -> &[LinkId] {
+        let i = s.index() * self.n + d.index();
+        let lo = self.pair_offsets[i] as usize;
+        let hi = self.pair_offsets[i + 1] as usize;
+        &self.pair_links[lo..hi]
     }
 
     /// Number of processors covered.
@@ -125,9 +220,12 @@ impl RoutingTable {
     }
 
     /// The directed links `(a, b)` traversed by the shortest path `s -> d`.
+    /// Allocates; hot paths use [`RoutingTable::link_slice`] instead.
     pub fn links(&self, s: ProcId, d: ProcId) -> Vec<(ProcId, ProcId)> {
-        let p = self.path(s, d);
-        p.windows(2).map(|w| (w[0], w[1])).collect()
+        self.link_slice(s, d)
+            .iter()
+            .map(|&l| self.link_endpoints(l))
+            .collect()
     }
 }
 
@@ -163,7 +261,10 @@ mod tests {
         let r = RoutingTable::build(&t);
         assert_eq!(r.diameter(), Some(2));
         assert_eq!(r.hops(ProcId(3), ProcId(5)), Some(2));
-        assert_eq!(r.path(ProcId(3), ProcId(5)), vec![ProcId(3), ProcId(0), ProcId(5)]);
+        assert_eq!(
+            r.path(ProcId(3), ProcId(5)),
+            vec![ProcId(3), ProcId(0), ProcId(5)]
+        );
     }
 
     #[test]
@@ -245,5 +346,57 @@ mod tests {
         let r = RoutingTable::build(&t);
         assert_eq!(r.diameter(), Some(0));
         assert_eq!(r.mean_distance(), 0.0);
+        assert_eq!(r.directed_links(), 0);
+    }
+
+    #[test]
+    fn link_slices_match_paths() {
+        for t in [
+            Topology::hypercube(3),
+            Topology::mesh(3, 3),
+            Topology::star(6),
+            Topology::ring(7),
+            Topology::tree(2, 3),
+        ] {
+            let r = RoutingTable::build(&t);
+            assert_eq!(r.directed_links(), 2 * t.link_count());
+            for s in t.proc_ids() {
+                for d in t.proc_ids() {
+                    let slice = r.link_slice(s, d);
+                    // Slice endpoints reproduce the path windows exactly.
+                    let from_slice: Vec<(ProcId, ProcId)> =
+                        slice.iter().map(|&l| r.link_endpoints(l)).collect();
+                    let from_path: Vec<(ProcId, ProcId)> =
+                        r.path(s, d).windows(2).map(|w| (w[0], w[1])).collect();
+                    assert_eq!(from_slice, from_path, "{s}->{d} on {}", t.name());
+                    assert_eq!(slice.len() as u32, r.hops(s, d).unwrap(), "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_consistent() {
+        let t = Topology::mesh(2, 3);
+        let r = RoutingTable::build(&t);
+        for i in 0..r.directed_links() {
+            let (a, b) = r.link_endpoints(LinkId(i as u32));
+            assert!(t.neighbors(a).contains(&b));
+        }
+        // Every directed topology edge got exactly one id.
+        let mut seen: Vec<(ProcId, ProcId)> = (0..r.directed_links())
+            .map(|i| r.link_endpoints(LinkId(i as u32)))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 2 * t.link_count());
+    }
+
+    #[test]
+    fn disconnected_pair_has_empty_slice() {
+        let t = Topology::from_edges("x", 4, &[(0, 1), (2, 3)]).unwrap();
+        let r = RoutingTable::build(&t);
+        assert!(r.link_slice(ProcId(0), ProcId(2)).is_empty());
+        assert!(!r.link_slice(ProcId(0), ProcId(1)).is_empty());
     }
 }

@@ -24,8 +24,7 @@ pub fn critical_path_bound(g: &TaskGraph, m: &Machine) -> f64 {
             .predecessors(t)
             .map(|p| finish[p.index()])
             .fold(0.0f64, f64::max);
-        finish[t.index()] =
-            start + m.params().process_startup + g.task(t).weight / speed;
+        finish[t.index()] = start + m.params().process_startup + g.task(t).weight / speed;
         best = best.max(finish[t.index()]);
     }
     best

@@ -36,6 +36,12 @@ const MAX_DUPES_PER_TASK: usize = 64;
 /// Runs the Duplication Scheduling Heuristic. See module docs.
 pub fn dsh(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    dsh_with(g, m, &a)
+}
+
+/// [`dsh`] with a precomputed [`GraphAnalysis`], so sweeps over many
+/// machines pay for the (machine-independent) level computation once.
+pub fn dsh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("DSH", g, m, CommModel::Analytic);
 
     let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
@@ -98,18 +104,15 @@ fn estimate_start_with_duplication(eng: &Engine<'_>, t: TaskId, p: ProcId) -> f6
     let mut local_extra = 0.0f64;
     for &e in eng.g.in_edges(t) {
         let edge = eng.g.edge(e);
-        let (msg_arrival, _) = eng.edge_arrival(edge.src, edge.volume, p);
-        let already_local = eng.copies[edge.src.index()]
-            .iter()
-            .any(|c| c.proc == p);
+        let msg_arrival = eng.edge_arrival(edge.src, edge.volume, p);
+        let already_local = eng.copies[edge.src.index()].iter().any(|c| c.proc == p);
         let arrival = if already_local {
             msg_arrival
         } else {
             // Hypothetical copy of the predecessor on p.
-            let (pred_ready, _) = eng.ready_time(edge.src, p);
+            let pred_ready = eng.ready_time(edge.src, p);
             let dur = eng.m.exec_time(eng.g.task(edge.src).weight, p);
-            let slot = eng.timelines[p.index()]
-                .earliest_slot(pred_ready.max(local_extra), dur);
+            let slot = eng.slot(p, pred_ready.max(local_extra), dur);
             let dup_finish = slot + dur;
             if dup_finish < msg_arrival {
                 local_extra = dup_finish;
@@ -121,14 +124,14 @@ fn estimate_start_with_duplication(eng: &Engine<'_>, t: TaskId, p: ProcId) -> f6
         ready = ready.max(arrival);
     }
     let dur = eng.m.exec_time(eng.g.task(t).weight, p);
-    eng.timelines[p.index()].earliest_slot(ready.max(local_extra), dur)
+    eng.slot(p, ready.max(local_extra), dur)
 }
 
 /// Repeatedly copies the predecessor whose message currently bounds `t`'s
 /// ready time onto `p`, while each copy strictly reduces that ready time.
 fn duplicate_binding_preds(eng: &mut Engine<'_>, t: TaskId, p: ProcId) {
     for _ in 0..MAX_DUPES_PER_TASK {
-        let (ready, _) = eng.ready_time(t, p);
+        let ready = eng.ready_time(t, p);
         if ready <= crate::schedule::TIME_EPS {
             return; // already starts at time zero
         }
@@ -137,11 +140,9 @@ fn duplicate_binding_preds(eng: &mut Engine<'_>, t: TaskId, p: ProcId) {
         let mut binding: Option<(TaskId, f64)> = None;
         for &e in eng.g.in_edges(t) {
             let edge = eng.g.edge(e);
-            let (arrival, _) = eng.edge_arrival(edge.src, edge.volume, p);
+            let arrival = eng.edge_arrival(edge.src, edge.volume, p);
             if (arrival - ready).abs() <= crate::schedule::TIME_EPS {
-                let already_local = eng.copies[edge.src.index()]
-                    .iter()
-                    .any(|c| c.proc == p);
+                let already_local = eng.copies[edge.src.index()].iter().any(|c| c.proc == p);
                 if !already_local {
                     binding = Some((edge.src, arrival));
                 }
@@ -153,9 +154,9 @@ fn duplicate_binding_preds(eng: &mut Engine<'_>, t: TaskId, p: ProcId) {
 
         // Would a local copy of `pred` help? Its own inputs arrive from
         // existing copies; it needs an idle slot ending before old_arrival.
-        let (pred_ready, _) = eng.ready_time(pred, p);
+        let pred_ready = eng.ready_time(pred, p);
         let dur = eng.m.exec_time(eng.g.task(pred).weight, p);
-        let start = eng.timelines[p.index()].earliest_slot(pred_ready, dur);
+        let start = eng.slot(p, pred_ready, dur);
         let local_finish = start + dur;
         if local_finish + crate::schedule::TIME_EPS < old_arrival {
             eng.commit(pred, p); // duplicate copy (not primary)
@@ -221,12 +222,16 @@ mod tests {
         s.validate(&g, &m).unwrap();
         // With free communication there is nothing to save.
         for t in g.task_ids() {
-            assert_eq!(s.placements_of(t).len(), 1, "task {t} duplicated needlessly");
+            assert_eq!(
+                s.placements_of(t).len(),
+                1,
+                "task {t} duplicated needlessly"
+            );
         }
     }
 
     #[test]
-    fn cascading_duplication_on_outtree(){
+    fn cascading_duplication_on_outtree() {
         // Each level of a broadcast tree repeats the win; DSH should
         // produce a valid schedule with copies at multiple levels.
         let g = generators::outtree(3, 2, 3.0, 12.0);

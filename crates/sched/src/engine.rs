@@ -4,9 +4,30 @@
 //! drives.
 
 use crate::schedule::Schedule;
-use banger_machine::{Machine, ProcId, SwitchingMode};
+use banger_machine::{LinkId, Machine, ProcId, SwitchingMode};
 use banger_taskgraph::{TaskGraph, TaskId};
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Workspace-wide probe counters, flushed once per run by [`Engine::finish`]
+/// so the hot loops never touch shared cache lines. The bench harness reads
+/// them to track how much work the engine does per sweep.
+static TOTAL_ARRIVAL_PROBES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_SLOT_SEARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the cumulative engine probe counters:
+/// `(edge-arrival probes, timeline slot searches)`.
+pub fn probe_totals() -> (u64, u64) {
+    (
+        TOTAL_ARRIVAL_PROBES.load(Ordering::Relaxed),
+        TOTAL_SLOT_SEARCHES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the cumulative probe counters (bench harness bookkeeping).
+pub fn reset_probe_totals() {
+    TOTAL_ARRIVAL_PROBES.store(0, Ordering::Relaxed);
+    TOTAL_SLOT_SEARCHES.store(0, Ordering::Relaxed);
+}
 
 /// Busy intervals of one processor, kept sorted by start time.
 #[derive(Debug, Clone, Default)]
@@ -19,9 +40,20 @@ impl ProcTimeline {
     /// Earliest start `>= ready` of a free slot of length `dur`, using
     /// insertion between existing placements (the classic insertion-based
     /// variant; an append-only policy falls out when gaps never fit).
+    ///
+    /// A binary search skips the prefix of intervals that can neither host
+    /// the job (they end at or before `ready` and leave no usable gap) nor
+    /// push the candidate start forward, so repeated probes on long
+    /// timelines stop rescanning from the front. The skip predicate is the
+    /// conjunction of two monotone conditions over the sorted, disjoint
+    /// intervals, and skipped intervals provably leave the scan state
+    /// unchanged — results are bit-identical to the full scan.
     pub fn earliest_slot(&self, ready: f64, dur: f64) -> f64 {
+        let skip = self
+            .busy
+            .partition_point(|&(s, f)| f <= ready && s + crate::schedule::TIME_EPS < ready + dur);
         let mut candidate = ready;
-        for &(s, f) in &self.busy {
+        for &(s, f) in &self.busy[skip..] {
             if candidate + dur <= s + crate::schedule::TIME_EPS {
                 return candidate;
             }
@@ -35,9 +67,7 @@ impl ProcTimeline {
     /// Commits an interval. Panics in debug builds if it overlaps.
     pub fn reserve(&mut self, start: f64, dur: f64) {
         let finish = start + dur;
-        let idx = self
-            .busy
-            .partition_point(|&(s, _)| s < start);
+        let idx = self.busy.partition_point(|&(s, _)| s < start);
         debug_assert!(
             idx == 0 || self.busy[idx - 1].1 <= start + crate::schedule::TIME_EPS,
             "overlapping reservation"
@@ -56,16 +86,18 @@ impl ProcTimeline {
 }
 
 /// Busy intervals per directed link, for contention-aware estimates.
-#[derive(Debug, Clone, Default)]
+/// Timelines are held in a dense table indexed by [`LinkId`], sized for one
+/// machine by [`LinkState::for_machine`].
+#[derive(Debug, Clone)]
 pub struct LinkState {
-    links: HashMap<(ProcId, ProcId), Vec<(f64, f64)>>,
+    links: Vec<Vec<(f64, f64)>>,
 }
 
 /// A tentative link reservation produced while costing a message route.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkReservation {
-    /// The directed link.
-    pub link: (ProcId, ProcId),
+    /// The directed link's dense index.
+    pub link: LinkId,
     /// Occupancy start.
     pub start: f64,
     /// Occupancy end.
@@ -73,17 +105,22 @@ pub struct LinkReservation {
 }
 
 impl LinkState {
+    /// An empty occupancy table covering every directed link of `m`.
+    pub fn for_machine(m: &Machine) -> Self {
+        LinkState {
+            links: vec![Vec::new(); m.routing().directed_links()],
+        }
+    }
+
     /// Earliest start `>= ready` at which the link is free for `dur`.
-    fn earliest(&self, link: (ProcId, ProcId), ready: f64, dur: f64) -> f64 {
+    fn earliest(&self, link: LinkId, ready: f64, dur: f64) -> f64 {
         let mut candidate = ready;
-        if let Some(busy) = self.links.get(&link) {
-            for &(s, f) in busy {
-                if candidate + dur <= s + crate::schedule::TIME_EPS {
-                    return candidate;
-                }
-                if f > candidate {
-                    candidate = f;
-                }
+        for &(s, f) in &self.links[link.index()] {
+            if candidate + dur <= s + crate::schedule::TIME_EPS {
+                return candidate;
+            }
+            if f > candidate {
+                candidate = f;
             }
         }
         candidate
@@ -91,34 +128,25 @@ impl LinkState {
 
     /// Commits a reservation.
     pub fn reserve(&mut self, r: LinkReservation) {
-        let busy = self.links.entry(r.link).or_default();
+        let busy = &mut self.links[r.link.index()];
         let idx = busy.partition_point(|&(s, _)| s < r.start);
         busy.insert(idx, (r.start, r.end));
     }
 
-    /// Routes a message of `volume` units from `src` (available at time
-    /// `depart`) to `dst` under store-and-forward link occupancy, returning
-    /// the arrival time and the link reservations the transfer would make.
+    /// Arrival time of a message of `volume` units departing at `depart`
+    /// along the precomputed link `route` (see
+    /// [`banger_machine::RoutingTable::link_slice`]) under store-and-forward
+    /// link occupancy. Pure probe: allocates nothing and reserves nothing.
+    /// An empty route means a local transfer and returns `depart` unchanged.
     ///
     /// The message startup cost is paid once at injection. Under
     /// [`SwitchingMode::CutThrough`] the per-hop transmission collapses to
     /// the hop latency plus a single transfer charged on every link
     /// simultaneously; we conservatively occupy each link for the full
     /// transfer time.
-    pub fn route_message(
-        &self,
-        m: &Machine,
-        src: ProcId,
-        dst: ProcId,
-        depart: f64,
-        volume: f64,
-    ) -> (f64, Vec<LinkReservation>) {
-        if src == dst {
-            return (depart, Vec::new());
-        }
-        let links = m.routing().links(src, dst);
-        if links.is_empty() {
-            return (f64::INFINITY, Vec::new());
+    pub fn route_arrival(&self, m: &Machine, route: &[LinkId], depart: f64, volume: f64) -> f64 {
+        if route.is_empty() {
+            return depart;
         }
         let transfer = m.link_transfer_time(volume);
         let hop_extra = match m.params().switching {
@@ -126,14 +154,40 @@ impl LinkState {
             SwitchingMode::CutThrough { hop_latency } => hop_latency,
         };
         let mut t = depart + m.params().msg_startup;
-        let mut reservations = Vec::with_capacity(links.len());
-        for link in links {
+        for &link in route {
+            let start = self.earliest(link, t, transfer);
+            t = start + transfer + hop_extra;
+        }
+        t
+    }
+
+    /// Like [`LinkState::route_arrival`], but also appends the per-hop
+    /// reservations the transfer would make onto `out` (the caller's
+    /// reusable scratch buffer), so a commit can reserve them.
+    pub fn route_message(
+        &self,
+        m: &Machine,
+        route: &[LinkId],
+        depart: f64,
+        volume: f64,
+        out: &mut Vec<LinkReservation>,
+    ) -> f64 {
+        if route.is_empty() {
+            return depart;
+        }
+        let transfer = m.link_transfer_time(volume);
+        let hop_extra = match m.params().switching {
+            SwitchingMode::StoreAndForward => 0.0,
+            SwitchingMode::CutThrough { hop_latency } => hop_latency,
+        };
+        let mut t = depart + m.params().msg_startup;
+        for &link in route {
             let start = self.earliest(link, t, transfer);
             let end = start + transfer;
-            reservations.push(LinkReservation { link, start, end });
+            out.push(LinkReservation { link, start, end });
             t = end + hop_extra;
         }
-        (t, reservations)
+        t
     }
 }
 
@@ -172,6 +226,12 @@ pub struct Engine<'a> {
     /// The communication model in force.
     pub comm: CommModel,
     schedule: Schedule,
+    /// Reusable buffer for commit-path link reservations, so probing and
+    /// committing allocate nothing per `(task, proc)` evaluation.
+    scratch: Vec<LinkReservation>,
+    /// Per-run probe counters (flushed to the crate totals on `finish`).
+    arrival_probes: std::cell::Cell<u64>,
+    slot_searches: std::cell::Cell<u64>,
 }
 
 impl<'a> Engine<'a> {
@@ -182,46 +242,88 @@ impl<'a> Engine<'a> {
             m,
             timelines: vec![ProcTimeline::default(); m.processors()],
             copies: vec![Vec::new(); g.task_count()],
-            links: LinkState::default(),
+            links: LinkState::for_machine(m),
             comm,
             schedule: Schedule::new(name, g.task_count()),
+            scratch: Vec::new(),
+            arrival_probes: std::cell::Cell::new(0),
+            slot_searches: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Arrival time of one copy's message at `p`, probe only.
+    #[inline]
+    fn copy_arrival(&self, c: &Copy, volume: f64, p: ProcId) -> f64 {
+        if c.proc == p {
+            return c.finish;
+        }
+        match self.comm {
+            CommModel::Analytic => c.finish + self.m.comm_time(c.proc, p, volume),
+            CommModel::Contention => {
+                let route = self.m.routing().link_slice(c.proc, p);
+                if route.is_empty() {
+                    // Distinct processors with no route: unreachable.
+                    f64::INFINITY
+                } else {
+                    self.links.route_arrival(self.m, route, c.finish, volume)
+                }
+            }
         }
     }
 
     /// Earliest time the data of edge `pred -> t` can be present on `p`,
-    /// taking the cheapest committed copy of the predecessor. Under the
-    /// contention model, also returns the link reservations of the winning
-    /// route so a commit can reserve them.
-    pub fn edge_arrival(
+    /// taking the cheapest committed copy of the predecessor. Pure probe:
+    /// allocates nothing. [`Engine::commit`] re-derives the winning route's
+    /// reservations when it actually places a task.
+    pub fn edge_arrival(&self, pred: TaskId, volume: f64, p: ProcId) -> f64 {
+        self.arrival_probes.set(self.arrival_probes.get() + 1);
+        let mut best = f64::INFINITY;
+        for c in &self.copies[pred.index()] {
+            let arrival = self.copy_arrival(c, volume, p);
+            if arrival < best {
+                best = arrival;
+            }
+        }
+        best
+    }
+
+    /// Like [`Engine::edge_arrival`], but appends the winning route's link
+    /// reservations onto `out` (used by the commit path). The winning copy
+    /// matches the probe exactly: first copy with the strictly smallest
+    /// arrival.
+    fn edge_arrival_with_reservations(
         &self,
         pred: TaskId,
         volume: f64,
         p: ProcId,
-    ) -> (f64, Vec<LinkReservation>) {
-        let mut best = (f64::INFINITY, Vec::new());
+        out: &mut Vec<LinkReservation>,
+    ) -> f64 {
+        let mut best = f64::INFINITY;
+        let mut best_copy: Option<&Copy> = None;
         for c in &self.copies[pred.index()] {
-            let (arrival, res) = match self.comm {
-                CommModel::Analytic => {
-                    (c.finish + self.m.comm_time(c.proc, p, volume), Vec::new())
+            let arrival = self.copy_arrival(c, volume, p);
+            if arrival < best {
+                best = arrival;
+                best_copy = Some(c);
+            }
+        }
+        if self.comm == CommModel::Contention {
+            if let Some(c) = best_copy {
+                if c.proc != p {
+                    let route = self.m.routing().link_slice(c.proc, p);
+                    self.links
+                        .route_message(self.m, route, c.finish, volume, out);
                 }
-                CommModel::Contention => {
-                    self.links.route_message(self.m, c.proc, p, c.finish, volume)
-                }
-            };
-            if arrival < best.0 {
-                best = (arrival, res);
             }
         }
         best
     }
 
     /// Ready time of task `t` on processor `p`: the latest arrival over all
-    /// inputs. Also returns every input's reservations (for committing).
-    /// Panics if a predecessor has not been placed yet — heuristics must
-    /// respect topological readiness.
-    pub fn ready_time(&self, t: TaskId, p: ProcId) -> (f64, Vec<LinkReservation>) {
+    /// inputs. Pure probe: allocates nothing. Panics if a predecessor has
+    /// not been placed yet — heuristics must respect topological readiness.
+    pub fn ready_time(&self, t: TaskId, p: ProcId) -> f64 {
         let mut ready = 0.0f64;
-        let mut all_res = Vec::new();
         for &e in self.g.in_edges(t) {
             let edge = self.g.edge(e);
             assert!(
@@ -230,33 +332,65 @@ impl<'a> Engine<'a> {
                 edge.src,
                 t
             );
-            let (arrival, res) = self.edge_arrival(edge.src, edge.volume, p);
-            ready = ready.max(arrival);
-            all_res.extend(res);
+            ready = ready.max(self.edge_arrival(edge.src, edge.volume, p));
         }
-        (ready, all_res)
+        ready
+    }
+
+    /// Ready time plus every input's link reservations, appended onto `out`
+    /// (the commit path's reusable scratch buffer).
+    fn ready_time_with_reservations(
+        &self,
+        t: TaskId,
+        p: ProcId,
+        out: &mut Vec<LinkReservation>,
+    ) -> f64 {
+        let mut ready = 0.0f64;
+        for &e in self.g.in_edges(t) {
+            let edge = self.g.edge(e);
+            assert!(
+                !self.copies[edge.src.index()].is_empty(),
+                "predecessor {} of {} not yet placed",
+                edge.src,
+                t
+            );
+            ready = ready.max(self.edge_arrival_with_reservations(edge.src, edge.volume, p, out));
+        }
+        ready
+    }
+
+    /// Timeline slot search on `p`, counted toward the probe totals — the
+    /// entry point heuristics use instead of poking `timelines` directly.
+    #[inline]
+    pub fn slot(&self, p: ProcId, ready: f64, dur: f64) -> f64 {
+        self.slot_searches.set(self.slot_searches.get() + 1);
+        self.timelines[p.index()].earliest_slot(ready, dur)
     }
 
     /// Earliest start of `t` on `p` given current state: ready time plus
     /// insertion slot search.
     pub fn earliest_start(&self, t: TaskId, p: ProcId) -> f64 {
-        let (ready, _) = self.ready_time(t, p);
+        let ready = self.ready_time(t, p);
         let dur = self.m.exec_time(self.g.task(t).weight, p);
-        self.timelines[p.index()].earliest_slot(ready, dur)
+        self.slot(p, ready, dur)
     }
 
     /// Commits task `t` on processor `p` at the earliest feasible time,
     /// reserving links under the contention model. Returns the placement's
     /// `(start, finish)`. The first commit of a task is its primary copy.
     pub fn commit(&mut self, t: TaskId, p: ProcId) -> (f64, f64) {
-        let (ready, reservations) = self.ready_time(t, p);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let ready = self.ready_time_with_reservations(t, p, &mut scratch);
         let dur = self.m.exec_time(self.g.task(t).weight, p);
-        let start = self.timelines[p.index()].earliest_slot(ready, dur);
+        let start = self.slot(p, ready, dur);
         let finish = start + dur;
         self.timelines[p.index()].reserve(start, dur);
-        for r in reservations {
+        for &r in &scratch {
             self.links.reserve(r);
         }
+        scratch.clear();
+        self.scratch = scratch;
         let primary = self.copies[t.index()].is_empty();
         self.copies[t.index()].push(Copy { proc: p, finish });
         self.schedule.place(t, p, start, finish, primary);
@@ -268,8 +402,11 @@ impl<'a> Engine<'a> {
         !self.copies[t.index()].is_empty()
     }
 
-    /// Consumes the engine, returning the accumulated schedule.
+    /// Consumes the engine, returning the accumulated schedule and flushing
+    /// this run's probe counters into the crate-wide totals.
     pub fn finish(self) -> Schedule {
+        TOTAL_ARRIVAL_PROBES.fetch_add(self.arrival_probes.get(), Ordering::Relaxed);
+        TOTAL_SLOT_SEARCHES.fetch_add(self.slot_searches.get(), Ordering::Relaxed);
         self.schedule
     }
 
@@ -312,6 +449,39 @@ mod tests {
     }
 
     #[test]
+    fn earliest_slot_matches_full_scan() {
+        // The partition_point prefix skip must be bit-identical to the
+        // original front-to-back scan, including degenerate probes whose
+        // duration is below TIME_EPS.
+        fn reference(busy: &[(f64, f64)], ready: f64, dur: f64) -> f64 {
+            let mut candidate = ready;
+            for &(s, f) in busy {
+                if candidate + dur <= s + crate::schedule::TIME_EPS {
+                    return candidate;
+                }
+                if f > candidate {
+                    candidate = f;
+                }
+            }
+            candidate
+        }
+        let mut tl = ProcTimeline::default();
+        for (s, d) in [(0.0, 2.0), (3.0, 1.0), (6.0, 0.5), (10.0, 4.0), (20.0, 1.0)] {
+            tl.reserve(s, d);
+        }
+        for ready in [0.0, 1.0, 2.0, 2.5, 4.0, 6.4, 9.9, 10.0, 14.0, 30.0] {
+            for dur in [0.0, 1e-9, 0.5, 1.0, 2.0, 3.0, 7.0] {
+                let got = tl.earliest_slot(ready, dur);
+                let want = reference(&tl.busy, ready, dur);
+                assert!(
+                    got == want,
+                    "ready={ready} dur={dur}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn timeline_insertion_keeps_order() {
         let mut tl = ProcTimeline::default();
         tl.reserve(10.0, 2.0);
@@ -330,12 +500,18 @@ mod tests {
                 ..MachineParams::default()
             },
         );
-        let links = LinkState::default();
+        let links = LinkState::for_machine(&m);
+        let route = m.routing().link_slice(ProcId(0), ProcId(2));
         // 4 units at rate 2 = 2 per link; 2 hops; startup 1.
-        let (arrival, res) = links.route_message(&m, ProcId(0), ProcId(2), 0.0, 4.0);
+        let mut res = Vec::new();
+        let arrival = links.route_message(&m, route, 0.0, 4.0, &mut res);
         assert!((arrival - 5.0).abs() < 1e-12);
+        assert_eq!(links.route_arrival(&m, route, 0.0, 4.0), arrival);
         assert_eq!(res.len(), 2);
-        assert_eq!(res[0].link, (ProcId(0), ProcId(1)));
+        assert_eq!(
+            m.routing().link_endpoints(res[0].link),
+            (ProcId(0), ProcId(1))
+        );
         assert!((res[0].start - 1.0).abs() < 1e-12);
         assert!((res[1].start - 3.0).abs() < 1e-12);
     }
@@ -343,22 +519,26 @@ mod tests {
     #[test]
     fn link_contention_delays_second_message() {
         let m = Machine::new(Topology::linear(2), MachineParams::default());
-        let mut links = LinkState::default();
-        let (a1, r1) = links.route_message(&m, ProcId(0), ProcId(1), 0.0, 10.0);
+        let mut links = LinkState::for_machine(&m);
+        let route = m.routing().link_slice(ProcId(0), ProcId(1));
+        let mut r1 = Vec::new();
+        let a1 = links.route_message(&m, route, 0.0, 10.0, &mut r1);
         assert_eq!(a1, 10.0);
         for r in r1 {
             links.reserve(r);
         }
         // Second message must queue behind the first on the only link.
-        let (a2, _) = links.route_message(&m, ProcId(0), ProcId(1), 0.0, 10.0);
+        let a2 = links.route_arrival(&m, route, 0.0, 10.0);
         assert_eq!(a2, 20.0);
     }
 
     #[test]
     fn local_message_is_free() {
         let m = Machine::new(Topology::linear(2), MachineParams::default());
-        let links = LinkState::default();
-        let (a, res) = links.route_message(&m, ProcId(1), ProcId(1), 3.0, 100.0);
+        let links = LinkState::for_machine(&m);
+        let route = m.routing().link_slice(ProcId(1), ProcId(1));
+        let mut res = Vec::new();
+        let a = links.route_message(&m, route, 3.0, 100.0, &mut res);
         assert_eq!(a, 3.0);
         assert!(res.is_empty());
     }
@@ -394,7 +574,7 @@ mod tests {
         let mut eng = Engine::new("test", &g, &m, CommModel::Analytic);
         eng.commit(a, ProcId(0));
         eng.commit(a, ProcId(1)); // duplicate
-        // now b on P1 sees the local copy
+                                  // now b on P1 sees the local copy
         assert_eq!(eng.earliest_start(b, ProcId(1)), 4.0);
         eng.commit(b, ProcId(1));
         let s = eng.finish();

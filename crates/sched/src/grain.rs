@@ -82,10 +82,7 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
         let mut current_pt = estimate_pt(g, &cluster_of);
         for e in edge_ids {
             let edge = g.edge(e);
-            let (cs, cd) = (
-                cluster_of[edge.src.index()],
-                cluster_of[edge.dst.index()],
-            );
+            let (cs, cd) = (cluster_of[edge.src.index()], cluster_of[edge.dst.index()]);
             if cs == cd {
                 continue;
             }
@@ -136,10 +133,7 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
     let mut volumes: std::collections::BTreeMap<(usize, usize), f64> =
         std::collections::BTreeMap::new();
     for (_, edge) in g.edges() {
-        let (cs, cd) = (
-            cluster_of[edge.src.index()],
-            cluster_of[edge.dst.index()],
-        );
+        let (cs, cd) = (cluster_of[edge.src.index()], cluster_of[edge.dst.index()]);
         if cs != cd {
             *volumes.entry((cs, cd)).or_insert(0.0) += edge.volume;
         }
@@ -418,10 +412,7 @@ mod tests {
             let mut in_deg: BTreeMap<(usize, u32), usize> = BTreeMap::new();
             let mut out_deg: BTreeMap<(usize, u32), usize> = BTreeMap::new();
             for (_, e) in g.edges() {
-                let (cs, cd) = (
-                    lc.cluster_of[e.src.index()],
-                    lc.cluster_of[e.dst.index()],
-                );
+                let (cs, cd) = (lc.cluster_of[e.src.index()], lc.cluster_of[e.dst.index()]);
                 if cs == cd {
                     *out_deg.entry((cs, e.src.0)).or_default() += 1;
                     *in_deg.entry((cd, e.dst.0)).or_default() += 1;

@@ -40,11 +40,13 @@ pub mod grain;
 pub mod list;
 pub mod mh;
 pub mod schedule;
+pub mod sweep;
 pub mod textfmt;
 
 pub use schedule::{Placement, Schedule, ScheduleError, ScheduleSummary};
 
 use banger_machine::Machine;
+use banger_taskgraph::analysis::GraphAnalysis;
 use banger_taskgraph::TaskGraph;
 
 /// Every heuristic in the crate, by name — the comparison tables and
@@ -54,15 +56,30 @@ pub const HEURISTIC_NAMES: [&str; 7] = ["serial", "naive", "HLFET", "MCP", "ETF"
 /// Runs a heuristic by name (see [`HEURISTIC_NAMES`]; `"DSH"` is also
 /// accepted). Returns `None` for unknown names.
 pub fn run_heuristic(name: &str, g: &TaskGraph, m: &Machine) -> Option<Schedule> {
+    if name == "serial" {
+        return Some(list::serial(g, m));
+    }
+    let a = GraphAnalysis::analyze(g);
+    run_heuristic_with(name, g, m, &a)
+}
+
+/// [`run_heuristic`] with a precomputed [`GraphAnalysis`], so sweeps over
+/// many heuristics or machines compute the machine-independent levels once.
+pub fn run_heuristic_with(
+    name: &str,
+    g: &TaskGraph,
+    m: &Machine,
+    a: &GraphAnalysis,
+) -> Option<Schedule> {
     Some(match name {
         "serial" => list::serial(g, m),
-        "naive" => list::naive_no_comm(g, m),
-        "HLFET" => list::hlfet(g, m),
-        "MCP" => list::mcp(g, m),
-        "ETF" => list::etf(g, m),
-        "DLS" => list::dls(g, m),
-        "MH" => mh::mh(g, m),
-        "DSH" => dsh::dsh(g, m),
+        "naive" => list::naive_no_comm_with(g, m, a),
+        "HLFET" => list::hlfet_with(g, m, a),
+        "MCP" => list::mcp_with(g, m, a),
+        "ETF" => list::etf_with(g, m, a),
+        "DLS" => list::dls_with(g, m, a),
+        "MH" => mh::mh_with(g, m, a),
+        "DSH" => dsh::dsh_with(g, m, a),
         _ => return None,
     })
 }
@@ -80,7 +97,14 @@ mod tests {
         for name in HEURISTIC_NAMES.iter().chain(["DSH"].iter()) {
             let s = run_heuristic(name, &g, &m).unwrap_or_else(|| panic!("{name} missing"));
             s.validate(&g, &m).unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(s.heuristic(), if *name == "naive" { "naive-no-comm" } else { *name });
+            assert_eq!(
+                s.heuristic(),
+                if *name == "naive" {
+                    "naive-no-comm"
+                } else {
+                    *name
+                }
+            );
         }
         assert!(run_heuristic("bogus", &g, &m).is_none());
     }

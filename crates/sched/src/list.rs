@@ -90,6 +90,12 @@ fn task_first(name: &str, g: &TaskGraph, m: &Machine, priority: &[f64]) -> Sched
 /// HLFET: static-level priority, earliest-start processor.
 pub fn hlfet(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    hlfet_with(g, m, &a)
+}
+
+/// [`hlfet`] with a precomputed [`GraphAnalysis`], so sweeps over many
+/// machines pay for the (machine-independent) level computation once.
+pub fn hlfet_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     task_first("HLFET", g, m, &a.static_level)
 }
 
@@ -97,6 +103,11 @@ pub fn hlfet(g: &TaskGraph, m: &Machine) -> Schedule {
 /// processor.
 pub fn mcp(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    mcp_with(g, m, &a)
+}
+
+/// [`mcp`] with a precomputed [`GraphAnalysis`].
+pub fn mcp_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let neg_alap: Vec<f64> = a.alap.iter().map(|&x| -x).collect();
     task_first("MCP", g, m, &neg_alap)
 }
@@ -105,6 +116,11 @@ pub fn mcp(g: &TaskGraph, m: &Machine) -> Schedule {
 /// break ties by greater static level, then lower ids.
 pub fn etf(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    etf_with(g, m, &a)
+}
+
+/// [`etf`] with a precomputed [`GraphAnalysis`].
+pub fn etf_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("ETF", g, m, CommModel::Analytic);
     let mut tracker = ReadyTracker::new(g);
     while !tracker.is_done() {
@@ -116,14 +132,13 @@ pub fn etf(g: &TaskGraph, m: &Machine) -> Schedule {
                 let cand = (s, -a.static_level[t.index()], t, p);
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        cand.0
-                            .total_cmp(&b.0)
-                            .then(cand.1.total_cmp(&b.1))
-                            .then(cand.2.cmp(&b.2))
-                            .then(cand.3.cmp(&b.3))
-                            .is_lt()
-                    }
+                    Some(b) => cand
+                        .0
+                        .total_cmp(&b.0)
+                        .then(cand.1.total_cmp(&b.1))
+                        .then(cand.2.cmp(&b.2))
+                        .then(cand.3.cmp(&b.3))
+                        .is_lt(),
                 };
                 if better {
                     best = Some(cand);
@@ -140,6 +155,11 @@ pub fn etf(g: &TaskGraph, m: &Machine) -> Schedule {
 /// DLS: commit the ready pair maximising `static_level - earliest_start`.
 pub fn dls(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    dls_with(g, m, &a)
+}
+
+/// [`dls`] with a precomputed [`GraphAnalysis`].
+pub fn dls_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("DLS", g, m, CommModel::Analytic);
     let mut tracker = ReadyTracker::new(g);
     while !tracker.is_done() {
@@ -175,6 +195,11 @@ pub fn dls(g: &TaskGraph, m: &Machine) -> Schedule {
 /// the A1 ablation to quantify the value of communication awareness.
 pub fn naive_no_comm(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    naive_no_comm_with(g, m, &a)
+}
+
+/// [`naive_no_comm`] with a precomputed [`GraphAnalysis`].
+pub fn naive_no_comm_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("naive-no-comm", g, m, CommModel::Analytic);
     let mut tracker = ReadyTracker::new(g);
     while !tracker.is_done() {
@@ -251,7 +276,11 @@ mod tests {
     fn independent_tasks_spread_across_processors() {
         let g = generators::independent(8, 10.0);
         let m = machine(4);
-        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("ETF", etf), ("DLS", dls)] {
+        for (name, h) in [
+            ("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule),
+            ("ETF", etf),
+            ("DLS", dls),
+        ] {
             let s = h(&g, &m);
             s.validate(&g, &m).unwrap();
             assert_eq!(s.makespan(), 20.0, "{name} should perfectly balance");
@@ -263,7 +292,11 @@ mod tests {
     fn chain_stays_on_one_processor() {
         let g = generators::chain(6, 5.0, 10.0);
         let m = machine(4);
-        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("ETF", etf), ("MCP", mcp)] {
+        for (name, h) in [
+            ("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule),
+            ("ETF", etf),
+            ("MCP", mcp),
+        ] {
             let s = h(&g, &m);
             s.validate(&g, &m).unwrap();
             assert_eq!(s.makespan(), 30.0, "{name}: a chain cannot go faster");
@@ -286,14 +319,15 @@ mod tests {
         let g = generators::fork_join(8, 1.0, 20.0, 1.0, 0.5);
         let m = machine(4);
         let base = serial(&g, &m).makespan();
-        for (name, h) in [("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule), ("MCP", mcp), ("ETF", etf), ("DLS", dls)] {
+        for (name, h) in [
+            ("HLFET", hlfet as fn(&TaskGraph, &Machine) -> Schedule),
+            ("MCP", mcp),
+            ("ETF", etf),
+            ("DLS", dls),
+        ] {
             let s = h(&g, &m);
             s.validate(&g, &m).unwrap();
-            assert!(
-                s.makespan() < base,
-                "{name}: {} !< {base}",
-                s.makespan()
-            );
+            assert!(s.makespan() < base, "{name}: {} !< {base}", s.makespan());
         }
     }
 
@@ -304,7 +338,10 @@ mod tests {
         let mut g = generators::fork_join(4, 1.0, 2.0, 1.0, 1.0);
         g.scale_volumes(1000.0);
         let m = machine(4);
-        for (name, h) in [("ETF", etf as fn(&TaskGraph, &Machine) -> Schedule), ("DLS", dls)] {
+        for (name, h) in [
+            ("ETF", etf as fn(&TaskGraph, &Machine) -> Schedule),
+            ("DLS", dls),
+        ] {
             let s = h(&g, &m);
             s.validate(&g, &m).unwrap();
             assert_eq!(

@@ -22,6 +22,12 @@ use banger_taskgraph::{TaskGraph, TaskId};
 /// Runs the Mapping Heuristic. See module docs.
 pub fn mh(g: &TaskGraph, m: &Machine) -> Schedule {
     let a = GraphAnalysis::analyze(g);
+    mh_with(g, m, &a)
+}
+
+/// [`mh`] with a precomputed [`GraphAnalysis`], so sweeps over many machines
+/// pay for the (machine-independent) level computation once.
+pub fn mh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("MH", g, m, CommModel::Contention);
 
     let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
@@ -48,9 +54,9 @@ pub fn mh(g: &TaskGraph, m: &Machine) -> Schedule {
         let mut best = m.proc_ids().next().unwrap();
         let mut best_finish = f64::INFINITY;
         for p in m.proc_ids() {
-            let (r, _) = eng.ready_time(t, p);
+            let r = eng.ready_time(t, p);
             let dur = m.exec_time(g.task(t).weight, p);
-            let start = eng.timelines[p.index()].earliest_slot(r, dur);
+            let start = eng.slot(p, r, dur);
             let finish = start + dur;
             if finish + crate::schedule::TIME_EPS < best_finish {
                 best_finish = finish;
@@ -88,7 +94,8 @@ mod tests {
                 },
             );
             let s = mh(&g, &m);
-            s.validate(&g, &m).unwrap_or_else(|e| panic!("dim {dim}: {e}"));
+            s.validate(&g, &m)
+                .unwrap_or_else(|e| panic!("dim {dim}: {e}"));
         }
     }
 

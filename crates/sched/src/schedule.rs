@@ -158,11 +158,7 @@ impl Schedule {
 
     /// All placements of one task (primary first if present).
     pub fn placements_of(&self, task: TaskId) -> Vec<&Placement> {
-        let mut v: Vec<&Placement> = self
-            .placements
-            .iter()
-            .filter(|p| p.task == task)
-            .collect();
+        let mut v: Vec<&Placement> = self.placements.iter().filter(|p| p.task == task).collect();
         v.sort_by_key(|p| !p.primary);
         v
     }
@@ -250,7 +246,9 @@ impl Schedule {
             if p.proc.index() >= m.processors() {
                 return Err(ScheduleError::UnknownProcessor(p.proc));
             }
-            if !(p.start.is_finite() && p.finish.is_finite()) || p.start < -TIME_EPS || p.finish + TIME_EPS < p.start
+            if !(p.start.is_finite() && p.finish.is_finite())
+                || p.start < -TIME_EPS
+                || p.finish + TIME_EPS < p.start
             {
                 return Err(ScheduleError::BadTimes(p.task));
             }
@@ -405,7 +403,10 @@ mod tests {
         let mut s = Schedule::new("manual", 2);
         s.place(TaskId(0), ProcId(0), 0.0, 4.0, true);
         s.place(TaskId(1), ProcId(0), 2.0, 6.0, true);
-        assert!(matches!(s.validate(&g, &m), Err(ScheduleError::Overlap { .. })));
+        assert!(matches!(
+            s.validate(&g, &m),
+            Err(ScheduleError::Overlap { .. })
+        ));
     }
 
     #[test]
@@ -455,7 +456,10 @@ mod tests {
         s.place(TaskId(0), ProcId(0), 0.0, 4.0, true);
         s.place(TaskId(0), ProcId(1), 0.0, 4.0, true);
         s.place(TaskId(1), ProcId(1), 14.0, 20.0, true);
-        assert_eq!(s.validate(&g, &m), Err(ScheduleError::BadPrimary(TaskId(0))));
+        assert_eq!(
+            s.validate(&g, &m),
+            Err(ScheduleError::BadPrimary(TaskId(0)))
+        );
     }
 
     #[test]

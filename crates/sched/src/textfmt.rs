@@ -57,7 +57,9 @@ pub fn from_text(text: &str) -> Result<Schedule, String> {
                 schedule = Some(Schedule::new(heuristic.to_string(), n));
             }
             "place" => {
-                let s = schedule.as_mut().ok_or_else(|| ctx("place before header"))?;
+                let s = schedule
+                    .as_mut()
+                    .ok_or_else(|| ctx("place before header"))?;
                 let mut num = |what: &str| -> Result<f64, String> {
                     parts
                         .next()

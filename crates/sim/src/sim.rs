@@ -1,6 +1,6 @@
 //! The discrete-event engine.
 
-use banger_machine::{Machine, ProcId, SwitchingMode};
+use banger_machine::{LinkId, Machine, ProcId, SwitchingMode};
 use banger_sched::Schedule;
 use banger_taskgraph::{TaskGraph, TaskId};
 use std::cmp::Ordering;
@@ -165,8 +165,12 @@ impl Ord for Event {
 }
 
 #[derive(Debug, Clone)]
-struct Message {
-    route: Vec<(ProcId, ProcId)>,
+struct Message<'a> {
+    /// Directed links along the route, borrowed from the machine's routing
+    /// table — the simulator allocates no per-message route storage.
+    route: &'a [LinkId],
+    src: ProcId,
+    dst: ProcId,
     volume: f64,
     /// Destination copies whose input count this message satisfies.
     dst_copies: Vec<usize>,
@@ -307,10 +311,10 @@ pub fn simulate(
     let mut heap: BinaryHeap<Event> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut stats = SimStats::default();
-    let mut messages: Vec<Message> = Vec::new();
+    let mut messages: Vec<Message<'_>> = Vec::new();
     let mut msg_records: Vec<MsgRecord> = Vec::new();
-    let mut link_free: std::collections::HashMap<(ProcId, ProcId), f64> =
-        std::collections::HashMap::new();
+    // Dense per-link busy horizon, indexed by LinkId.
+    let mut link_free: Vec<f64> = vec![0.0; m.routing().directed_links()];
     let mut achieved = Schedule::new(format!("{}+sim", schedule.heuristic()), g.task_count());
     let mut remaining = copies.len();
 
@@ -373,11 +377,13 @@ pub fn simulate(
                 try_dispatch!(proc.index(), finish);
                 // Inject network messages.
                 for f in &feeds[copy] {
-                    let route = m.routing().links(proc, f.dst);
+                    let route = m.routing().link_slice(proc, f.dst);
                     debug_assert!(!route.is_empty());
                     let msg_id = messages.len();
                     messages.push(Message {
                         route,
+                        src: proc,
+                        dst: f.dst,
                         volume: f.volume,
                         dst_copies: f.dst_copies.clone(),
                         inject: finish,
@@ -387,18 +393,20 @@ pub fn simulate(
                     // cost; MsgHop(hop=0) fires when the first link crossing
                     // completes.
                     let inject = finish + m.params().msg_startup;
-                    let link = messages[msg_id].route[0];
-                    let free = link_free.get(&link).copied().unwrap_or(0.0);
-                    let begin = inject.max(free);
+                    let link = route[0];
+                    let begin = inject.max(link_free[link.index()]);
                     stats.queue_delay += begin - inject;
                     let transfer = m.link_transfer_time(f.volume);
-                    link_free.insert(link, begin + transfer);
+                    link_free[link.index()] = begin + transfer;
                     stats.hops += 1;
                     seq += 1;
                     heap.push(Event {
                         time: begin + transfer,
                         seq,
-                        kind: EventKind::MsgHop { msg: msg_id, hop: 0 },
+                        kind: EventKind::MsgHop {
+                            msg: msg_id,
+                            hop: 0,
+                        },
                     });
                 }
                 // A finished task may unblock nothing locally but free the
@@ -411,11 +419,10 @@ pub fn simulate(
                     // Cross the next link.
                     let link = msgref.route[hop + 1];
                     let depart = now + hop_extra;
-                    let free = link_free.get(&link).copied().unwrap_or(0.0);
-                    let begin = depart.max(free);
+                    let begin = depart.max(link_free[link.index()]);
                     stats.queue_delay += begin - depart;
                     let transfer = m.link_transfer_time(msgref.volume);
-                    link_free.insert(link, begin + transfer);
+                    link_free[link.index()] = begin + transfer;
                     stats.hops += 1;
                     seq += 1;
                     heap.push(Event {
@@ -429,8 +436,8 @@ pub fn simulate(
                     // Machine::comm_time), including the final one.
                     let arrival = now + hop_extra;
                     msg_records.push(MsgRecord {
-                        src: msgref.route[0].0,
-                        dst: msgref.route[msgref.route.len() - 1].1,
+                        src: msgref.src,
+                        dst: msgref.dst,
                         inject: msgref.inject,
                         arrival,
                         volume: msgref.volume,
@@ -457,7 +464,11 @@ pub fn simulate(
         return Err(SimError::Deadlock);
     }
 
-    msg_records.sort_by(|a, b| a.inject.total_cmp(&b.inject).then(a.arrival.total_cmp(&b.arrival)));
+    msg_records.sort_by(|a, b| {
+        a.inject
+            .total_cmp(&b.inject)
+            .then(a.arrival.total_cmp(&b.arrival))
+    });
     Ok(SimResult {
         achieved,
         predicted_makespan: schedule.makespan(),
@@ -532,7 +543,11 @@ mod tests {
         // MH models hops and link contention, so its prediction should be
         // within a small factor of the simulated truth.
         let g = generators::gauss_elimination(6, 3.0, 4.0);
-        for topo in [Topology::hypercube(2), Topology::mesh(2, 2), Topology::ring(4)] {
+        for topo in [
+            Topology::hypercube(2),
+            Topology::mesh(2, 2),
+            Topology::ring(4),
+        ] {
             let m = Machine::new(
                 topo,
                 MachineParams {

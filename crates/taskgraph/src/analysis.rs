@@ -101,7 +101,9 @@ impl GraphAnalysis {
         self.topo
             .iter()
             .copied()
-            .filter(|t| (self.t_level[t.index()] + self.b_level[t.index()] - self.cp_length).abs() <= eps)
+            .filter(|t| {
+                (self.t_level[t.index()] + self.b_level[t.index()] - self.cp_length).abs() <= eps
+            })
             .collect()
     }
 

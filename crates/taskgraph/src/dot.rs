@@ -84,11 +84,7 @@ fn emit_level(g: &HierGraph, prefix: &str, out: &mut String, counter: &mut usize
                 emit_level(expansion, &child_prefix, out, counter);
                 let _ = writeln!(out, "  }}");
                 // An anchor node lets this level's arcs attach to the cluster.
-                let _ = writeln!(
-                    out,
-                    "  {} [shape=point style=invis];",
-                    mangle(id.0)
-                );
+                let _ = writeln!(out, "  {} [shape=point style=invis];", mangle(id.0));
             }
         }
     }

@@ -71,7 +71,8 @@ pub fn intree(depth: u32, arity: usize, w: f64, v: f64) -> TaskGraph {
         for (j, group) in frontier.chunks(arity).enumerate() {
             let parent = g.add_task(format!("red{level}_{j}"), w);
             for (k, &c) in group.iter().enumerate() {
-                g.add_edge(c, parent, v, format!("r{level}_{j}_{k}")).unwrap();
+                g.add_edge(c, parent, v, format!("r{level}_{j}_{k}"))
+                    .unwrap();
             }
             next.push(parent);
         }
@@ -131,7 +132,10 @@ pub fn lattice(rows: usize, cols: usize, w: f64, v: f64) -> TaskGraph {
 /// `r+1` depends on two tasks at rank `r` (itself and its butterfly
 /// partner).
 pub fn fft(points: usize, w: f64, v: f64) -> TaskGraph {
-    assert!(points.is_power_of_two() && points >= 2, "points must be a power of two >= 2");
+    assert!(
+        points.is_power_of_two() && points >= 2,
+        "points must be a power of two >= 2"
+    );
     let ranks = points.trailing_zeros() as usize;
     let mut g = TaskGraph::new(format!("fft-{points}"));
     let mut prev: Vec<TaskId> = (0..points)
@@ -188,10 +192,16 @@ pub fn gauss_elimination(n: usize, unit_w: f64, unit_v: f64) -> TaskGraph {
         let mut row = Vec::with_capacity(n - k - 1);
         for j in k + 1..n {
             let u = g.add_task(format!("u{}_{}", k + 1, j + 1), rows * unit_w);
-            g.add_edge(f, u, rows * unit_v, format!("l{}", k + 1)).unwrap();
+            g.add_edge(f, u, rows * unit_v, format!("l{}", k + 1))
+                .unwrap();
             if k > 0 {
-                g.add_edge(upd[k - 1][j - k], u, rows * unit_v, format!("a{}_{}", k + 1, j + 1))
-                    .unwrap();
+                g.add_edge(
+                    upd[k - 1][j - k],
+                    u,
+                    rows * unit_v,
+                    format!("a{}_{}", k + 1, j + 1),
+                )
+                .unwrap();
             }
             row.push(u);
         }
@@ -277,7 +287,11 @@ pub fn lu_hierarchical(n: usize) -> HierGraph {
     let x_out = solve.add_storage("x", vol_vec);
     let mut prev: Option<crate::hierarchy::HierNodeId> = None;
     for i in 0..n {
-        let f = solve.add_task_with_program(format!("fwd{}", i + 1), (i + 1) as f64 * 2.0, format!("fwd{}", i + 1));
+        let f = solve.add_task_with_program(
+            format!("fwd{}", i + 1),
+            (i + 1) as f64 * 2.0,
+            format!("fwd{}", i + 1),
+        );
         solve.add_arc(lu_in, f, "LU", vol_mat).unwrap();
         if i == 0 {
             solve.add_arc(b_in, f, "b", vol_vec).unwrap();
@@ -288,7 +302,11 @@ pub fn lu_hierarchical(n: usize) -> HierGraph {
         prev = Some(f);
     }
     for i in (0..n).rev() {
-        let bk = solve.add_task_with_program(format!("bck{}", i + 1), (n - i) as f64 * 2.0, format!("bck{}", i + 1));
+        let bk = solve.add_task_with_program(
+            format!("bck{}", i + 1),
+            (n - i) as f64 * 2.0,
+            format!("bck{}", i + 1),
+        );
         solve.add_arc(lu_in, bk, "LU", vol_mat).unwrap();
         solve
             .add_arc(prev.unwrap(), bk, format!("z{}", i + 1), 1.0)
@@ -338,7 +356,8 @@ pub fn cholesky(n: usize, unit_w: f64, unit_v: f64) -> TaskGraph {
         }
         for (j, feeds) in upd.iter_mut().enumerate().take(n).skip(k + 1) {
             let u = g.add_task(format!("cupd{}_{}", k + 1, j + 1), rows * unit_w * 0.5);
-            g.add_edge(f, u, rows * unit_v, format!("col{}", k + 1)).unwrap();
+            g.add_edge(f, u, rows * unit_v, format!("col{}", k + 1))
+                .unwrap();
             feeds.push(u);
         }
         fac.push(f);
@@ -583,7 +602,15 @@ mod tests {
     #[test]
     fn lu_figure1_names_present() {
         let f = lu_hierarchical(3).flatten().unwrap();
-        for name in ["Factor.fan1", "Factor.fl21", "Factor.fl31", "Factor.fan2", "Factor.fl32", "Solve.fwd1", "Solve.bck3"] {
+        for name in [
+            "Factor.fan1",
+            "Factor.fl21",
+            "Factor.fl31",
+            "Factor.fan2",
+            "Factor.fl32",
+            "Solve.fwd1",
+            "Solve.bck3",
+        ] {
             assert!(f.graph.find_task(name).is_some(), "missing {name}");
         }
     }

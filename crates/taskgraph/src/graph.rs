@@ -175,8 +175,7 @@ impl TaskGraph {
             return Err(GraphError::BadWeight(volume));
         }
         let label = label.into();
-        if self
-            .succ[src.index()]
+        if self.succ[src.index()]
             .iter()
             .any(|&e| self.edges[e.index()].dst == dst && self.edges[e.index()].label == label)
         {
@@ -256,12 +255,16 @@ impl TaskGraph {
 
     /// Successor task ids of `t` (may repeat if parallel arcs exist).
     pub fn successors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.succ[t.index()].iter().map(move |&e| self.edges[e.index()].dst)
+        self.succ[t.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Predecessor task ids of `t` (may repeat if parallel arcs exist).
     pub fn predecessors(&self, t: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.pred[t.index()].iter().map(move |&e| self.edges[e.index()].src)
+        self.pred[t.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// In-degree of `t`.
@@ -278,12 +281,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors (graph entries).
     pub fn entry_tasks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.in_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.in_degree(t) == 0)
+            .collect()
     }
 
     /// Tasks with no successors (graph exits).
     pub fn exit_tasks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| self.out_degree(t) == 0).collect()
+        self.task_ids()
+            .filter(|&t| self.out_degree(t) == 0)
+            .collect()
     }
 
     /// Total computational weight of all tasks.

@@ -286,7 +286,8 @@ impl HierGraph {
             (NodeKind::Storage { .. }, _) => self.nodes[src.index()].name.clone(),
             _ => format!(
                 "{}_{}",
-                self.nodes[src.index()].name, self.nodes[dst.index()].name
+                self.nodes[src.index()].name,
+                self.nodes[dst.index()].name
             ),
         };
         self.add_arc(src, dst, label, 0.0)
@@ -413,8 +414,14 @@ impl HierGraph {
 /// A node in the intermediate flat accumulation (tasks and storage only).
 #[derive(Debug, Clone)]
 enum FlatKind {
-    Task { weight: f64, program: Option<String> },
-    Storage { size: f64, base: String },
+    Task {
+        weight: f64,
+        program: Option<String>,
+    },
+    Storage {
+        size: f64,
+        base: String,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -635,10 +642,10 @@ impl FlatAccum {
         }
 
         let add_edge = |graph: &mut TaskGraph,
-                            s: usize,
-                            d: usize,
-                            label: &str,
-                            vol: f64|
+                        s: usize,
+                        d: usize,
+                        label: &str,
+                        vol: f64|
          -> Result<(), GraphError> {
             let (ts, td) = (task_of[s].unwrap(), task_of[d].unwrap());
             if ts == td {

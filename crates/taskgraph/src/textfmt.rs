@@ -173,10 +173,19 @@ mod tests {
         assert!(from_text("").is_err());
         assert!(from_text("task a 1\n").is_err(), "task before header");
         assert!(from_text("taskgraph t\ntask a notanumber\n").is_err());
-        assert!(from_text("taskgraph t\nedge a b 1 x\n").is_err(), "unknown tasks");
+        assert!(
+            from_text("taskgraph t\nedge a b 1 x\n").is_err(),
+            "unknown tasks"
+        );
         assert!(from_text("taskgraph t\nbogus\n").is_err());
-        assert!(from_text("taskgraph a\ntaskgraph b\n").is_err(), "duplicate header");
-        assert!(from_text("taskgraph t\ntask a%GG 1\n").is_err(), "bad escape");
+        assert!(
+            from_text("taskgraph a\ntaskgraph b\n").is_err(),
+            "duplicate header"
+        );
+        assert!(
+            from_text("taskgraph t\ntask a%GG 1\n").is_err(),
+            "bad escape"
+        );
     }
 
     #[test]

@@ -164,7 +164,9 @@ fn type_expr(panel: &mut Panel, expr: &str) {
                 if word.is_empty() {
                     panel.press(Button::LParen).unwrap();
                 } else {
-                    panel.press(Button::Func(std::mem::take(&mut word))).unwrap();
+                    panel
+                        .press(Button::Func(std::mem::take(&mut word)))
+                        .unwrap();
                 }
             }
             ')' => {

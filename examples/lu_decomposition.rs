@@ -53,7 +53,11 @@ fn main() {
         .zip(&reference)
         .map(|(g, w)| (g - w).abs())
         .fold(0.0f64, f64::max);
-    println!("executed {} task runs in {:?}", report.runs.len(), report.wall);
+    println!(
+        "executed {} task runs in {:?}",
+        report.runs.len(),
+        report.wall
+    );
     println!("x = {x:?}");
     println!("max |x - x_ref| = {max_err:.3e}");
     assert!(max_err < 1e-9, "solution must match the reference solver");

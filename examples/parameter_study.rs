@@ -28,13 +28,11 @@ fn main() {
     let out = design.add_storage("best", 2.0);
     design.add_flow(best, out).unwrap();
     for r in 0..runs {
-        let sim = design.add_task_with_program(
-            format!("run{r}"),
-            5_000.0,
-            format!("Sim{r}"),
-        );
+        let sim = design.add_task_with_program(format!("run{r}"), 5_000.0, format!("Sim{r}"));
         design.add_flow(k_store, sim).unwrap();
-        design.add_arc(sim, best, format!("settle{r}"), 1.0).unwrap();
+        design
+            .add_arc(sim, best, format!("settle{r}"), 1.0)
+            .unwrap();
     }
 
     let mut project = Project::new("damping-study", design);
@@ -105,11 +103,7 @@ fn main() {
     let c_best = 0.05 + 0.4 * best_run as f64 / (runs - 1) as f64;
     println!(
         "{} simulations in {:?}; least residual energy: run {} (c = {:.3}, E = {:.3e})",
-        runs,
-        report.wall,
-        best_run,
-        c_best,
-        best[1]
+        runs, report.wall, best_run, c_best, best[1]
     );
     // Sanity: higher damping settles faster over this window, so the last
     // run should win.

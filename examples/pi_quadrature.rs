@@ -62,7 +62,10 @@ fn main() {
             lo + 1,
             lo + chunk,
         );
-        project.library_mut().add_source(&src).expect("chunk parses");
+        project
+            .library_mut()
+            .add_source(&src)
+            .expect("chunk parses");
     }
     let parts: Vec<String> = (0..workers).map(|w| format!("part{w}")).collect();
     let sum_lines: String = parts
@@ -95,14 +98,16 @@ fn main() {
     println!(
         "predicted speedup on {} processors: {:.2}x\n",
         1usize << dim,
-        schedule.speedup(&f.graph, &Machine::new(Topology::hypercube(dim), MachineParams::default()))
+        schedule.speedup(
+            &f.graph,
+            &Machine::new(Topology::hypercube(dim), MachineParams::default())
+        )
     );
 
     // --- Step 4: execute ---------------------------------------------------
-    let inputs: BTreeMap<String, Value> =
-        [("n".to_string(), Value::Num(intervals as f64))]
-            .into_iter()
-            .collect();
+    let inputs: BTreeMap<String, Value> = [("n".to_string(), Value::Num(intervals as f64))]
+        .into_iter()
+        .collect();
     let report = project.run(&inputs).expect("executes");
     let pi_hat = report.outputs["pi_hat"].as_num("pi_hat").unwrap();
     let err = (pi_hat - std::f64::consts::PI).abs();

@@ -65,15 +65,32 @@ fn compare_lists_all_heuristics() {
 }
 
 #[test]
+fn recommend_ranks_standard_machines() {
+    let out = run_ok(&["recommend", project_path(), "-p", "4"]);
+    assert!(
+        out.contains("machine search — heat_probe (budget 4)"),
+        "{out}"
+    );
+    for m in ["single", "hypercube-1", "hypercube-2", "ring-4", "star-4"] {
+        assert!(out.contains(m), "missing {m} in:\n{out}");
+    }
+    // Ranked by makespan: the serial machine can never beat the top row.
+    let first = out.lines().nth(2).unwrap();
+    assert!(!first.starts_with("single"), "{out}");
+    // Deterministic across invocations (the sweep runs on worker threads).
+    assert_eq!(out, run_ok(&["recommend", project_path(), "-p", "4"]));
+
+    let err = banger()
+        .args(["recommend", project_path(), "-p", "0"])
+        .output()
+        .expect("CLI runs");
+    assert!(!err.status.success());
+    assert!(String::from_utf8_lossy(&err.stderr).contains("at least 1"));
+}
+
+#[test]
 fn run_executes_with_inputs() {
-    let out = run_ok(&[
-        "run",
-        project_path(),
-        "-i",
-        "left=100",
-        "-i",
-        "right=0",
-    ]);
+    let out = run_ok(&["run", project_path(), "-i", "left=100", "-i", "right=0"]);
     assert!(out.contains("summary = ["), "{out}");
     // Steady-state endpoints of the relaxed halves straddle 50 degrees.
     let inner = out
@@ -228,20 +245,23 @@ fn matmul_project_computes_identity_product() {
     let b = "B=[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,35,36]";
     let out = run_ok(&["run", "examples/projects/matmul.bang", "-i", a, "-i", b]);
     // Identity * B = B.
-    assert!(
-        out.contains("C = [1, 2, 3, 4, 5, 6,"),
-        "{out}"
-    );
+    assert!(out.contains("C = [1, 2, 3, 4, 5, 6,"), "{out}");
     assert!(out.contains("35, 36]"), "{out}");
 }
 
 #[test]
 fn bad_usage_fails_cleanly() {
-    let out = banger().args(["gantt", "/no/such/file.bang"]).output().unwrap();
+    let out = banger()
+        .args(["gantt", "/no/such/file.bang"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
-    let out2 = banger().args(["frobnicate", project_path()]).output().unwrap();
+    let out2 = banger()
+        .args(["frobnicate", project_path()])
+        .output()
+        .unwrap();
     assert!(!out2.status.success());
 
     let out3 = banger()

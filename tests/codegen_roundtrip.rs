@@ -109,9 +109,7 @@ fn generated_program_with_control_flow_tasks() {
         .unwrap();
     project
         .library_mut()
-        .add_source(
-            "task Scale in x out y begin if x > 1 then y := x * 10 else y := x end end",
-        )
+        .add_source("task Scale in x out y begin if x > 1 then y := x * 10 else y := x end end")
         .unwrap();
     project.set_machine(Machine::new(
         Topology::fully_connected(2),
@@ -144,14 +142,8 @@ fn generated_c_is_structurally_complete() {
     let (a, b) = test_system(n);
     let source = p.generate_c(&schedule, &lu_inputs(&a, &b)).unwrap();
 
-    let sends: Vec<&str> = source
-        .lines()
-        .filter(|l| l.contains("MPI_Send"))
-        .collect();
-    let recvs: Vec<&str> = source
-        .lines()
-        .filter(|l| l.contains("MPI_Recv"))
-        .collect();
+    let sends: Vec<&str> = source.lines().filter(|l| l.contains("MPI_Send")).collect();
+    let recvs: Vec<&str> = source.lines().filter(|l| l.contains("MPI_Recv")).collect();
     assert_eq!(sends.len(), recvs.len(), "unbalanced send/recv");
     // Tags must pair up.
     let tag_of = |l: &str| -> u32 {

@@ -170,10 +170,7 @@ fn textfmt_round_trip_through_scheduling() {
     let g2 = banger_taskgraph::textfmt::from_text(&text).unwrap();
     assert_eq!(g, g2);
     let m = Machine::new(Topology::hypercube(2), MachineParams::default());
-    assert_eq!(
-        banger_sched::mh::mh(&g, &m),
-        banger_sched::mh::mh(&g2, &m)
-    );
+    assert_eq!(banger_sched::mh::mh(&g, &m), banger_sched::mh::mh(&g2, &m));
 }
 
 #[test]
@@ -181,7 +178,8 @@ fn heterogeneous_machine_end_to_end() {
     // Processor 0 is 4x faster: schedules should prefer it, and the
     // validator must accept the heterogeneous durations.
     let mut m = Machine::new(Topology::fully_connected(4), MachineParams::default());
-    m.set_relative_speed(banger_machine::ProcId(0), 4.0).unwrap();
+    m.set_relative_speed(banger_machine::ProcId(0), 4.0)
+        .unwrap();
     let g = generators::gauss_elimination(6, 2.0, 0.5);
     for h in ["ETF", "DLS", "MH", "DSH"] {
         let s = banger_sched::run_heuristic(h, &g, &m).unwrap();

@@ -25,11 +25,7 @@ fn build(seed: u64, layers: usize, width: usize) -> (Flattened, ProgramLibrary, 
         let mut cur = Vec::with_capacity(width);
         for w in 0..width {
             let out_var = format!("o{l}_{w}");
-            let node = h.add_task_with_program(
-                format!("t{l}_{w}"),
-                1.0,
-                format!("P{l}_{w}"),
-            );
+            let node = h.add_task_with_program(format!("t{l}_{w}"), 1.0, format!("P{l}_{w}"));
             // Wire to a random subset of the previous layer.
             let mut ins: Vec<String> = Vec::new();
             if l > 0 {
@@ -152,10 +148,8 @@ fn poisoning_under_load_stops_quickly() {
         .find(|(_, t)| t.name == "t5_3")
         .map(|(_, t)| t.program.clone().unwrap())
         .expect("task exists");
-    lib.add_source(&format!(
-        "task {victim} out zzz begin zzz := nodefined end"
-    ))
-    .unwrap();
+    lib.add_source(&format!("task {victim} out zzz begin zzz := nodefined end"))
+        .unwrap();
     let err = execute(
         &design,
         &lib,

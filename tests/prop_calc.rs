@@ -21,17 +21,17 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(l, r, op)| Expr::Bin(op, Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| Expr::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             inner.clone().prop_map(|e| Expr::Un(UnOp::Neg, Box::new(e))),
             inner.clone().prop_map(|e| Expr::Un(UnOp::Not, Box::new(e))),
             inner
                 .clone()
                 .prop_map(|e| Expr::Call("abs".to_string(), vec![e])),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call(
-                "max".to_string(),
-                vec![a, b]
-            )),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call("max".to_string(), vec![a, b])),
         ]
     })
 }
@@ -63,7 +63,13 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         pos: Pos { line: 1, col: 1 },
     });
     let print = arb_expr().prop_map(Stmt::Print);
-    let ifstmt = (arb_expr(), (0usize..VARS.len()), arb_expr(), (0usize..VARS.len()), arb_expr())
+    let ifstmt = (
+        arb_expr(),
+        (0usize..VARS.len()),
+        arb_expr(),
+        (0usize..VARS.len()),
+        arb_expr(),
+    )
         .prop_map(|(c, i1, e1, i2, e2)| Stmt::If {
             cond: c,
             then_body: vec![Stmt::Assign {

@@ -121,10 +121,7 @@ proptest! {
 fn dot_outputs_are_parse_free() {
     // DOT rendering should never contain unescaped quotes that would
     // break Graphviz, for any of our generated designs.
-    for h in [
-        generators::lu_hierarchical(4),
-        grouped_design(3, 2, 2.0),
-    ] {
+    for h in [generators::lu_hierarchical(4), grouped_design(3, 2, 2.0)] {
         let dot = banger_taskgraph::dot::hiergraph_to_dot(&h);
         // Equal numbers of braces, brackets and quotes.
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());

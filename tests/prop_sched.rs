@@ -38,10 +38,10 @@ fn random_machine() -> impl Strategy<Value = Machine> {
     ];
     (
         topo,
-        0.5f64..4.0,   // processor speed
-        0.0f64..2.0,   // process startup
-        0.0f64..3.0,   // msg startup
-        0.5f64..8.0,   // transmission rate
+        0.5f64..4.0,     // processor speed
+        0.0f64..2.0,     // process startup
+        0.0f64..3.0,     // msg startup
+        0.5f64..8.0,     // transmission rate
         prop::bool::ANY, // cut-through?
     )
         .prop_map(|(t, speed, pstart, mstart, rate, cut)| {

@@ -41,7 +41,10 @@ fn dropping_a_task_is_caught() {
     let (g, m, s) = setup();
     let victim = s.placements()[3].task;
     let mutated = map_schedule(&s, |_, p| (p.task != victim).then_some(*p));
-    assert_eq!(mutated.validate(&g, &m), Err(ScheduleError::Unplaced(victim)));
+    assert_eq!(
+        mutated.validate(&g, &m),
+        Err(ScheduleError::Unplaced(victim))
+    );
 }
 
 #[test]
@@ -192,7 +195,9 @@ fn uniform_time_shift_stays_valid() {
             ..*p
         })
     });
-    shifted.validate(&g, &m).expect("uniform shift preserves all invariants");
+    shifted
+        .validate(&g, &m)
+        .expect("uniform shift preserves all invariants");
     assert_eq!(shifted.makespan(), s.makespan() + 10.0);
 }
 
@@ -208,19 +213,19 @@ fn slack_stretch_stays_valid() {
         .copied()
         .unwrap();
     let stretched = map_schedule(&s, |_, p| {
-        Some(
-            if p.task == last.task && p.start == last.start {
-                banger_sched::Placement {
-                    start: p.start + 5.0,
-                    finish: p.finish + 5.0,
-                    ..*p
-                }
-            } else {
-                *p
-            },
-        )
+        Some(if p.task == last.task && p.start == last.start {
+            banger_sched::Placement {
+                start: p.start + 5.0,
+                finish: p.finish + 5.0,
+                ..*p
+            }
+        } else {
+            *p
+        })
     });
-    stretched.validate(&g, &m).expect("stretching the tail is benign");
+    stretched
+        .validate(&g, &m)
+        .expect("stretching the tail is benign");
 }
 
 #[test]
