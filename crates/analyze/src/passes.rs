@@ -1,0 +1,751 @@
+//! The analysis passes: storage races, PITL/PITS interface cross-checks
+//! and graph hygiene.
+
+use crate::access::{flat_view, FlatView};
+use crate::diag::{sort_diagnostics, Code, Diagnostic, Location};
+use banger_calc::ast::{Expr, Stmt};
+use banger_calc::{Program, ProgramLibrary};
+use banger_taskgraph::HierGraph;
+use std::collections::BTreeSet;
+
+/// Runs every pass over `design` (checked against `library`) and returns
+/// the findings in stable presentation order.
+pub fn diagnose(design: &HierGraph, library: &ProgramLibrary) -> Vec<Diagnostic> {
+    let view = flat_view(design);
+    let mut diags = view.diags.clone();
+    races(&view, &mut diags);
+    interfaces(&view, library, &mut diags);
+    hygiene(design, &view, &mut diags);
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// All tasks reachable from each task, as one boolean matrix row per task.
+/// DFS per node: correct on cyclic graphs too.
+fn reachability(adj: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let n = adj.len();
+    let mut reach = vec![vec![false; n]; n];
+    let mut stack = Vec::new();
+    for (start, row) in reach.iter_mut().enumerate() {
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !row[w] {
+                    row[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// B001 (write/write race) and B002 (racy read).
+fn races(view: &FlatView, diags: &mut Vec<Diagnostic>) {
+    let full = reachability(&view.adjacency(None));
+    let ordered = |r: &[Vec<bool>], a: usize, b: usize| r[a][b] || r[b][a];
+
+    for (si, sc) in view.storages.iter().enumerate() {
+        if sc.writers.len() < 2 {
+            continue;
+        }
+        // Write/write: two writers with no precedence path either way.
+        for (i, &w1) in sc.writers.iter().enumerate() {
+            for &w2 in &sc.writers[i + 1..] {
+                if !ordered(&full, w1, w2) {
+                    diags.push(
+                        Diagnostic::error(
+                            Code::B001,
+                            Location::nodes(vec![
+                                view.tasks[w1].name.clone(),
+                                view.tasks[w2].name.clone(),
+                            ]),
+                            format!(
+                                "tasks `{}` and `{}` both write storage `{}` with no \
+                                 ordering between them",
+                                view.tasks[w1].name, view.tasks[w2].name, sc.base,
+                            ),
+                        )
+                        .with_help(
+                            "add an arc (directly or through another task) so one writer \
+                             always runs before the other, or split the storage item",
+                        ),
+                    );
+                }
+            }
+        }
+        // Racy read: with this storage's own dataflow edges set aside, is
+        // every read still ordered against every write by the rest of the
+        // graph? A single-writer storage is an ordinary dataflow token, so
+        // this only applies to multi-writer items.
+        let rest = reachability(&view.adjacency(Some(si)));
+        for &r in &sc.readers {
+            for &w in &sc.writers {
+                if r != w && !ordered(&rest, r, w) {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::B002,
+                            Location::nodes(vec![
+                                view.tasks[r].name.clone(),
+                                view.tasks[w].name.clone(),
+                            ]),
+                            format!(
+                                "task `{}` reads multi-writer storage `{}` but nothing \
+                                 outside the storage itself orders it against writer `{}`",
+                                view.tasks[r].name, sc.base, view.tasks[w].name,
+                            ),
+                        )
+                        .with_help(
+                            "the value observed depends on scheduling; order the read \
+                             against every writer explicitly",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Variables assigned anywhere in a statement list (assignment targets,
+/// indexed targets and `for` loop variables).
+fn assigned_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { var, .. } | Stmt::AssignIndex { var, .. } => {
+                out.insert(var.clone());
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assigned_vars(then_body, out);
+                assigned_vars(else_body, out);
+            }
+            Stmt::While { body, .. } => assigned_vars(body, out),
+            Stmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                assigned_vars(body, out);
+            }
+            Stmt::Print(_) => {}
+        }
+    }
+}
+
+fn expr_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Num(_) => {}
+        Expr::Var(v) => {
+            out.insert(v.clone());
+        }
+        Expr::Index(v, idx) => {
+            out.insert(v.clone());
+            expr_vars(idx, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_vars(a, out);
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Expr::Un(_, a) => expr_vars(a, out),
+    }
+}
+
+/// Variables read anywhere in a statement list.
+fn read_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
+    for s in body {
+        match s {
+            Stmt::Assign { expr, .. } => expr_vars(expr, out),
+            Stmt::AssignIndex { var, index, expr, .. } => {
+                // An indexed store updates one element: the rest of the
+                // array flows through, so this counts as a read too.
+                out.insert(var.clone());
+                expr_vars(index, out);
+                expr_vars(expr, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_vars(cond, out);
+                read_vars(then_body, out);
+                read_vars(else_body, out);
+            }
+            Stmt::While { cond, body } => {
+                expr_vars(cond, out);
+                read_vars(body, out);
+            }
+            Stmt::For { from, to, body, .. } => {
+                expr_vars(from, out);
+                expr_vars(to, out);
+                read_vars(body, out);
+            }
+            Stmt::Print(e) => expr_vars(e, out),
+        }
+    }
+}
+
+/// First source position of an assignment to `var`, for B015 spans.
+fn first_assign_pos(body: &[Stmt], var: &str) -> Option<banger_calc::Pos> {
+    for s in body {
+        match s {
+            Stmt::Assign { var: v, pos, .. } | Stmt::AssignIndex { var: v, pos, .. }
+                if v == var =>
+            {
+                return Some(*pos);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                if let Some(p) =
+                    first_assign_pos(then_body, var).or_else(|| first_assign_pos(else_body, var))
+                {
+                    return Some(p);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                if let Some(p) = first_assign_pos(body, var) {
+                    return Some(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Per-program checks that do not depend on the design (B013/B014/B015).
+fn program_body_checks(prog: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut assigned = BTreeSet::new();
+    assigned_vars(&prog.body, &mut assigned);
+    let mut read = BTreeSet::new();
+    read_vars(&prog.body, &mut read);
+
+    for out in &prog.outputs {
+        if !assigned.contains(out) {
+            diags.push(
+                Diagnostic::error(
+                    Code::B013,
+                    Location::program(prog.name.clone(), prog.decl_pos.get(out).copied()),
+                    format!(
+                        "program `{}` declares `out {out}` but never assigns it",
+                        prog.name,
+                    ),
+                )
+                .with_help("assign the variable in the body, or drop the declaration"),
+            );
+        }
+    }
+    for inp in &prog.inputs {
+        if !read.contains(inp) {
+            diags.push(
+                Diagnostic::warning(
+                    Code::B014,
+                    Location::program(prog.name.clone(), prog.decl_pos.get(inp).copied()),
+                    format!(
+                        "program `{}` declares `in {inp}` but never reads it",
+                        prog.name,
+                    ),
+                )
+                .with_help("drop the declaration (and the arc feeding it) if it is unused"),
+            );
+        }
+    }
+    for var in &assigned {
+        if !prog.declares(var) {
+            diags.push(
+                Diagnostic::warning(
+                    Code::B015,
+                    Location::program(prog.name.clone(), first_assign_pos(&prog.body, var)),
+                    format!(
+                        "program `{}` assigns `{var}` without declaring it (implicit local)",
+                        prog.name,
+                    ),
+                )
+                .with_help(format!("declare it: `local {var}`")),
+            );
+        }
+    }
+}
+
+/// B010/B011/B012/B016 plus the per-program body checks, across every
+/// task in the flattened view.
+fn interfaces(view: &FlatView, library: &ProgramLibrary, diags: &mut Vec<Diagnostic>) {
+    let n = view.task_count();
+    // Labels arriving at / leaving each task: direct edge labels plus the
+    // base names of storage classes the task reads/writes.
+    let mut incoming: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut outgoing: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for (s, d, label) in &view.edges {
+        outgoing[*s].insert(label.clone());
+        incoming[*d].insert(label.clone());
+    }
+    for sc in &view.storages {
+        for &w in &sc.writers {
+            outgoing[w].insert(sc.base.clone());
+        }
+        for &r in &sc.readers {
+            incoming[r].insert(sc.base.clone());
+        }
+    }
+
+    // Body checks once per distinct program actually used by the design.
+    let mut checked = BTreeSet::new();
+
+    for (t, task) in view.tasks.iter().enumerate() {
+        let Some(pname) = &task.program else { continue };
+        let Some(prog) = library.get(pname) else {
+            diags.push(
+                Diagnostic::error(
+                    Code::B010,
+                    Location {
+                        nodes: vec![task.name.clone()],
+                        program: Some(pname.clone()),
+                        ..Default::default()
+                    },
+                    format!(
+                        "task `{}` names program `{pname}`, which is not in the library",
+                        task.name,
+                    ),
+                )
+                .with_help("add the program to the library or fix the task's program name"),
+            );
+            continue;
+        };
+        if checked.insert(pname.clone()) {
+            program_body_checks(prog, diags);
+        }
+        for label in &incoming[t] {
+            if !prog.inputs.iter().any(|v| v == label) {
+                diags.push(
+                    Diagnostic::warning(
+                        Code::B011,
+                        Location {
+                            nodes: vec![task.name.clone()],
+                            program: Some(pname.clone()),
+                            span: prog.decl_pos.get(label).copied(),
+                            ..Default::default()
+                        },
+                        format!(
+                            "task `{}` receives `{label}` but program `{pname}` does not \
+                             declare it `in`; the value is ignored",
+                            task.name,
+                        ),
+                    )
+                    .with_help(format!("declare `in {label}` or remove the arc")),
+                );
+            }
+        }
+        for label in &outgoing[t] {
+            if !prog.outputs.iter().any(|v| v == label) {
+                diags.push(
+                    Diagnostic::error(
+                        Code::B012,
+                        Location {
+                            nodes: vec![task.name.clone()],
+                            program: Some(pname.clone()),
+                            span: prog.decl_pos.get(label).copied(),
+                            ..Default::default()
+                        },
+                        format!(
+                            "task `{}` must emit `{label}` but program `{pname}` does not \
+                             declare it `out`; execution would fail with a missing arc value",
+                            task.name,
+                        ),
+                    )
+                    .with_help(format!("declare `out {label}` and assign it in the body")),
+                );
+            }
+        }
+        // Entry tasks read everything from the external input map; only
+        // flag unsupplied inputs on tasks that already receive arcs.
+        if !incoming[t].is_empty() {
+            for inp in &prog.inputs {
+                if !incoming[t].contains(inp) {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::B016,
+                            Location {
+                                nodes: vec![task.name.clone()],
+                                program: Some(pname.clone()),
+                                span: prog.decl_pos.get(inp).copied(),
+                                ..Default::default()
+                            },
+                            format!(
+                                "no arc supplies `in {inp}` of task `{}`; the value will \
+                                 be read from the external inputs at run time",
+                                task.name,
+                            ),
+                        )
+                        .with_help(format!(
+                            "wire an arc labelled `{inp}` into the task, or supply it with \
+                             `-i {inp}=...` when running",
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// B030 cycle (named path), B031 isolated tasks, B032 bad weights/sizes,
+/// B033 dead storage.
+fn hygiene(design: &HierGraph, view: &FlatView, diags: &mut Vec<Diagnostic>) {
+    weights_walk(design, "", diags);
+
+    // Connectivity counts storage traffic too.
+    let mut touched = vec![false; view.task_count()];
+    for (s, d, _) in &view.edges {
+        touched[*s] = true;
+        touched[*d] = true;
+    }
+    for sc in &view.storages {
+        for &t in sc.writers.iter().chain(&sc.readers) {
+            touched[t] = true;
+        }
+    }
+    if view.task_count() > 1 {
+        for (t, task) in view.tasks.iter().enumerate() {
+            if !touched[t] {
+                diags.push(
+                    Diagnostic::warning(
+                        Code::B031,
+                        Location::node(task.name.clone()),
+                        format!(
+                            "task `{}` is connected to nothing (no arcs in or out)",
+                            task.name,
+                        ),
+                    )
+                    .with_help("wire it into the design or delete it"),
+                );
+            }
+        }
+    }
+
+    for sc in &view.storages {
+        if sc.writers.is_empty() && sc.readers.is_empty() {
+            diags.push(
+                Diagnostic::warning(
+                    Code::B033,
+                    Location::node(sc.names.first().cloned().unwrap_or_else(|| sc.base.clone())),
+                    format!("storage `{}` has no arcs; it holds nothing", sc.base),
+                )
+                .with_help("wire it into the design or delete it"),
+            );
+        }
+    }
+
+    if let Some(path) = find_cycle(&view.adjacency(None)) {
+        let names: Vec<&str> = path.iter().map(|&t| view.tasks[t].name.as_str()).collect();
+        diags.push(
+            Diagnostic::error(
+                Code::B030,
+                Location::nodes(names.iter().map(|s| s.to_string()).collect()),
+                format!(
+                    "the design contains a cycle: {}",
+                    names.join(" -> "),
+                ),
+            )
+            .with_help("dataflow designs must be acyclic; break the loop or fold it into one task"),
+        );
+    }
+}
+
+/// Recursive weight/size validation with qualified names (B032).
+fn weights_walk(g: &HierGraph, prefix: &str, diags: &mut Vec<Diagnostic>) {
+    use banger_taskgraph::NodeKind;
+    for (_, node) in g.nodes() {
+        let name = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix}.{}", node.name)
+        };
+        match &node.kind {
+            NodeKind::Task { weight, .. } => {
+                if !weight.is_finite() || *weight < 0.0 {
+                    diags.push(Diagnostic::error(
+                        Code::B032,
+                        Location::node(name),
+                        format!("task weight {weight} is negative or non-finite"),
+                    ));
+                } else if *weight == 0.0 {
+                    diags.push(
+                        Diagnostic::warning(
+                            Code::B032,
+                            Location::node(name),
+                            "task weight is zero; the scheduler treats it as free".to_string(),
+                        )
+                        .with_help("give the task a positive weight or calibrate from a trial run"),
+                    );
+                }
+            }
+            NodeKind::Storage { size } => {
+                if !size.is_finite() || *size < 0.0 {
+                    diags.push(Diagnostic::error(
+                        Code::B032,
+                        Location::node(name),
+                        format!("storage size {size} is negative or non-finite"),
+                    ));
+                }
+            }
+            NodeKind::Compound { expansion, .. } => {
+                weights_walk(expansion, &name, diags);
+            }
+        }
+    }
+}
+
+/// Finds one cycle and returns it as a task-index path `a -> ... -> a`.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+    let n = adj.len();
+    let mut color = vec![0u8; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS keeping an explicit edge iterator per frame.
+        let mut stack = vec![(start, 0usize)];
+        color[start] = 1;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < adj[v].len() {
+                let w = adj[v][*i];
+                *i += 1;
+                match color[w] {
+                    0 => {
+                        color[w] = 1;
+                        parent[w] = v;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Found a back edge v -> w: reconstruct w .. v, w.
+                        let mut path = vec![w];
+                        let mut cur = v;
+                        let mut rev = Vec::new();
+                        while cur != w {
+                            rev.push(cur);
+                            cur = parent[cur];
+                        }
+                        rev.reverse();
+                        path.extend(rev);
+                        path.push(w);
+                        return Some(path);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn lib_of(srcs: &[&str]) -> ProgramLibrary {
+        let mut lib = ProgramLibrary::new();
+        for s in srcs {
+            lib.add_source(s).unwrap();
+        }
+        lib
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn write_write_race_is_b001() {
+        let mut g = HierGraph::new("race");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        let s = g.add_storage("s", 1.0);
+        let c = g.add_task("c", 1.0);
+        g.add_flow(a, s).unwrap();
+        g.add_flow(b, s).unwrap();
+        g.add_flow(s, c).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        let b001: Vec<_> = diags.iter().filter(|d| d.code == Code::B001).collect();
+        assert_eq!(b001.len(), 1, "{diags:?}");
+        assert_eq!(b001[0].severity, Severity::Error);
+        assert!(b001[0].message.contains("`a`"), "{}", b001[0].message);
+        assert!(b001[0].message.contains("`b`"), "{}", b001[0].message);
+        assert!(b001[0].message.contains("`s`"), "{}", b001[0].message);
+        // The unordered reads are also flagged.
+        assert!(diags.iter().any(|d| d.code == Code::B002), "{diags:?}");
+    }
+
+    #[test]
+    fn ordered_writers_do_not_race() {
+        // a -> b directly, both write s, c reads: ordered, no B001; and the
+        // read is ordered after b via ... wait, c is ordered only through s.
+        let mut g = HierGraph::new("ok");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        let s = g.add_storage("s", 1.0);
+        let c = g.add_task("c", 1.0);
+        g.add_arc(a, b, "go", 1.0).unwrap();
+        g.add_flow(a, s).unwrap();
+        g.add_flow(b, s).unwrap();
+        g.add_flow(s, c).unwrap();
+        g.add_arc(b, c, "done", 1.0).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        assert!(!diags.iter().any(|d| d.code == Code::B001), "{diags:?}");
+        // c is ordered after b (direct arc) and after a (a -> b -> c), with
+        // the storage edges set aside — so no racy read either.
+        assert!(!diags.iter().any(|d| d.code == Code::B002), "{diags:?}");
+    }
+
+    #[test]
+    fn single_writer_storage_is_clean_dataflow() {
+        let mut g = HierGraph::new("tok");
+        let a = g.add_task("a", 1.0);
+        let s = g.add_storage("s", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_flow(a, s).unwrap();
+        g.add_flow(s, b).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_program_is_b010() {
+        let mut g = HierGraph::new("m");
+        let t = g.add_task_with_program("t", 1.0, "Nope");
+        let s = g.add_storage("s", 1.0);
+        g.add_flow(t, s).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        assert!(codes(&diags).contains(&Code::B010), "{diags:?}");
+    }
+
+    #[test]
+    fn undeclared_incoming_var_is_b011() {
+        let lib = lib_of(&["task P\n in x\n out y\nbegin\n y := x\nend\n"]);
+        let mut g = HierGraph::new("i");
+        let a = g.add_task("src", 1.0);
+        let b = g.add_task_with_program("dst", 1.0, "P");
+        g.add_arc(a, b, "z", 1.0).unwrap();
+        let diags = diagnose(&g, &lib);
+        let b011: Vec<_> = diags.iter().filter(|d| d.code == Code::B011).collect();
+        assert_eq!(b011.len(), 1, "{diags:?}");
+        assert_eq!(b011[0].severity, Severity::Warning);
+        // B016: x is declared in but unsupplied on a task that has arcs.
+        assert!(codes(&diags).contains(&Code::B016), "{diags:?}");
+    }
+
+    #[test]
+    fn unproduced_outgoing_var_is_b012() {
+        let lib = lib_of(&["task P\n in x\n out y\nbegin\n y := x\nend\n"]);
+        let mut g = HierGraph::new("o");
+        let a = g.add_task_with_program("src", 1.0, "P");
+        let b = g.add_task("dst", 1.0);
+        g.add_arc(a, b, "w", 1.0).unwrap();
+        let diags = diagnose(&g, &lib);
+        let b012: Vec<_> = diags.iter().filter(|d| d.code == Code::B012).collect();
+        assert_eq!(b012.len(), 1, "{diags:?}");
+        assert_eq!(b012[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn body_checks_cover_b013_b014_b015() {
+        let lib = lib_of(&[
+            "task P\n in a, b\n out r, unset\nbegin\n r := a\n tmp := 1\nend\n",
+        ]);
+        let mut g = HierGraph::new("b");
+        let t = g.add_task_with_program("t", 1.0, "P");
+        let s = g.add_storage("r", 1.0);
+        g.add_flow(t, s).unwrap();
+        let diags = diagnose(&g, &lib);
+        let cs = codes(&diags);
+        assert!(cs.contains(&Code::B013), "{diags:?}"); // unset never assigned
+        assert!(cs.contains(&Code::B014), "{diags:?}"); // b never read
+        assert!(cs.contains(&Code::B015), "{diags:?}"); // tmp undeclared
+        // B013 carries the declaration span from the parser.
+        let b013 = diags.iter().find(|d| d.code == Code::B013).unwrap();
+        assert!(b013.location.span.is_some(), "{b013:?}");
+        assert_eq!(b013.location.span.unwrap().line, 3);
+    }
+
+    #[test]
+    fn isolated_task_is_b031() {
+        let mut g = HierGraph::new("iso");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_task("loner", 1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        let b031: Vec<_> = diags.iter().filter(|d| d.code == Code::B031).collect();
+        assert_eq!(b031.len(), 1, "{diags:?}");
+        assert!(b031[0].message.contains("loner"));
+    }
+
+    #[test]
+    fn zero_and_negative_weights_are_b032() {
+        let mut g = HierGraph::new("w");
+        let a = g.add_task("zero", 0.0);
+        let b = g.add_task("neg", -1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        let b032: Vec<_> = diags.iter().filter(|d| d.code == Code::B032).collect();
+        assert_eq!(b032.len(), 2, "{diags:?}");
+        assert!(b032.iter().any(|d| d.severity == Severity::Error));
+        assert!(b032.iter().any(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn dead_storage_is_b033() {
+        let mut g = HierGraph::new("d");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        g.add_storage("ghost", 1.0);
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        let b033: Vec<_> = diags.iter().filter(|d| d.code == Code::B033).collect();
+        assert_eq!(b033.len(), 1, "{diags:?}");
+        assert!(b033[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn cycle_is_b030_with_named_path() {
+        let mut g = HierGraph::new("cyc");
+        let a = g.add_task("first", 1.0);
+        let b = g.add_task("second", 1.0);
+        let c = g.add_task("third", 1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        g.add_arc(b, c, "y", 1.0).unwrap();
+        g.add_arc(c, a, "z", 1.0).unwrap();
+        let diags = diagnose(&g, &ProgramLibrary::new());
+        let b030: Vec<_> = diags.iter().filter(|d| d.code == Code::B030).collect();
+        assert_eq!(b030.len(), 1, "{diags:?}");
+        let msg = &b030[0].message;
+        assert!(msg.contains("first -> second -> third -> first"), "{msg}");
+    }
+
+    #[test]
+    fn diagnose_is_deterministic() {
+        let mut g = HierGraph::new("det");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        let s = g.add_storage("s", 1.0);
+        g.add_flow(a, s).unwrap();
+        g.add_flow(b, s).unwrap();
+        g.add_task("iso", 0.0);
+        let d1 = diagnose(&g, &ProgramLibrary::new());
+        let d2 = diagnose(&g, &ProgramLibrary::new());
+        assert_eq!(d1, d2);
+        assert!(!d1.is_empty());
+    }
+}

@@ -32,7 +32,7 @@ fn bench_fig3_schedule(c: &mut Criterion) {
             banger_machine::Topology::hypercube(dim),
             figures::figure3_params(),
         );
-        c.bench_function(&format!("fig3/MH schedule LU on hypercube-{dim}"), |b| {
+        c.bench_function(format!("fig3/MH schedule LU on hypercube-{dim}"), |b| {
             b.iter(|| black_box(banger_sched::mh::mh(&f.graph, &m)))
         });
     }

@@ -201,7 +201,10 @@ impl PartialEq for Stmt {
 }
 
 /// A complete PITS task program.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality is structural and ignores the diagnostic `decl_pos` spans, so
+/// parser/pretty-printer round-trips compare equal.
+#[derive(Debug, Clone)]
 pub struct Program {
     /// Task name (`SquareRoot` in Figure 4).
     pub name: String,
@@ -213,6 +216,20 @@ pub struct Program {
     pub locals: Vec<String>,
     /// Statement list between `begin` and `end`.
     pub body: Vec<Stmt>,
+    /// Source position of each `in`/`out`/`local` declaration, keyed by
+    /// variable name. Empty for programs built programmatically; design
+    /// lints use it to point diagnostics at the declaring line.
+    pub decl_pos: std::collections::BTreeMap<String, Pos>,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.locals == other.locals
+            && self.body == other.body
+    }
 }
 
 impl Program {
@@ -258,6 +275,7 @@ mod tests {
             outputs: vec!["x".into()],
             locals: vec!["g".into()],
             body: vec![],
+            decl_pos: Default::default(),
         };
         assert!(p.declares("a"));
         assert!(p.declares("x"));

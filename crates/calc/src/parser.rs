@@ -127,6 +127,7 @@ impl Parser {
         let mut inputs = Vec::new();
         let mut outputs = Vec::new();
         let mut locals = Vec::new();
+        let mut decl_pos = std::collections::BTreeMap::new();
         loop {
             let list = match self.peek() {
                 Tok::In => &mut inputs,
@@ -136,10 +137,12 @@ impl Parser {
             };
             self.bump();
             loop {
+                let pos = self.pos();
                 let v = self.ident("variable name")?;
                 if list.contains(&v) {
                     return Err(self.err(format!("variable {v:?} declared twice")));
                 }
+                decl_pos.entry(v.clone()).or_insert(pos);
                 list.push(v);
                 if *self.peek() == Tok::Comma {
                     self.bump();
@@ -168,6 +171,7 @@ impl Parser {
             outputs,
             locals,
             body,
+            decl_pos,
         })
     }
 

@@ -283,6 +283,7 @@ pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit,
             outputs: vec![part.clone()],
             locals,
             body,
+            decl_pos: Default::default(),
         });
         partials.push(part);
     }
@@ -315,6 +316,7 @@ pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit,
         outputs: vec![r],
         locals: prog.locals.clone(),
         body: combine_body,
+        decl_pos: Default::default(),
     };
 
     Ok(ReductionSplit {

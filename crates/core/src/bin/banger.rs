@@ -3,6 +3,7 @@
 //! Operates on `.bang` project documents (see `banger::document`):
 //!
 //! ```text
+//! banger check <file> [--format text|json] static analysis (B0xx diagnostics)
 //! banger show <file>                      design statistics + DOT
 //! banger gantt <file> [-H <heuristic>]    schedule + ASCII Gantt chart
 //! banger compare <file>                   all heuristics, sorted
@@ -16,9 +17,15 @@
 //! banger run <file> [-i var=value]...     execute on host threads
 //! banger speedup <file> -t spec,spec,...  speedup prediction sweep
 //! banger codegen <file> rust|c [-i ...]   emit generated code to stdout
+//! banger parallelize <file> <task> <n>    split a reduction task n ways
+//! banger help                             this list
 //! ```
 //!
 //! Input values: scalars (`-i a=2.5`) or arrays (`-i v=[1,2,3]`).
+//!
+//! Exit codes: 0 success (warnings allowed), 1 operational failure or
+//! error-severity diagnostics, 2 usage errors (unknown subcommand, missing
+//! arguments).
 
 use banger::document::parse_project;
 use banger::project::Project;
@@ -27,13 +34,43 @@ use banger_machine::Topology;
 use std::collections::BTreeMap;
 use std::process::exit;
 
+/// Every subcommand, with a one-line summary for `banger help`.
+const COMMANDS: &[(&str, &str)] = &[
+    ("check", "static analysis: races, interface mismatches, hygiene (B0xx codes)"),
+    ("show", "design statistics + DOT rendering"),
+    ("gantt", "schedule + ASCII Gantt chart"),
+    ("compare", "run every scheduling heuristic, sorted by makespan"),
+    ("simulate", "message-accurate simulation: predicted vs achieved"),
+    ("animate", "frame-by-frame schedule replay"),
+    ("advise", "bottleneck analysis + suggestions"),
+    ("recommend", "rank standard machines for the design"),
+    ("svg", "write gantt/speedup/utilization SVG charts"),
+    ("save-schedule", "persist a schedule to a file"),
+    ("verify", "validate + replay a saved schedule"),
+    ("run", "execute the design on host threads"),
+    ("speedup", "speedup prediction sweep over topologies"),
+    ("codegen", "emit generated Rust or C code to stdout"),
+    ("parallelize", "split a reduction task n ways and rewrite the document"),
+    ("help", "show this list"),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        usage();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    if matches!(command, "help" | "--help" | "-h") {
+        println!("{}", usage_text());
+        return;
     }
-    let command = args[0].as_str();
-    let path = args[1].as_str();
+    if !COMMANDS.iter().any(|(name, _)| *name == command) {
+        eprintln!(
+            "banger: unknown subcommand {command:?} (run `banger help` for the list)"
+        );
+        exit(2);
+    }
+    let Some(path) = args.get(1).map(String::as_str) else {
+        eprintln!("banger: {command} needs a <file.bang> argument\n\n{}", usage_text());
+        exit(2);
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => die(&format!("cannot read {path}: {e}")),
@@ -45,6 +82,7 @@ fn main() {
     let rest = &args[2..];
 
     let result = match command {
+        "check" => cmd_check(&mut project, rest),
         "show" => cmd_show(&mut project),
         "gantt" => cmd_gantt(&mut project, rest),
         "compare" => cmd_compare(&mut project),
@@ -59,24 +97,33 @@ fn main() {
         "speedup" => cmd_speedup(&mut project, rest),
         "codegen" => cmd_codegen(&mut project, rest),
         "parallelize" => cmd_parallelize(&mut project, rest),
-        _ => {
-            usage();
-        }
+        _ => unreachable!("command validated above"),
     };
     if let Err(e) = result {
         die(&e);
     }
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: banger <show|gantt|compare|simulate|animate|advise|recommend|svg|run|speedup|codegen|parallelize|save-schedule|verify> <file.bang> [options]\n\
-         options: -H <heuristic>   (serial naive HLFET MCP ETF DLS MH DSH; default MH)\n\
-         \x20        -i var=value     (run/codegen inputs; arrays as [1,2,3])\n\
-         \x20        -t spec,spec,... (speedup topologies, e.g. single,hypercube:1,hypercube:2)\n\
-         \x20        -p <procs>       (recommend: processor budget, default 16)"
+fn usage_text() -> String {
+    let mut out = String::from("usage: banger <subcommand> <file.bang> [options]\n\nsubcommands:\n");
+    for (name, summary) in COMMANDS {
+        out.push_str(&format!("  {name:<14} {summary}\n"));
+    }
+    out.push_str(
+        "\noptions:\n\
+         \x20 -H <heuristic>   serial naive HLFET MCP ETF DLS MH DSH (default MH)\n\
+         \x20 -i var=value     run/codegen inputs; arrays as [1,2,3]\n\
+         \x20 -t spec,spec,... speedup topologies, e.g. single,hypercube:1,hypercube:2\n\
+         \x20 -p <procs>       recommend: processor budget (default 16)\n\
+         \x20 -s <path>        verify: saved schedule file\n\
+         \x20 -o <path>        svg/save-schedule: output location\n\
+         \x20 --format <fmt>   check: text (default) or json\n\
+         \nexit codes:\n\
+         \x20 0  success (warnings allowed)\n\
+         \x20 1  operational failure, or `check` found error-severity diagnostics\n\
+         \x20 2  usage error (unknown subcommand, missing arguments)",
     );
-    exit(2)
+    out
 }
 
 fn die(msg: &str) -> ! {
@@ -131,6 +178,31 @@ fn parse_value(text: &str) -> Result<Value, String> {
             .map(Value::Num)
             .map_err(|_| format!("bad scalar {t:?}"))
     }
+}
+
+fn cmd_check(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    let format = rest
+        .windows(2)
+        .find(|w| w[0] == "--format")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "text".to_string());
+    let diags = project.diagnose().to_vec();
+    match format.as_str() {
+        "text" => println!("{}", banger::analyze::render_report(&diags)),
+        "json" => println!("{}", banger::analyze::render_json(&diags)),
+        other => return Err(format!("unknown check format {other:?} (want text or json)")),
+    }
+    if banger::analyze::has_errors(&diags) {
+        let n = diags
+            .iter()
+            .filter(|d| d.severity == banger::analyze::Severity::Error)
+            .count();
+        return Err(format!(
+            "design has {n} error-severity diagnostic{}",
+            if n == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_show(project: &mut Project) -> Result<(), String> {

@@ -51,6 +51,7 @@ pub mod lu;
 pub mod project;
 pub mod svg;
 
+pub use banger_analyze as analyze;
 pub use chart::{bar_chart, speedup_chart, SpeedupPoint};
 pub use document::{parse_project, print_project, DocError};
 pub use gantt::GanttOptions;

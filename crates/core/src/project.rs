@@ -9,6 +9,7 @@
 
 use crate::chart::SpeedupPoint;
 use crate::gantt::{self, GanttOptions};
+use banger_analyze::Diagnostic;
 use banger_calc::{interp, InterpConfig, Outcome, ProgramLibrary, RunError, Value};
 use banger_codegen::CodegenError;
 use banger_exec::{execute, ExecError, ExecMode, ExecOptions, ExecReport};
@@ -39,6 +40,10 @@ pub enum ProjectError {
     Exec(ExecError),
     /// Code generation failure.
     Codegen(CodegenError),
+    /// The design failed static analysis with error-severity diagnostics
+    /// (see [`Project::diagnose`]); carries every finding, warnings
+    /// included.
+    Invalid(Vec<Diagnostic>),
 }
 
 impl fmt::Display for ProjectError {
@@ -52,6 +57,10 @@ impl fmt::Display for ProjectError {
             ProjectError::Sim(e) => write!(f, "simulation failed: {e}"),
             ProjectError::Exec(e) => write!(f, "execution failed: {e}"),
             ProjectError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            ProjectError::Invalid(diags) => {
+                writeln!(f, "the design failed static analysis:")?;
+                write!(f, "{}", banger_analyze::render_report(diags))
+            }
         }
     }
 }
@@ -87,6 +96,8 @@ pub struct Project {
     library: ProgramLibrary,
     machine: Option<Machine>,
     flattened: Option<Flattened>,
+    diagnostics: Option<Vec<Diagnostic>>,
+    warned: bool,
 }
 
 impl Project {
@@ -98,6 +109,8 @@ impl Project {
             library: ProgramLibrary::new(),
             machine: None,
             flattened: None,
+            diagnostics: None,
+            warned: false,
         }
     }
 
@@ -111,9 +124,11 @@ impl Project {
         &self.design
     }
 
-    /// Mutable design access; invalidates the flatten cache.
+    /// Mutable design access; invalidates the flatten and diagnostics
+    /// caches.
     pub fn design_mut(&mut self) -> &mut HierGraph {
         self.flattened = None;
+        self.invalidate_diagnostics();
         &mut self.design
     }
 
@@ -122,8 +137,9 @@ impl Project {
         &self.library
     }
 
-    /// Mutable program library access.
+    /// Mutable program library access; invalidates the diagnostics cache.
     pub fn library_mut(&mut self) -> &mut ProgramLibrary {
+        self.invalidate_diagnostics();
         &mut self.library
     }
 
@@ -149,10 +165,48 @@ impl Project {
         self.machine.as_ref().ok_or(ProjectError::NoMachine)
     }
 
+    fn invalidate_diagnostics(&mut self) {
+        self.diagnostics = None;
+        self.warned = false;
+    }
+
+    /// Runs static analysis over the design and library (see
+    /// [`banger_analyze::diagnose`]) and returns the findings, cached
+    /// until the design or library changes.
+    pub fn diagnose(&mut self) -> &[Diagnostic] {
+        if self.diagnostics.is_none() {
+            self.diagnostics = Some(banger_analyze::diagnose(&self.design, &self.library));
+        }
+        self.diagnostics.as_ref().unwrap()
+    }
+
+    /// Refuses to proceed on error-severity diagnostics; prints warnings
+    /// to stderr (once per fresh analysis) and continues otherwise.
+    /// Called by [`schedule`](Self::schedule), [`run`](Self::run),
+    /// [`run_scheduled`](Self::run_scheduled) and the code generators.
+    fn gate(&mut self) -> Result<(), ProjectError> {
+        let diags = self.diagnose();
+        if banger_analyze::has_errors(diags) {
+            return Err(ProjectError::Invalid(diags.to_vec()));
+        }
+        if !self.warned {
+            self.warned = true;
+            for d in self.diagnostics.as_deref().unwrap_or_default() {
+                eprintln!("{}", banger_analyze::render_text(d));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs a named scheduling heuristic (see
     /// [`banger_sched::HEURISTIC_NAMES`], plus `"DSH"`).
+    /// The design must pass [`diagnose`](Self::diagnose) with no errors.
     pub fn schedule(&mut self, heuristic: &str) -> Result<Schedule, ProjectError> {
         self.flatten()?;
+        // Report the missing machine before any design diagnostics: it is
+        // the first thing the user must fix to get a schedule at all.
+        self.machine_ref()?;
+        self.gate()?;
         let m = self.machine_ref()?;
         let g = &self.flattened.as_ref().unwrap().graph;
         banger_sched::run_heuristic(heuristic, g, m)
@@ -214,6 +268,7 @@ impl Project {
         }
         walk(&mut self.design, &lib, &mut updated);
         self.flattened = None;
+        self.invalidate_diagnostics();
         Ok(updated)
     }
 
@@ -227,7 +282,9 @@ impl Project {
     }
 
     /// Executes the design for real on host threads (greedy pool).
+    /// The design must pass [`diagnose`](Self::diagnose) with no errors.
     pub fn run(&mut self, inputs: &BTreeMap<String, Value>) -> Result<ExecReport, ProjectError> {
+        self.gate()?;
         self.flatten()?;
         let f = self.flattened.as_ref().unwrap();
         Ok(execute(f, &self.library, inputs, &ExecOptions::default())?)
@@ -240,6 +297,7 @@ impl Project {
         schedule: &Schedule,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<ExecReport, ProjectError> {
+        self.gate()?;
         self.flatten()?;
         let f = self.flattened.as_ref().unwrap();
         Ok(execute(
@@ -401,6 +459,7 @@ impl Project {
             .replace_task_with_compound(node_id, inner, inputs, outputs)
             .map_err(ProjectError::Graph)?;
         self.flattened = None;
+        self.invalidate_diagnostics();
 
         // Register the generated programs.
         for chunk in split.chunks {
@@ -417,6 +476,7 @@ impl Project {
         schedule: &Schedule,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<String, ProjectError> {
+        self.gate()?;
         self.flatten()?;
         let f = self.flattened.as_ref().unwrap();
         Ok(banger_codegen::generate_rust(
@@ -433,6 +493,7 @@ impl Project {
         schedule: &Schedule,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<String, ProjectError> {
+        self.gate()?;
         self.flatten()?;
         let f = self.flattened.as_ref().unwrap();
         Ok(banger_codegen::generate_c(

@@ -572,7 +572,7 @@ mod tests {
         #[test]
         fn harness_runs_and_asserts(v in prop::collection::vec(0u64..10, 1..8), flag in prop::bool::ANY) {
             prop_assert!(!v.is_empty());
-            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert_eq!(v.len(), v.iter().map(|&x| x as usize).filter(|&x| x < 10).count());
             if flag {
                 prop_assert!(v.iter().all(|&x| x < 10));
             }
@@ -588,7 +588,10 @@ mod tests {
         }
         fn depth(t: &T) -> usize {
             match t {
-                T::Leaf(_) => 1,
+                T::Leaf(v) => {
+                    assert!(*v < 4, "leaf outside the 0..4 base strategy: {v}");
+                    1
+                }
                 T::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }

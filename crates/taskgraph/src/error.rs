@@ -10,6 +10,18 @@ pub enum GraphError {
     /// Adding the edge would create a self-loop, which a dataflow graph
     /// forbids (a task cannot precede itself).
     SelfLoop(u32),
+    /// Adding the arc would create a self-loop on the named node.
+    SelfLoopNamed(String),
+    /// A duplicate arc between the same pair of named nodes with the same
+    /// label.
+    DuplicateArc {
+        /// Source node name.
+        src: String,
+        /// Destination node name.
+        dst: String,
+        /// The repeated variable label.
+        label: String,
+    },
     /// The graph contains a cycle; dataflow designs must be acyclic.
     /// Carries one node id known to participate in a cycle.
     Cycle(u32),
@@ -35,6 +47,12 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownNode(id) => write!(f, "unknown node id {id}"),
             GraphError::SelfLoop(id) => write!(f, "self-loop on node {id} is not allowed"),
+            GraphError::SelfLoopNamed(name) => {
+                write!(f, "self-loop on node {name:?} is not allowed")
+            }
+            GraphError::DuplicateArc { src, dst, label } => {
+                write!(f, "duplicate arc {src:?} -> {dst:?} with label {label:?}")
+            }
             GraphError::Cycle(id) => {
                 write!(f, "graph is cyclic (node {id} participates in a cycle)")
             }

@@ -257,7 +257,9 @@ impl HierGraph {
             return Err(GraphError::UnknownNode(dst.0));
         }
         if src == dst {
-            return Err(GraphError::SelfLoop(src.0));
+            return Err(GraphError::SelfLoopNamed(
+                self.nodes[src.index()].name.clone(),
+            ));
         }
         if !volume.is_finite() || volume < 0.0 {
             return Err(GraphError::BadWeight(volume));
@@ -269,10 +271,22 @@ impl HierGraph {
                 "storage-to-storage arcs are not allowed; route through a task".into(),
             ));
         }
+        let label = label.into();
+        if self
+            .arcs
+            .iter()
+            .any(|a| a.src == src && a.dst == dst && a.label == label)
+        {
+            return Err(GraphError::DuplicateArc {
+                src: self.nodes[src.index()].name.clone(),
+                dst: self.nodes[dst.index()].name.clone(),
+                label,
+            });
+        }
         self.arcs.push(HierArc {
             src,
             dst,
-            label: label.into(),
+            label,
             volume,
         });
         Ok(())
@@ -915,5 +929,48 @@ mod tests {
         g.add_arc(a, b, "x", 1.0).unwrap();
         g.add_arc(b, a, "y", 1.0).unwrap();
         assert!(matches!(g.flatten(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn self_loop_rejected_with_node_name() {
+        let mut g = HierGraph::new("sl");
+        let t = g.add_task("worker", 1.0);
+        let err = g.add_arc(t, t, "x", 1.0).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoopNamed("worker".into()));
+        assert!(err.to_string().contains("worker"));
+        let err2 = g.add_flow(t, t).unwrap_err();
+        assert_eq!(err2, GraphError::SelfLoopNamed("worker".into()));
+    }
+
+    #[test]
+    fn duplicate_arc_rejected_with_node_names() {
+        let mut g = HierGraph::new("dup");
+        let a = g.add_task("producer", 1.0);
+        let b = g.add_task("consumer", 1.0);
+        g.add_arc(a, b, "x", 1.0).unwrap();
+        let err = g.add_arc(a, b, "x", 2.0).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::DuplicateArc {
+                src: "producer".into(),
+                dst: "consumer".into(),
+                label: "x".into(),
+            }
+        );
+        assert!(err.to_string().contains("producer"), "{err}");
+        // A different label between the same nodes is still fine.
+        g.add_arc(a, b, "y", 1.0).unwrap();
+    }
+
+    #[test]
+    fn duplicate_flow_rejected() {
+        let mut g = HierGraph::new("dupf");
+        let t = g.add_task("t", 1.0);
+        let s = g.add_storage("s", 4.0);
+        g.add_flow(t, s).unwrap();
+        assert!(matches!(
+            g.add_flow(t, s),
+            Err(GraphError::DuplicateArc { .. })
+        ));
     }
 }

@@ -258,16 +258,280 @@ fn bad_usage_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
+    // Unknown subcommands exit 2 with a pointed message, not a usage dump.
     let out2 = banger()
         .args(["frobnicate", project_path()])
         .output()
         .unwrap();
-    assert!(!out2.status.success());
+    assert_eq!(out2.status.code(), Some(2));
+    let err2 = String::from_utf8_lossy(&out2.stderr);
+    assert!(err2.contains("unknown subcommand"), "{err2}");
+    assert!(err2.contains("frobnicate"), "{err2}");
 
-    let out3 = banger()
+    // A known subcommand with no file also exits 2.
+    let out3 = banger().args(["gantt"]).output().unwrap();
+    assert_eq!(out3.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out3.stderr).contains("file.bang"));
+
+    let out4 = banger()
         .args(["run", project_path(), "-i", "notapair"])
         .output()
         .unwrap();
-    assert!(!out3.status.success());
-    assert!(String::from_utf8_lossy(&out3.stderr).contains("var=value"));
+    assert!(!out4.status.success());
+    assert!(String::from_utf8_lossy(&out4.stderr).contains("var=value"));
+}
+
+#[test]
+fn help_lists_every_subcommand_and_exit_codes() {
+    let out = banger().args(["help"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "check",
+        "show",
+        "gantt",
+        "compare",
+        "simulate",
+        "animate",
+        "advise",
+        "recommend",
+        "svg",
+        "save-schedule",
+        "verify",
+        "run",
+        "speedup",
+        "codegen",
+        "parallelize",
+    ] {
+        assert!(text.contains(cmd), "help is missing {cmd}:\n{text}");
+    }
+    assert!(text.contains("exit codes"), "{text}");
+    // `--help` is an alias.
+    let alias = banger().args(["--help"]).output().unwrap();
+    assert_eq!(alias.status.code(), Some(0));
+}
+
+fn racy_path() -> &'static str {
+    "examples/projects/racy_pipeline.bang"
+}
+
+#[test]
+fn check_passes_clean_designs() {
+    let out = run_ok(&["check", project_path()]);
+    assert!(out.contains("0 errors"), "{out}");
+    let out2 = run_ok(&["check", "examples/projects/matmul.bang"]);
+    assert!(out2.contains("0 errors"), "{out2}");
+}
+
+#[test]
+fn check_reports_race_and_exits_nonzero() {
+    let out = banger().args(["check", racy_path()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("B001"), "{text}");
+    assert!(text.contains("sensor_a"), "{text}");
+    assert!(text.contains("sensor_b"), "{text}");
+    assert!(text.contains("reading"), "{text}");
+    // Error-severity findings also refuse scheduling and execution.
+    let gantt = banger().args(["gantt", racy_path()]).output().unwrap();
+    assert_eq!(gantt.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&gantt.stderr).contains("B001"),
+        "{}",
+        String::from_utf8_lossy(&gantt.stderr)
+    );
+}
+
+// ---- A minimal JSON reader (no serde in the workspace) -----------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let v = parse_value_at(&chars, &mut i)?;
+    skip_ws(&chars, &mut i);
+    if i != chars.len() {
+        return Err(format!("trailing garbage at {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], i: &mut usize) {
+    while *i < c.len() && c[*i].is_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value_at(c: &[char], i: &mut usize) -> Result<Json, String> {
+    skip_ws(c, i);
+    match c.get(*i) {
+        Some('[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(c, i);
+                if c.get(*i) == Some(&']') {
+                    *i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                if !items.is_empty() {
+                    if c.get(*i) != Some(&',') {
+                        return Err(format!("expected , at {i}"));
+                    }
+                    *i += 1;
+                }
+                items.push(parse_value_at(c, i)?);
+            }
+        }
+        Some('{') => {
+            *i += 1;
+            let mut pairs = Vec::new();
+            loop {
+                skip_ws(c, i);
+                if c.get(*i) == Some(&'}') {
+                    *i += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                if !pairs.is_empty() {
+                    if c.get(*i) != Some(&',') {
+                        return Err(format!("expected , at {i}"));
+                    }
+                    *i += 1;
+                    skip_ws(c, i);
+                }
+                let Json::Str(key) = parse_value_at(c, i)? else {
+                    return Err(format!("expected string key at {i}"));
+                };
+                skip_ws(c, i);
+                if c.get(*i) != Some(&':') {
+                    return Err(format!("expected : at {i}"));
+                }
+                *i += 1;
+                pairs.push((key, parse_value_at(c, i)?));
+            }
+        }
+        Some('"') => {
+            *i += 1;
+            let mut s = String::new();
+            loop {
+                match c.get(*i) {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some('\\') => {
+                        *i += 1;
+                        match c.get(*i) {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some('r') => s.push('\r'),
+                            Some('t') => s.push('\t'),
+                            Some('u') => {
+                                let hex: String = c[*i + 1..*i + 5].iter().collect();
+                                let n = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(n).ok_or("bad codepoint")?);
+                                *i += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *i += 1;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        *i += 1;
+                    }
+                }
+            }
+        }
+        Some('t') if c[*i..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *i += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if c[*i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *i += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if c[*i..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *i += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *i;
+            while *i < c.len() && (c[*i].is_ascii_digit() || "+-.eE".contains(c[*i])) {
+                *i += 1;
+            }
+            let s: String = c[start..*i].iter().collect();
+            s.parse::<f64>().map(Json::Num).map_err(|e| e.to_string())
+        }
+        None => Err("empty input".into()),
+    }
+}
+
+#[test]
+fn check_json_round_trips_without_serde() {
+    let out = banger()
+        .args(["check", racy_path(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed = parse_json(text.trim()).expect("check --format json emits valid JSON");
+    let Json::Arr(items) = &parsed else {
+        panic!("expected a JSON array, got {parsed:?}");
+    };
+    assert!(!items.is_empty());
+    for item in items {
+        let code = item.get("code").and_then(Json::as_str).expect("code field");
+        assert!(
+            code.len() == 4 && code.starts_with('B'),
+            "unexpected code {code:?}"
+        );
+        let sev = item
+            .get("severity")
+            .and_then(Json::as_str)
+            .expect("severity field");
+        assert!(sev == "error" || sev == "warning", "{sev}");
+        assert!(item.get("message").and_then(Json::as_str).is_some());
+    }
+    let b001 = items
+        .iter()
+        .find(|i| i.get("code").and_then(Json::as_str) == Some("B001"))
+        .expect("B001 present");
+    let Some(Json::Arr(nodes)) = b001.get("nodes") else {
+        panic!("B001 carries nodes: {b001:?}");
+    };
+    let names: Vec<&str> = nodes.iter().filter_map(Json::as_str).collect();
+    assert!(names.contains(&"sensor_a") && names.contains(&"sensor_b"), "{names:?}");
+
+    // A clean design yields an empty array, also valid JSON.
+    let clean = run_ok(&["check", project_path(), "--format", "json"]);
+    assert_eq!(parse_json(clean.trim()), Ok(Json::Arr(vec![])));
 }

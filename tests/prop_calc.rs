@@ -105,6 +105,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
             outputs: VARS.iter().map(|v| v.to_string()).collect(),
             locals: vec![],
             body: full,
+            decl_pos: Default::default(),
         }
     })
 }

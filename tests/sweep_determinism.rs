@@ -98,7 +98,7 @@ fn random_graph() -> impl Strategy<Value = TaskGraph> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
     fn sweep_machines_matches_sequential_on_random_graphs(g in random_graph()) {
