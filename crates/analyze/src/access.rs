@@ -425,7 +425,11 @@ mod tests {
         let t = g.add_task("t", 1.0);
         g.add_arc(t, c, "x", 1.0).unwrap();
         let v = flat_view(&g);
-        assert!(v.diags.iter().any(|d| d.code == Code::B021), "{:?}", v.diags);
+        assert!(
+            v.diags.iter().any(|d| d.code == Code::B021),
+            "{:?}",
+            v.diags
+        );
     }
 
     #[test]

@@ -265,7 +265,10 @@ pub fn render_report(diags: &[Diagnostic]) -> String {
         out.push_str(&render_text(d));
         out.push('\n');
     }
-    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
     let warnings = diags.len() - errors;
     out.push_str(&format!(
         "{errors} error{}, {warnings} warning{}",

@@ -160,7 +160,9 @@ fn read_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
     for s in body {
         match s {
             Stmt::Assign { expr, .. } => expr_vars(expr, out),
-            Stmt::AssignIndex { var, index, expr, .. } => {
+            Stmt::AssignIndex {
+                var, index, expr, ..
+            } => {
                 // An indexed store updates one element: the rest of the
                 // array flows through, so this counts as a read too.
                 out.insert(var.clone());
@@ -448,10 +450,7 @@ fn hygiene(design: &HierGraph, view: &FlatView, diags: &mut Vec<Diagnostic>) {
             Diagnostic::error(
                 Code::B030,
                 Location::nodes(names.iter().map(|s| s.to_string()).collect()),
-                format!(
-                    "the design contains a cycle: {}",
-                    names.join(" -> "),
-                ),
+                format!("the design contains a cycle: {}", names.join(" -> "),),
             )
             .with_help("dataflow designs must be acyclic; break the loop or fold it into one task"),
         );
@@ -661,9 +660,7 @@ mod tests {
 
     #[test]
     fn body_checks_cover_b013_b014_b015() {
-        let lib = lib_of(&[
-            "task P\n in a, b\n out r, unset\nbegin\n r := a\n tmp := 1\nend\n",
-        ]);
+        let lib = lib_of(&["task P\n in a, b\n out r, unset\nbegin\n r := a\n tmp := 1\nend\n"]);
         let mut g = HierGraph::new("b");
         let t = g.add_task_with_program("t", 1.0, "P");
         let s = g.add_storage("r", 1.0);
@@ -673,7 +670,7 @@ mod tests {
         assert!(cs.contains(&Code::B013), "{diags:?}"); // unset never assigned
         assert!(cs.contains(&Code::B014), "{diags:?}"); // b never read
         assert!(cs.contains(&Code::B015), "{diags:?}"); // tmp undeclared
-        // B013 carries the declaration span from the parser.
+                                                        // B013 carries the declaration span from the parser.
         let b013 = diags.iter().find(|d| d.code == Code::B013).unwrap();
         assert!(b013.location.span.is_some(), "{b013:?}");
         assert_eq!(b013.location.span.unwrap().line, 3);

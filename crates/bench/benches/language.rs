@@ -2,7 +2,7 @@
 //! arrays, document round-trips and the data-parallel transform — the
 //! costs behind the environment's "instant feedback" promise.
 
-use banger_calc::{interp, parser, transform, Value};
+use banger_calc::{compile, interp, parser, transform, vm, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -80,11 +80,65 @@ fn bench_document(c: &mut Criterion) {
     });
 }
 
+/// Tree-walker vs compiled register VM on the kernels the executor
+/// actually runs hot: a numeric-integration task body (loop-dominated
+/// scalar math — the shape the VM exists to crush), the paper's Figure 4
+/// SquareRoot (Newton iteration), and the LU pivot-column kernel `fan1`
+/// (array indexing in a loop; bounded below by the value-semantics array
+/// copies both engines share). Both engines are asserted to report
+/// identical `ops` — the measured task weight — before any timing
+/// happens.
+fn bench_vm_vs_tree_walk(c: &mut Criterion) {
+    let pi_prog = parser::parse_program(PI_SRC).unwrap();
+    let pi_inputs: BTreeMap<String, Value> = [("n".to_string(), Value::Num(1_000.0))]
+        .into_iter()
+        .collect();
+
+    let sqrt_prog = parser::parse_program(banger::figures::SQUARE_ROOT_SRC).unwrap();
+    let sqrt_inputs: BTreeMap<String, Value> =
+        [("a".to_string(), Value::Num(2.0))].into_iter().collect();
+
+    let lib = banger::lu::lu_program_library(9);
+    let fan1 = lib.get("fan1").unwrap().clone();
+    let (a, _b) = banger::lu::test_system(9);
+    let fan1_inputs: BTreeMap<String, Value> =
+        [("A".to_string(), Value::Array(a))].into_iter().collect();
+
+    let mut group = c.benchmark_group("vm");
+    for (name, prog, inputs) in [
+        ("pi_n1000", &pi_prog, &pi_inputs),
+        ("sqrt_fig4", &sqrt_prog, &sqrt_inputs),
+        ("lu_fan1_n9", &fan1, &fan1_inputs),
+    ] {
+        let compiled = compile(prog);
+        let cfg = banger_calc::InterpConfig::default();
+        let tree = interp::run(prog, inputs).unwrap();
+        let fast = vm::run_compiled(&compiled, inputs, cfg).unwrap();
+        assert_eq!(tree.ops, fast.ops, "{name}: ops-as-weight must agree");
+
+        group.bench_function(format!("{name}/tree_walk"), |b| {
+            b.iter(|| black_box(interp::run(prog, inputs).unwrap()))
+        });
+        group.bench_function(format!("{name}/compiled"), |b| {
+            let mut machine = vm::Vm::new();
+            b.iter(|| black_box(machine.run(&compiled, inputs, cfg).unwrap()))
+        });
+        // What the runner pays per invocation when the compiled form is
+        // *not* cached: compile + run. Kept honest alongside the cached
+        // path that `ProgramLibrary` provides.
+        group.bench_function(format!("{name}/compile_and_run"), |b| {
+            b.iter(|| black_box(vm::compile_and_run(prog, inputs, cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     language_benches,
     bench_interpreter_scaling,
     bench_array_ops,
     bench_transform,
-    bench_document
+    bench_document,
+    bench_vm_vs_tree_walk
 );
 criterion_main!(language_benches);

@@ -1,0 +1,120 @@
+//! `bench_calc` — measures the PITS execution engines and writes
+//! `BENCH_calc.json`: tree-walking interpreter vs compiled register VM
+//! on the Figure 4 SquareRoot kernel and the LU pivot-column kernel,
+//! so the language-layer perf trajectory is tracked across PRs.
+//!
+//! ```text
+//! cargo run --release -p banger-bench --bin bench_calc
+//! ```
+
+use banger_calc::{compile, interp, vm, InterpConfig, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean wall time of `f` in nanoseconds: one warmup call, then doubling
+/// batches until a batch takes >= 200ms (or 65536 iterations).
+fn mean_ns<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 200 || iters >= 65_536 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+/// A numeric-integration task body: the loop-dominated shape (many
+/// iterations, scalar math) whose per-iteration dispatch cost is what
+/// the VM exists to crush. Same source as the `interp_pi` Criterion
+/// group.
+const PI_SRC: &str = "\
+task Pi
+  in n
+  out p
+  local i, x, h
+begin
+  h := 1 / n
+  p := 0
+  for i := 1 to n do
+    x := (i - 0.5) * h
+    p := p + 4 / (1 + x * x)
+  end
+  p := p * h
+end";
+
+fn main() {
+    let sqrt_prog = banger_calc::parser::parse_program(banger::figures::SQUARE_ROOT_SRC).unwrap();
+    let sqrt_inputs: BTreeMap<String, Value> =
+        [("a".to_string(), Value::Num(2.0))].into_iter().collect();
+
+    let pi_prog = banger_calc::parser::parse_program(PI_SRC).unwrap();
+    let pi_inputs: BTreeMap<String, Value> = [("n".to_string(), Value::Num(1_000.0))]
+        .into_iter()
+        .collect();
+
+    let lib = banger::lu::lu_program_library(9);
+    let fan1 = lib.get("fan1").unwrap().clone();
+    let (a, _b) = banger::lu::test_system(9);
+    let fan1_inputs: BTreeMap<String, Value> =
+        [("A".to_string(), Value::Array(a))].into_iter().collect();
+
+    let cfg = InterpConfig::default();
+    let mut json = String::from("{\n");
+    for (i, (name, prog, inputs)) in [
+        ("pi_n1000", &pi_prog, &pi_inputs),
+        ("sqrt_fig4", &sqrt_prog, &sqrt_inputs),
+        ("lu_fan1_n9", &fan1, &fan1_inputs),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let compiled = compile(prog);
+
+        // Correctness gate before timing anything: identical outcome,
+        // ops byte-for-byte equal (ops is the scheduler's task weight).
+        let tree = interp::run(prog, inputs).unwrap();
+        let fast = vm::run_compiled(&compiled, inputs, cfg).unwrap();
+        assert_eq!(
+            format!("{tree:?}"),
+            format!("{fast:?}"),
+            "{name}: engines must be observationally identical"
+        );
+
+        let tree_ns = mean_ns(|| {
+            black_box(interp::run(prog, inputs).unwrap());
+        });
+        let mut machine = vm::Vm::new();
+        let vm_ns = mean_ns(|| {
+            black_box(machine.run(&compiled, inputs, cfg).unwrap());
+        });
+        let compile_and_run_ns = mean_ns(|| {
+            black_box(vm::compile_and_run(prog, inputs, cfg).unwrap());
+        });
+
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  \"{name}\": {{\n    \
+             \"ops\": {},\n    \
+             \"tree_walk_mean_ns\": {tree_ns:.0},\n    \
+             \"vm_mean_ns\": {vm_ns:.0},\n    \
+             \"compile_and_run_mean_ns\": {compile_and_run_ns:.0},\n    \
+             \"vm_speedup\": {:.2}\n  }}",
+            tree.ops,
+            tree_ns / vm_ns,
+        );
+    }
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_calc.json", &json).expect("write BENCH_calc.json");
+    print!("{json}");
+}

@@ -73,25 +73,41 @@ fn main() {
     black_box(xb::speedup_points_parallel(&g, &machines));
     let (arrival_probes, slot_searches) = banger_sched::engine::probe_totals();
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Each sweep picks its own worker count (available_parallelism capped
+    // by item count); record exactly what ran. A sweep that got only one
+    // worker never left the sequential loop, so a "parallel speedup" for
+    // it would be noise — report null and say why.
+    let predict_workers = banger_sched::sweep::planned_workers(machines.len());
+    let cmp_workers = banger_sched::sweep::planned_workers(names.len());
+
     let json = format!(
         "{{\n  \"predict_speedup_lu5_hypercube_1_64\": {{\n    \
          \"sequential_mean_ns\": {seq_ns:.0},\n    \
-         \"parallel_mean_ns\": {par_ns:.0},\n    \
-         \"speedup\": {:.2}\n  }},\n  \
+         \"parallel_mean_ns\": {par_ns:.0},\n{}  }},\n  \
          \"compare_heuristics_gauss8\": {{\n    \
          \"sequential_mean_ns\": {cmp_seq_ns:.0},\n    \
-         \"parallel_mean_ns\": {cmp_par_ns:.0},\n    \
-         \"speedup\": {:.2}\n  }},\n  \
+         \"parallel_mean_ns\": {cmp_par_ns:.0},\n{}  }},\n  \
          \"engine_probes_per_predict_sweep\": {{\n    \
          \"arrival_probes\": {arrival_probes},\n    \
-         \"slot_searches\": {slot_searches}\n  }},\n  \
-         \"threads\": {threads}\n}}\n",
-        seq_ns / par_ns,
-        cmp_seq_ns / cmp_par_ns,
+         \"slot_searches\": {slot_searches}\n  }}\n}}\n",
+        speedup_fields(predict_workers, seq_ns / par_ns),
+        speedup_fields(cmp_workers, cmp_seq_ns / cmp_par_ns),
     );
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     print!("{json}");
+}
+
+/// JSON fragment for one experiment's parallelism claim. With more than
+/// one worker the measured speedup stands on its own; with one worker the
+/// "parallel" path was the sequential loop, so the speedup is null and a
+/// note records that no parallelism claim is being made.
+fn speedup_fields(workers: usize, speedup: f64) -> String {
+    if workers > 1 {
+        format!("    \"workers\": {workers},\n    \"speedup\": {speedup:.2}\n",)
+    } else {
+        format!(
+            "    \"workers\": {workers},\n    \"speedup\": null,\n    \
+             \"note\": \"single worker: sweep ran sequentially, no parallel speedup to claim\"\n",
+        )
+    }
 }

@@ -1,0 +1,800 @@
+//! Bytecode compiler: lowers a PITS [`Program`] AST to the flat register
+//! form executed by [`crate::vm`].
+//!
+//! The tree-walking interpreter ([`crate::interp`]) re-traverses the AST
+//! and performs a `String`-keyed map lookup per variable reference — per
+//! statement, per loop iteration, per task copy. This pass does all name
+//! resolution **once**: every variable (inputs, outputs, locals, the
+//! preloaded constants `pi`/`e`, and even undeclared names, which must
+//! still fail with the same `Undefined` error at the same moment) becomes
+//! a dense frame slot; every builtin call is pre-resolved to a direct
+//! function index; every literal is frozen into its op. What remains at
+//! run time is a `Vec<Op>` walked by a program counter over a reusable
+//! `Vec<Value>` frame — no maps, no strings, no per-step allocation.
+//!
+//! ## The ops-as-weight invariant
+//!
+//! `Outcome::ops` is not just profiling: it is the *measured task weight*
+//! the scheduler consumes. The compiler therefore performs **no**
+//! transformation that would change the op count or its sequencing — no
+//! arithmetic constant folding, no dead-branch elimination. Each emitted
+//! op ticks exactly where and how much the tree-walker ticks, so
+//! `StepLimit` fires at the identical budget and measured weights are
+//! byte-for-byte equal whichever engine ran the task
+//! (`tests/prop_vm.rs` proves this differentially).
+//!
+//! Semantic corner cases preserved bit-for-bit:
+//!
+//! * unknown functions and wrong arities are compiled to [`Op::Fail`]
+//!   *at the call site*, so a call in a never-taken branch stays
+//!   harmless, exactly like the late-failing tree-walker;
+//! * the constants `pi`/`e` are ordinary pre-initialised slots, so a
+//!   program that assigns over them sees its own value afterwards;
+//! * sub-expression results always land in fresh scratch registers — a
+//!   destination variable is written exactly once, at expression
+//!   completion, so `x := a and x` reads the *old* `x`.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::error::RunError;
+use std::collections::BTreeMap;
+
+/// A frame-slot / register index.
+pub type Reg = u32;
+
+/// Static `what`-context strings, matching the tree-walker's diagnostics.
+pub(crate) mod ctx {
+    pub const IF_COND: &str = "if condition";
+    pub const WHILE_COND: &str = "while condition";
+    pub const AND_OPERAND: &str = "and operand";
+    pub const OR_OPERAND: &str = "or operand";
+    pub const NOT_OPERAND: &str = "not operand";
+    pub const NEG_OPERAND: &str = "negation operand";
+    pub const LEFT_OPERAND: &str = "left operand";
+    pub const RIGHT_OPERAND: &str = "right operand";
+    pub const ARRAY_INDEX: &str = "array index";
+    pub const ARRAY_ELEMENT: &str = "array element";
+    pub const FOR_START: &str = "for start";
+    pub const FOR_END: &str = "for end";
+}
+
+/// One bytecode instruction. Registers index the VM frame; the low
+/// `n_vars` registers are named variables, then the literal pool, then
+/// scratch. (`dst`/`src`/`lhs`/`rhs` fields are registers; `target`
+/// fields are op indices.)
+///
+/// Every op that *reads* a register first checks its initialisation bit
+/// and fails with `Undefined` like the tree-walker's variable read. For
+/// scratch and literal-pool registers the check never fires (scratch is
+/// written before it is read by construction; the pool is preloaded), so
+/// the compiler may pass a named variable's slot *directly* as an
+/// operand — fusing what would otherwise be a `LoadVar` into the
+/// consuming op — without changing observable behaviour.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum Op {
+    /// `ops += n`, erroring with `StepLimit` past the budget (statement
+    /// and loop-iteration ticks).
+    Tick(u64),
+    /// `r[dst] = Num(val)` — a frozen literal.
+    Const { dst: Reg, val: f64 },
+    /// `r[dst] = r[src].clone()` with **no** initialisation check — used
+    /// only where the source is a VM-owned scratch value (loop counters).
+    Copy { dst: Reg, src: Reg },
+    /// `r[dst] = r[slot].clone()`, `Undefined` if the variable slot was
+    /// never assigned.
+    LoadVar { dst: Reg, slot: Reg },
+    /// `r[dst] = Num(r[slot][r[idx]])` — array element read; checks the
+    /// index (initialisation + scalar), then the array, and ticks 1
+    /// *after* the bounds-checked read, like the tree-walker.
+    IndexGet { dst: Reg, slot: Reg, idx: Reg },
+    /// `r[slot][r[idx]] = r[val]` — in-place array element write; checks
+    /// the index, then the element value, then the array — the
+    /// tree-walker's `AssignIndex` order.
+    IndexSet { slot: Reg, idx: Reg, val: Reg },
+    /// Scalar binary operation: checks left then right operand
+    /// (initialisation + scalar), ticks 1, computes.
+    BinNum {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
+    /// Unary negation: checks initialisation, ticks 1, then type-checks.
+    Neg { dst: Reg, src: Reg },
+    /// Logical not: checks initialisation, ticks 1, then type-checks.
+    Not { dst: Reg, src: Reg },
+    /// Pre-resolved builtin call over `argc` consecutive registers
+    /// starting at `first`; ticks the builtin's cost, then applies.
+    Call {
+        /// Index into [`builtins::BUILTINS`].
+        builtin: u16,
+        dst: Reg,
+        first: Reg,
+        argc: u16,
+    },
+    /// Unconditional jump to an op index.
+    Jump(u32),
+    /// Truthiness-checked conditional jump (if / while guards).
+    JumpIfFalse {
+        cond: Reg,
+        target: u32,
+        what: &'static str,
+    },
+    /// `and`/`or` left-hand side: truthiness-check `src` (with the
+    /// operand's context string), tick 1, and on short-circuit write the
+    /// decided `0`/`1` into `dst` and jump to `target`.
+    ShortCircuit {
+        src: Reg,
+        dst: Reg,
+        target: u32,
+        is_and: bool,
+    },
+    /// `and`/`or` right-hand side: truthiness-check `src` and write the
+    /// resulting `0`/`1` into `dst` (no tick — the tree-walker ticks only
+    /// once per logic operator, on the left-hand side).
+    BoolCast { src: Reg, dst: Reg, is_and: bool },
+    /// Assert `r[src]` is initialised (`Undefined`) and a scalar
+    /// (`NotAScalar(what)`) — placed where the tree-walker reads and
+    /// `as_num`s one sub-expression *before* evaluating the next.
+    CheckNum { src: Reg, what: &'static str },
+    /// Like [`Op::CheckNum`] but also rounds in place (for-loop bounds).
+    CheckNumRound { src: Reg, what: &'static str },
+    /// `if r[i] > r[end] { jump target }` — for-loop test over the
+    /// VM-owned (already rounded) counter and bound.
+    ForTest { i: Reg, end: Reg, target: u32 },
+    /// `r[i] += 1` — for-loop increment.
+    ForInc { i: Reg },
+    /// Push `r[src]`'s display form onto the print log.
+    Print { src: Reg },
+    /// Raise a compile-time-frozen runtime error (unknown function, bad
+    /// arity) — executed only if control actually reaches the call site.
+    Fail(u32),
+}
+
+/// A compiled PITS program: flat ops plus the frame layout metadata the
+/// VM needs to wire inputs, outputs and diagnostics.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Task name (diagnostics).
+    pub name: String,
+    /// The instruction stream.
+    pub ops: Vec<Op>,
+    /// Total frame size: named variables then scratch registers.
+    pub frame_size: usize,
+    /// Slots `0..n_vars` are named variables.
+    pub n_vars: usize,
+    /// Slot index -> variable name (errors name the variable).
+    pub var_names: Vec<String>,
+    /// `(slot, name-index)` of each declared input, in declaration order.
+    pub input_slots: Vec<Reg>,
+    /// Slot of each declared output, in declaration order.
+    pub output_slots: Vec<Reg>,
+    /// Pre-initialised constant slots (`pi`, `e`) in insertion order;
+    /// inputs may overwrite them afterwards, mirroring the tree-walker's
+    /// environment set-up order.
+    pub const_slots: Vec<(Reg, f64)>,
+    /// The literal pool: deduplicated numeric literals preloaded (and
+    /// marked initialised) into the slots between the named variables
+    /// and the scratch registers, so ops reference literals without a
+    /// `Const` dispatch. The program never writes these slots.
+    pub lit_slots: Vec<(Reg, f64)>,
+    /// Frozen runtime errors referenced by [`Op::Fail`].
+    pub fails: Vec<RunError>,
+}
+
+/// Compiles a program. Never fails: names that cannot be resolved become
+/// run-time errors at the same execution points as the tree-walker's.
+pub fn compile(prog: &Program) -> CompiledProgram {
+    let mut c = Compiler::new();
+    // Constants first, then declared variables, mirroring the
+    // interpreter's environment construction order.
+    for (name, v) in builtins::CONSTANTS {
+        let slot = c.slot(name);
+        c.const_slots.push((slot, v));
+    }
+    let input_slots: Vec<Reg> = prog.inputs.iter().map(|n| c.slot(n)).collect();
+    for n in &prog.outputs {
+        c.slot(n);
+    }
+    for n in &prog.locals {
+        c.slot(n);
+    }
+    c.block(&prog.body);
+    let output_slots: Vec<Reg> = prog.outputs.iter().map(|n| c.slot(n)).collect();
+
+    let n_vars = c.names.len();
+    // Literal-pool slots live right above the named variables; their
+    // final indices are known now that interning is done.
+    let lit_slots: Vec<(Reg, f64)> = c
+        .lits
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| ((n_vars + k) as Reg, v))
+        .collect();
+    CompiledProgram {
+        name: prog.name.clone(),
+        ops: c.ops,
+        frame_size: n_vars + lit_slots.len() + c.max_temps,
+        n_vars,
+        var_names: c.names,
+        input_slots,
+        output_slots,
+        const_slots: c.const_slots,
+        lit_slots,
+        fails: c.fails,
+    }
+    .seal()
+}
+
+/// An expression whose value already sits in a register (named variable
+/// or literal) — no code needed, checks done by the consuming op.
+fn is_simple(e: &Expr) -> bool {
+    matches!(e, Expr::Num(_) | Expr::Var(_))
+}
+
+/// During compilation, literal-pool registers count up from `LIT_BASE`
+/// and scratch registers down from `u32::MAX`; [`CompiledProgram::seal`]
+/// remaps both into the dense frame once the named-variable count is
+/// final. `TEMP_SPLIT` divides the two provisional regions.
+const LIT_BASE: Reg = 0x8000_0000;
+const TEMP_SPLIT: Reg = 0xC000_0000;
+
+struct Compiler {
+    ops: Vec<Op>,
+    names: Vec<String>,
+    slots: BTreeMap<String, Reg>,
+    const_slots: Vec<(Reg, f64)>,
+    lits: Vec<f64>,
+    lit_map: BTreeMap<u64, Reg>,
+    fails: Vec<RunError>,
+    /// Scratch registers in use (relative to the variable block).
+    live_temps: usize,
+    max_temps: usize,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler {
+            ops: Vec::new(),
+            names: Vec::new(),
+            slots: BTreeMap::new(),
+            const_slots: Vec::new(),
+            lits: Vec::new(),
+            lit_map: BTreeMap::new(),
+            fails: Vec::new(),
+            live_temps: 0,
+            max_temps: 0,
+        }
+    }
+
+    /// Slot of a named variable, interning on first sight.
+    fn slot(&mut self, name: &str) -> Reg {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.names.len() as Reg;
+        self.names.push(name.to_string());
+        self.slots.insert(name.to_string(), s);
+        s
+    }
+
+    /// Allocates a scratch register above every named variable and every
+    /// currently-live temp. Final slot indices are fixed up knowing
+    /// `n_vars` only at the end — during compilation temps are numbered
+    /// from `TEMP_BASE` and rewritten by [`finish_reg`]. To keep this
+    /// simple we instead reserve temps *after* interning: names are all
+    /// known before `block` runs (declarations interned in `compile`),
+    /// but undeclared names can still appear mid-body. So temps count
+    /// from the end: register `u32::MAX - k` is temp `k`, remapped when
+    /// the op stream is sealed.
+    fn temp(&mut self) -> Reg {
+        let t = self.live_temps;
+        self.live_temps += 1;
+        self.max_temps = self.max_temps.max(self.live_temps);
+        u32::MAX - t as Reg
+    }
+
+    fn release_to(&mut self, mark: usize) {
+        self.live_temps = mark;
+    }
+
+    /// Literal-pool register for `v`, deduplicated by bit pattern.
+    fn lit(&mut self, v: f64) -> Reg {
+        let bits = v.to_bits();
+        if let Some(&r) = self.lit_map.get(&bits) {
+            return r;
+        }
+        let r = LIT_BASE + self.lits.len() as Reg;
+        self.lits.push(v);
+        self.lit_map.insert(bits, r);
+        r
+    }
+
+    /// A register that already holds the expression's value without any
+    /// code being emitted: a named variable's slot or a literal-pool
+    /// slot. The consuming op performs the tree-walker's read checks
+    /// (initialisation, type) itself, in evaluation order, so passing
+    /// the slot directly is observationally identical to a `LoadVar`
+    /// into scratch — minus one dispatch. `None` means the expression
+    /// needs code; compile it into a scratch register instead.
+    fn operand(&mut self, e: &Expr) -> Option<Reg> {
+        match e {
+            Expr::Num(v) => Some(self.lit(*v)),
+            Expr::Var(name) => Some(self.slot(name)),
+            _ => None,
+        }
+    }
+
+    /// `operand` or compile-into-fresh-scratch, whichever applies.
+    fn operand_or_temp(&mut self, e: &Expr) -> Reg {
+        match self.operand(e) {
+            Some(r) => r,
+            None => {
+                let t = self.temp();
+                self.expr(e, t);
+                t
+            }
+        }
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump(t)
+            | Op::JumpIfFalse { target: t, .. }
+            | Op::ShortCircuit { target: t, .. }
+            | Op::ForTest { target: t, .. } => *t = target,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn fail(&mut self, e: RunError) {
+        let i = self.fails.len() as u32;
+        self.fails.push(e);
+        self.emit(Op::Fail(i));
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        self.emit(Op::Tick(1));
+        match stmt {
+            Stmt::Assign { var, expr, .. } => {
+                let dst = self.slot(var);
+                let mark = self.live_temps;
+                self.expr(expr, dst);
+                self.release_to(mark);
+            }
+            Stmt::AssignIndex {
+                var, index, expr, ..
+            } => {
+                let slot = self.slot(var);
+                let mark = self.live_temps;
+                let ti = self.operand_or_temp(index);
+                // The tree-walker `as_num`s the index before evaluating
+                // the element value; when the value emits code, an
+                // explicit check keeps that order. (`IndexSet` itself
+                // re-checks index then value, which covers the rest.)
+                if !is_simple(expr) {
+                    self.emit(Op::CheckNum {
+                        src: ti,
+                        what: ctx::ARRAY_INDEX,
+                    });
+                }
+                let tv = self.operand_or_temp(expr);
+                self.emit(Op::IndexSet {
+                    slot,
+                    idx: ti,
+                    val: tv,
+                });
+                self.release_to(mark);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let mark = self.live_temps;
+                let tc = self.operand_or_temp(cond);
+                self.release_to(mark);
+                let br = self.emit(Op::JumpIfFalse {
+                    cond: tc,
+                    target: 0,
+                    what: ctx::IF_COND,
+                });
+                self.block(then_body);
+                let out = self.emit(Op::Jump(0));
+                let else_at = self.here();
+                self.patch(br, else_at);
+                self.block(else_body);
+                let end = self.here();
+                self.patch(out, end);
+            }
+            Stmt::While { cond, body } => {
+                let head = self.here();
+                let mark = self.live_temps;
+                let tc = self.operand_or_temp(cond);
+                self.release_to(mark);
+                let exit = self.emit(Op::JumpIfFalse {
+                    cond: tc,
+                    target: 0,
+                    what: ctx::WHILE_COND,
+                });
+                self.block(body);
+                self.emit(Op::Tick(1));
+                self.emit(Op::Jump(head));
+                let end = self.here();
+                self.patch(exit, end);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let var_slot = self.slot(var);
+                let mark = self.live_temps;
+                // Counter and bound stay live across the body.
+                let ti = self.temp();
+                self.expr(from, ti);
+                self.emit(Op::CheckNumRound {
+                    src: ti,
+                    what: ctx::FOR_START,
+                });
+                let tend = self.temp();
+                self.expr(to, tend);
+                self.emit(Op::CheckNumRound {
+                    src: tend,
+                    what: ctx::FOR_END,
+                });
+                let head = self.here();
+                let test = self.emit(Op::ForTest {
+                    i: ti,
+                    end: tend,
+                    target: 0,
+                });
+                self.emit(Op::Copy {
+                    dst: var_slot,
+                    src: ti,
+                });
+                self.block(body);
+                self.emit(Op::Tick(1));
+                self.emit(Op::ForInc { i: ti });
+                self.emit(Op::Jump(head));
+                let end = self.here();
+                self.patch(test, end);
+                self.release_to(mark);
+            }
+            Stmt::Print(e) => {
+                let mark = self.live_temps;
+                let t = self.operand_or_temp(e);
+                self.emit(Op::Print { src: t });
+                self.release_to(mark);
+            }
+        }
+    }
+
+    /// Compiles `expr` so that its value lands in `dst` as the single,
+    /// final write; all intermediates go to fresh scratch registers.
+    fn expr(&mut self, expr: &Expr, dst: Reg) {
+        match expr {
+            Expr::Num(v) => {
+                self.emit(Op::Const { dst, val: *v });
+            }
+            Expr::Var(name) => {
+                let slot = self.slot(name);
+                self.emit(Op::LoadVar { dst, slot });
+            }
+            Expr::Index(name, idx) => {
+                let slot = self.slot(name);
+                let mark = self.live_temps;
+                let ti = self.operand_or_temp(idx);
+                self.emit(Op::IndexGet { dst, slot, idx: ti });
+                self.release_to(mark);
+            }
+            Expr::Call(name, args) => {
+                match builtins::index_of(name) {
+                    None => {
+                        // The tree-walker fails before evaluating any
+                        // argument; so do we.
+                        self.fail(RunError::UnknownFunction(name.clone()));
+                    }
+                    Some(i) if builtins::BUILTINS[i].arity != args.len() => {
+                        self.fail(RunError::BadArity {
+                            name: name.clone(),
+                            expected: builtins::BUILTINS[i].arity,
+                            got: args.len(),
+                        });
+                    }
+                    Some(i) => {
+                        let mark = self.live_temps;
+                        // Argument registers must be consecutive:
+                        // reserve them first, then fill each (nested
+                        // scratch goes above the reservation).
+                        let regs: Vec<Reg> = args.iter().map(|_| self.temp()).collect();
+                        for (a, &r) in args.iter().zip(&regs) {
+                            let m = self.live_temps;
+                            self.expr(a, r);
+                            self.release_to(m);
+                        }
+                        self.emit(Op::Call {
+                            builtin: i as u16,
+                            dst,
+                            first: *regs.first().unwrap_or(&(u32::MAX - mark as Reg)),
+                            argc: args.len() as u16,
+                        });
+                        self.release_to(mark);
+                    }
+                }
+            }
+            Expr::Bin(op @ (BinOp::And | BinOp::Or), lhs, rhs) => {
+                let is_and = matches!(op, BinOp::And);
+                let mark = self.live_temps;
+                let tl = self.operand_or_temp(lhs);
+                let sc = self.emit(Op::ShortCircuit {
+                    src: tl,
+                    dst,
+                    target: 0,
+                    is_and,
+                });
+                self.release_to(mark);
+                let tr = self.operand_or_temp(rhs);
+                self.emit(Op::BoolCast {
+                    src: tr,
+                    dst,
+                    is_and,
+                });
+                self.release_to(mark);
+                let end = self.here();
+                self.patch(sc, end);
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let mark = self.live_temps;
+                let tl = self.operand_or_temp(lhs);
+                // The tree-walker converts the left operand to a number
+                // *before* evaluating the right one, so a non-scalar left
+                // must win over any error hiding in the right. When the
+                // right side emits no code, `BinNum`'s own left-then-
+                // right check sequence already preserves that order.
+                if !is_simple(rhs) {
+                    self.emit(Op::CheckNum {
+                        src: tl,
+                        what: ctx::LEFT_OPERAND,
+                    });
+                }
+                let tr = self.operand_or_temp(rhs);
+                self.emit(Op::BinNum {
+                    op: *op,
+                    dst,
+                    lhs: tl,
+                    rhs: tr,
+                });
+                self.release_to(mark);
+            }
+            Expr::Un(op, inner) => {
+                let mark = self.live_temps;
+                let t = self.operand_or_temp(inner);
+                match op {
+                    UnOp::Neg => self.emit(Op::Neg { dst, src: t }),
+                    UnOp::Not => self.emit(Op::Not { dst, src: t }),
+                };
+                self.release_to(mark);
+            }
+        }
+    }
+}
+
+impl CompiledProgram {
+    /// Remaps the compiler's provisional registers into the dense frame:
+    /// literal-pool register `LIT_BASE + k` becomes `n_vars + k`, and
+    /// end-counted temp `u32::MAX - k` becomes `n_vars + n_lits + k`.
+    /// Called once by [`compile`].
+    fn seal(mut self) -> CompiledProgram {
+        let n = self.n_vars as Reg;
+        let nl = self.lit_slots.len() as Reg;
+        let fix = |r: &mut Reg| {
+            if *r >= TEMP_SPLIT {
+                *r = n + nl + (u32::MAX - *r);
+            } else if *r >= LIT_BASE {
+                *r = n + (*r - LIT_BASE);
+            }
+        };
+        for op in &mut self.ops {
+            match op {
+                Op::Const { dst, .. } => fix(dst),
+                Op::Copy { dst, src } => {
+                    fix(dst);
+                    fix(src);
+                }
+                Op::LoadVar { dst, .. } => fix(dst),
+                Op::IndexGet { dst, idx, .. } => {
+                    fix(dst);
+                    fix(idx);
+                }
+                Op::IndexSet { idx, val, .. } => {
+                    fix(idx);
+                    fix(val);
+                }
+                Op::BinNum { dst, lhs, rhs, .. } => {
+                    fix(dst);
+                    fix(lhs);
+                    fix(rhs);
+                }
+                Op::Neg { dst, src } | Op::Not { dst, src } => {
+                    fix(dst);
+                    fix(src);
+                }
+                Op::Call { dst, first, .. } => {
+                    fix(dst);
+                    fix(first);
+                }
+                Op::JumpIfFalse { cond, .. } => fix(cond),
+                Op::ShortCircuit { src, dst, .. } => {
+                    fix(src);
+                    fix(dst);
+                }
+                Op::BoolCast { src, dst, .. } => {
+                    fix(src);
+                    fix(dst);
+                }
+                Op::CheckNum { src, .. } | Op::CheckNumRound { src, .. } => fix(src),
+                Op::ForTest { i, end, .. } => {
+                    fix(i);
+                    fix(end);
+                }
+                Op::ForInc { i } => fix(i),
+                Op::Print { src } => fix(src),
+                Op::Tick(_) | Op::Jump(_) | Op::Fail(_) => {}
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn slots_are_dense_and_start_with_constants() {
+        let p = parse_program("task T in a out x local g begin x := a + g end").unwrap();
+        let c = compile(&p);
+        assert_eq!(c.var_names[0], "pi");
+        assert_eq!(c.var_names[1], "e");
+        assert_eq!(c.var_names[2], "a");
+        assert_eq!(c.var_names[3], "x");
+        assert_eq!(c.var_names[4], "g");
+        assert_eq!(c.n_vars, 5);
+        assert_eq!(c.input_slots, vec![2]);
+        assert_eq!(c.output_slots, vec![3]);
+        assert_eq!(c.const_slots.len(), 2);
+    }
+
+    #[test]
+    fn undeclared_names_get_slots_too() {
+        let p = parse_program("task T out x begin x := mystery end").unwrap();
+        let c = compile(&p);
+        assert!(c.var_names.iter().any(|n| n == "mystery"));
+    }
+
+    #[test]
+    fn unknown_function_compiles_to_fail() {
+        let p = parse_program("task T out x begin x := wat(1) end").unwrap();
+        let c = compile(&p);
+        assert!(c.ops.iter().any(|o| matches!(o, Op::Fail(_))));
+        assert_eq!(c.fails, vec![RunError::UnknownFunction("wat".into())]);
+    }
+
+    #[test]
+    fn bad_arity_compiles_to_fail() {
+        let p = parse_program("task T out x begin x := sqrt(1, 2) end").unwrap();
+        let c = compile(&p);
+        assert!(matches!(c.fails[0], RunError::BadArity { .. }));
+    }
+
+    #[test]
+    fn call_is_preresolved() {
+        let p = parse_program("task T in a out x begin x := sqrt(a) end").unwrap();
+        let c = compile(&p);
+        let call = c
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call { builtin, .. } => Some(*builtin as usize),
+                _ => None,
+            })
+            .expect("a Call op");
+        assert_eq!(crate::builtins::BUILTINS[call].name, "sqrt");
+    }
+
+    #[test]
+    fn simple_operands_fuse_into_one_op() {
+        // `x := a + 1` needs no LoadVar/Const: the statement tick plus
+        // one fused BinNum reading the variable slot and the literal
+        // pool directly.
+        let p = parse_program("task T in a out x begin x := a + 1 end").unwrap();
+        let c = compile(&p);
+        assert_eq!(c.ops.len(), 2, "{:?}", c.ops);
+        assert!(matches!(c.ops[0], Op::Tick(1)));
+        assert!(matches!(c.ops[1], Op::BinNum { .. }));
+    }
+
+    #[test]
+    fn literal_pool_is_deduplicated() {
+        let p = parse_program("task T out x begin x := 2 + 2 x := 2 * 2 end").unwrap();
+        let c = compile(&p);
+        assert_eq!(
+            c.lit_slots.iter().filter(|(_, v)| *v == 2.0).count(),
+            1,
+            "{:?}",
+            c.lit_slots
+        );
+        // Pool slots sit between named variables and scratch.
+        for &(slot, _) in &c.lit_slots {
+            assert!((slot as usize) >= c.n_vars);
+            assert!((slot as usize) < c.frame_size);
+        }
+    }
+
+    #[test]
+    fn registers_fit_frame() {
+        let p = parse_program(
+            "task T in a out x begin \
+             x := ((a + 1) * (a + 2) + (a + 3) * (a + 4)) / (a + max(a, 2 * a)) end",
+        )
+        .unwrap();
+        let c = compile(&p);
+        for op in &c.ops {
+            for r in regs_of(op) {
+                assert!(
+                    (r as usize) < c.frame_size,
+                    "register {r} out of frame {} in {op:?}",
+                    c.frame_size
+                );
+            }
+        }
+    }
+
+    fn regs_of(op: &Op) -> Vec<Reg> {
+        match *op {
+            Op::Const { dst, .. } => vec![dst],
+            Op::Copy { dst, src } => vec![dst, src],
+            Op::LoadVar { dst, slot } => vec![dst, slot],
+            Op::IndexGet { dst, slot, idx } => vec![dst, slot, idx],
+            Op::IndexSet { slot, idx, val } => vec![slot, idx, val],
+            Op::BinNum { dst, lhs, rhs, .. } => vec![dst, lhs, rhs],
+            Op::Neg { dst, src } | Op::Not { dst, src } => vec![dst, src],
+            Op::Call {
+                dst, first, argc, ..
+            } => {
+                let mut v = vec![dst];
+                for k in 0..argc as u32 {
+                    v.push(first + k);
+                }
+                v
+            }
+            Op::JumpIfFalse { cond, .. } => vec![cond],
+            Op::ShortCircuit { src, dst, .. } => vec![src, dst],
+            Op::BoolCast { src, dst, .. } => vec![src, dst],
+            Op::CheckNum { src, .. } | Op::CheckNumRound { src, .. } => vec![src],
+            Op::ForTest { i, end, .. } => vec![i, end],
+            Op::ForInc { i } => vec![i],
+            Op::Print { src } => vec![src],
+            Op::Tick(_) | Op::Jump(_) | Op::Fail(_) => vec![],
+        }
+    }
+}

@@ -19,12 +19,19 @@ pub struct InterpConfig {
     /// Maximum primitive steps before aborting with
     /// [`RunError::StepLimit`]. One step ≈ one statement or operator.
     pub max_steps: u64,
+    /// Force the tree-walking reference interpreter instead of the
+    /// compiled VM ([`crate::vm`]). Both engines produce identical
+    /// [`Outcome`]s; the tree-walker is kept as the executable
+    /// specification (and for debugging the VM itself). Selected by
+    /// `banger trial --reference`.
+    pub reference: bool,
 }
 
 impl Default for InterpConfig {
     fn default() -> Self {
         InterpConfig {
             max_steps: 10_000_000,
+            reference: false,
         }
     }
 }
@@ -355,7 +362,15 @@ end";
     #[test]
     fn step_limit_stops_runaway_loop() {
         let p = parse_program("task T out x begin x := 0 while 1 do x := x + 1 end end").unwrap();
-        let err = run_with(&p, &BTreeMap::new(), InterpConfig { max_steps: 1000 }).unwrap_err();
+        let err = run_with(
+            &p,
+            &BTreeMap::new(),
+            InterpConfig {
+                max_steps: 1000,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert_eq!(err, RunError::StepLimit(1000));
     }
 

@@ -52,6 +52,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod cost;
 pub mod error;
 pub mod interp;
@@ -62,8 +63,10 @@ pub mod pretty;
 pub mod token;
 pub mod transform;
 pub mod value;
+pub mod vm;
 
 pub use ast::Program;
+pub use compile::{compile, CompiledProgram, Op};
 pub use error::{ParseError, Pos, RunError};
 pub use interp::{run, run_with, InterpConfig, Outcome};
 pub use library::ProgramLibrary;
@@ -71,3 +74,4 @@ pub use panel::{Button, Panel, PanelError};
 pub use parser::{parse_expr, parse_program};
 pub use transform::{parallelize_reduction, ReductionSplit, TransformError};
 pub use value::Value;
+pub use vm::{run_compiled, Vm};

@@ -1,17 +1,31 @@
 //! A named collection of PITS programs — the bridge between a design's
 //! task nodes (which carry a `program` name) and the executable routines
 //! behind them.
+//!
+//! Every program is compiled to bytecode ([`crate::compile`]) exactly
+//! once, when it enters the library; the `Arc<CompiledProgram>` handed
+//! out by [`ProgramLibrary::get_compiled`] is shared by the exec
+//! runner's worker threads, trial runs, and benchmarks, so no caller
+//! ever recompiles (or re-walks the AST of) a task body per invocation.
 
 use crate::ast::Program;
+use crate::compile::{compile, CompiledProgram};
 use crate::cost;
 use crate::error::ParseError;
 use crate::parser::parse_program;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A library of PITS programs keyed by name.
 #[derive(Debug, Clone, Default)]
 pub struct ProgramLibrary {
-    programs: BTreeMap<String, Program>,
+    programs: BTreeMap<String, Entry>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    source: Program,
+    compiled: Arc<CompiledProgram>,
 }
 
 impl ProgramLibrary {
@@ -22,24 +36,37 @@ impl ProgramLibrary {
 
     /// Parses `src` and registers the program under its own task name.
     /// Returns the name. Re-registering a name replaces the old program
-    /// (the panel's "edit task" flow).
+    /// (the panel's "edit task" flow) and its compiled form.
     pub fn add_source(&mut self, src: &str) -> Result<String, ParseError> {
         let prog = parse_program(src)?;
-        let name = prog.name.clone();
-        self.programs.insert(name.clone(), prog);
-        Ok(name)
+        Ok(self.add(prog))
     }
 
-    /// Registers an already-parsed program.
+    /// Registers an already-parsed program, compiling it eagerly
+    /// (compilation never fails — unresolvable names become runtime
+    /// errors at the same execution points the tree-walker raises them).
     pub fn add(&mut self, prog: Program) -> String {
         let name = prog.name.clone();
-        self.programs.insert(name.clone(), prog);
+        let compiled = Arc::new(compile(&prog));
+        self.programs.insert(
+            name.clone(),
+            Entry {
+                source: prog,
+                compiled,
+            },
+        );
         name
     }
 
     /// Looks a program up by name.
     pub fn get(&self, name: &str) -> Option<&Program> {
-        self.programs.get(name)
+        self.programs.get(name).map(|e| &e.source)
+    }
+
+    /// The compile-once bytecode form of a named program. Cloning the
+    /// `Arc` is how worker threads share it without re-compilation.
+    pub fn get_compiled(&self, name: &str) -> Option<Arc<CompiledProgram>> {
+        self.programs.get(name).map(|e| Arc::clone(&e.compiled))
     }
 
     /// Number of programs.
@@ -54,7 +81,7 @@ impl ProgramLibrary {
 
     /// Iterates over `(name, program)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Program)> {
-        self.programs.iter()
+        self.programs.iter().map(|(n, e)| (n, &e.source))
     }
 
     /// Static weight estimate for a named program (see [`crate::cost`]).
@@ -109,5 +136,36 @@ mod tests {
         lib.add_source("task A out x begin x := 1 end").unwrap();
         let names: Vec<&String> = lib.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn compiled_form_is_cached_and_replaced() {
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task T in a out b begin b := a end")
+            .unwrap();
+        let c1 = lib.get_compiled("T").unwrap();
+        let c1_again = lib.get_compiled("T").unwrap();
+        assert!(Arc::ptr_eq(&c1, &c1_again), "same Arc on repeated lookup");
+        lib.add_source("task T in a out b begin b := a * 3 end")
+            .unwrap();
+        let c2 = lib.get_compiled("T").unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c2), "re-registering recompiles");
+        assert!(lib.get_compiled("Nope").is_none());
+    }
+
+    #[test]
+    fn compiled_form_runs() {
+        use crate::value::Value;
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Double in a out b begin b := a * 2 end")
+            .unwrap();
+        let c = lib.get_compiled("Double").unwrap();
+        let out = crate::vm::run_compiled(
+            &c,
+            &[("a".to_string(), Value::Num(21.0))].into_iter().collect(),
+            crate::interp::InterpConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.outputs["b"], Value::Num(42.0));
     }
 }

@@ -1,0 +1,611 @@
+//! Register VM for compiled PITS programs.
+//!
+//! Executes the flat op stream produced by [`crate::compile`] over a
+//! reusable `Vec<Value>` frame. Variable references are plain vector
+//! indexing (the compiler resolved every name to a dense slot), builtin
+//! calls are direct function-pointer invocations, and the frame, its
+//! init mask, and the print log live inside a [`Vm`] that worker threads
+//! keep across task executions — so the steady-state hot loop performs
+//! no allocation beyond what the program's own values require.
+//!
+//! The observable contract is *identical* to the tree-walker
+//! ([`crate::interp`]): same `Outcome` (outputs, prints, and — crucially
+//! for the scheduler, which consumes `ops` as a measured task weight —
+//! the same op count), same errors, and `StepLimit` at the same budget.
+//! `tests/prop_vm.rs` enforces this differentially over generated
+//! programs.
+
+use crate::ast::BinOp;
+use crate::builtins;
+use crate::compile::{compile, ctx, CompiledProgram, Op};
+use crate::error::RunError;
+use crate::interp::{InterpConfig, Outcome};
+use crate::value::{to_index, Value};
+use std::collections::BTreeMap;
+
+/// A reusable execution frame. Cheap to create; cheaper to keep.
+#[derive(Debug, Default)]
+pub struct Vm {
+    regs: Vec<Value>,
+    init: Vec<bool>,
+}
+
+impl Vm {
+    /// A VM with an empty frame (grown on first run).
+    pub fn new() -> Self {
+        Vm::default()
+    }
+
+    /// Runs a compiled program. The frame is recycled between calls.
+    pub fn run(
+        &mut self,
+        prog: &CompiledProgram,
+        inputs: &BTreeMap<String, Value>,
+        config: InterpConfig,
+    ) -> Result<Outcome, RunError> {
+        // Reset the frame. `clear` + `resize` keeps the allocation.
+        self.regs.clear();
+        self.regs.resize(prog.frame_size, Value::Num(0.0));
+        self.init.clear();
+        self.init.resize(prog.frame_size, false);
+
+        for &(slot, v) in &prog.const_slots {
+            self.regs[slot as usize] = Value::Num(v);
+            self.init[slot as usize] = true;
+        }
+        // The literal pool: read-only slots ops reference directly.
+        for &(slot, v) in &prog.lit_slots {
+            self.regs[slot as usize] = Value::Num(v);
+            self.init[slot as usize] = true;
+        }
+        for &slot in &prog.input_slots {
+            let name = &prog.var_names[slot as usize];
+            let v = inputs
+                .get(name)
+                .ok_or_else(|| RunError::MissingInput(name.clone()))?;
+            self.regs[slot as usize] = v.clone();
+            self.init[slot as usize] = true;
+        }
+
+        let mut prints = Vec::new();
+        let ops = self.dispatch(prog, config.max_steps, &mut prints)?;
+
+        let mut outputs = BTreeMap::new();
+        for &slot in &prog.output_slots {
+            let name = &prog.var_names[slot as usize];
+            if !self.init[slot as usize] {
+                return Err(RunError::Undefined(name.clone()));
+            }
+            outputs.insert(name.clone(), self.regs[slot as usize].clone());
+        }
+        Ok(Outcome {
+            outputs,
+            prints,
+            ops,
+        })
+    }
+
+    /// The dispatch loop. Returns the op count (the measured weight).
+    fn dispatch(
+        &mut self,
+        prog: &CompiledProgram,
+        max_steps: u64,
+        prints: &mut Vec<String>,
+    ) -> Result<u64, RunError> {
+        let code = &prog.ops[..];
+        let mut pc = 0usize;
+        let mut ops: u64 = 0;
+
+        macro_rules! tick {
+            ($n:expr) => {{
+                ops += $n;
+                if ops > max_steps {
+                    return Err(RunError::StepLimit(max_steps));
+                }
+            }};
+        }
+        macro_rules! put {
+            ($dst:expr, $v:expr) => {{
+                let d = $dst as usize;
+                self.regs[d] = $v;
+                self.init[d] = true;
+            }};
+        }
+        // Reads a scalar the compiler guarantees is one (loop counters
+        // and bounds after `CheckNumRound`).
+        macro_rules! own_num {
+            ($r:expr) => {
+                match self.regs[$r as usize] {
+                    Value::Num(v) => v,
+                    Value::Array(_) => unreachable!("VM-owned register holds an array"),
+                }
+            };
+        }
+        // The tree-walker's variable read: `Undefined` on a never-
+        // assigned name. Scratch and literal-pool registers are always
+        // initialised, so for them this is a predictable no-op branch —
+        // which is what lets the compiler pass named slots directly as
+        // operands.
+        macro_rules! check_init {
+            ($r:expr) => {{
+                let r = $r as usize;
+                if !self.init[r] {
+                    return Err(RunError::Undefined(
+                        prog.var_names.get(r).cloned().unwrap_or_default(),
+                    ));
+                }
+            }};
+        }
+
+        while pc < code.len() {
+            match code[pc] {
+                Op::Tick(n) => tick!(n),
+                Op::Const { dst, val } => put!(dst, Value::Num(val)),
+                Op::Copy { dst, src } => {
+                    let v = self.regs[src as usize].clone();
+                    put!(dst, v);
+                }
+                Op::LoadVar { dst, slot } => {
+                    if !self.init[slot as usize] {
+                        return Err(RunError::Undefined(prog.var_names[slot as usize].clone()));
+                    }
+                    let v = self.regs[slot as usize].clone();
+                    put!(dst, v);
+                }
+                Op::IndexGet { dst, slot, idx } => {
+                    check_init!(idx);
+                    let raw = self.regs[idx as usize].as_num(ctx::ARRAY_INDEX)?;
+                    let name = &prog.var_names[slot as usize];
+                    if !self.init[slot as usize] {
+                        return Err(RunError::Undefined(name.clone()));
+                    }
+                    let v = match &self.regs[slot as usize] {
+                        Value::Array(a) => a[to_index(raw, name, a.len())?],
+                        Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
+                    };
+                    tick!(1);
+                    put!(dst, Value::Num(v));
+                }
+                Op::IndexSet { slot, idx, val } => {
+                    check_init!(idx);
+                    let raw = self.regs[idx as usize].as_num(ctx::ARRAY_INDEX)?;
+                    check_init!(val);
+                    let v = self.regs[val as usize].as_num(ctx::ARRAY_ELEMENT)?;
+                    let name = &prog.var_names[slot as usize];
+                    if !self.init[slot as usize] {
+                        return Err(RunError::Undefined(name.clone()));
+                    }
+                    match &mut self.regs[slot as usize] {
+                        Value::Array(a) => {
+                            let i = to_index(raw, name, a.len())?;
+                            a[i] = v;
+                        }
+                        Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
+                    }
+                }
+                Op::BinNum { op, dst, lhs, rhs } => {
+                    check_init!(lhs);
+                    let l = self.regs[lhs as usize].as_num(ctx::LEFT_OPERAND)?;
+                    check_init!(rhs);
+                    let r = self.regs[rhs as usize].as_num(ctx::RIGHT_OPERAND)?;
+                    tick!(1);
+                    let v = match op {
+                        BinOp::Add => l + r,
+                        BinOp::Sub => l - r,
+                        BinOp::Mul => l * r,
+                        BinOp::Div => l / r, // IEEE semantics, like the tree-walker
+                        BinOp::Mod => l.rem_euclid(r),
+                        BinOp::Pow => l.powf(r),
+                        BinOp::Eq => bool_num(l == r),
+                        BinOp::Ne => bool_num(l != r),
+                        BinOp::Lt => bool_num(l < r),
+                        BinOp::Le => bool_num(l <= r),
+                        BinOp::Gt => bool_num(l > r),
+                        BinOp::Ge => bool_num(l >= r),
+                        BinOp::And | BinOp::Or => unreachable!("compiled to ShortCircuit"),
+                    };
+                    put!(dst, Value::Num(v));
+                }
+                Op::Neg { dst, src } => {
+                    check_init!(src);
+                    tick!(1);
+                    let v = self.regs[src as usize].as_num(ctx::NEG_OPERAND)?;
+                    put!(dst, Value::Num(-v));
+                }
+                Op::Not { dst, src } => {
+                    check_init!(src);
+                    tick!(1);
+                    let b = self.regs[src as usize].truthy(ctx::NOT_OPERAND)?;
+                    put!(dst, Value::Num(bool_num(!b)));
+                }
+                Op::Call {
+                    builtin,
+                    dst,
+                    first,
+                    argc,
+                } => {
+                    let b = &builtins::BUILTINS[builtin as usize];
+                    tick!(b.cost);
+                    let args = if argc == 0 {
+                        &[][..]
+                    } else {
+                        &self.regs[first as usize..first as usize + argc as usize]
+                    };
+                    let v = (b.func)(args)?;
+                    put!(dst, v);
+                }
+                Op::Jump(target) => {
+                    pc = target as usize;
+                    continue;
+                }
+                Op::JumpIfFalse { cond, target, what } => {
+                    check_init!(cond);
+                    if !self.regs[cond as usize].truthy(what)? {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::ShortCircuit {
+                    src,
+                    dst,
+                    target,
+                    is_and,
+                } => {
+                    let what = if is_and {
+                        ctx::AND_OPERAND
+                    } else {
+                        ctx::OR_OPERAND
+                    };
+                    check_init!(src);
+                    let l = self.regs[src as usize].truthy(what)?;
+                    tick!(1);
+                    if l != is_and {
+                        // `and` with false lhs, or `or` with true lhs:
+                        // the result is decided.
+                        put!(dst, Value::Num(bool_num(l)));
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::BoolCast { src, dst, is_and } => {
+                    let what = if is_and {
+                        ctx::AND_OPERAND
+                    } else {
+                        ctx::OR_OPERAND
+                    };
+                    check_init!(src);
+                    let r = self.regs[src as usize].truthy(what)?;
+                    put!(dst, Value::Num(bool_num(r)));
+                }
+                Op::CheckNum { src, what } => {
+                    check_init!(src);
+                    self.regs[src as usize].as_num(what)?;
+                }
+                Op::CheckNumRound { src, what } => {
+                    let v = self.regs[src as usize].as_num(what)?;
+                    self.regs[src as usize] = Value::Num(v.round());
+                }
+                Op::ForTest { i, end, target } => {
+                    if own_num!(i) > own_num!(end) {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::ForInc { i } => {
+                    let v = own_num!(i);
+                    self.regs[i as usize] = Value::Num(v + 1.0);
+                }
+                Op::Print { src } => {
+                    check_init!(src);
+                    prints.push(self.regs[src as usize].to_string());
+                }
+                Op::Fail(i) => return Err(prog.fails[i as usize].clone()),
+            }
+            pc += 1;
+        }
+        Ok(ops)
+    }
+}
+
+fn bool_num(b: bool) -> f64 {
+    if b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// One-shot convenience: runs an already-compiled program on a fresh
+/// frame. Prefer keeping a [`Vm`] when running many tasks.
+pub fn run_compiled(
+    prog: &CompiledProgram,
+    inputs: &BTreeMap<String, Value>,
+    config: InterpConfig,
+) -> Result<Outcome, RunError> {
+    Vm::new().run(prog, inputs, config)
+}
+
+/// One-shot convenience: compiles and runs in one go (tests, REPL).
+pub fn compile_and_run(
+    prog: &crate::ast::Program,
+    inputs: &BTreeMap<String, Value>,
+    config: InterpConfig,
+) -> Result<Outcome, RunError> {
+    run_compiled(&compile(prog), inputs, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::parser::parse_program;
+
+    fn inputs(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// Asserts VM and tree-walker agree exactly on a program + inputs,
+    /// at the default budget and at a few tiny ones (StepLimit parity).
+    fn assert_parity(src: &str, ins: &BTreeMap<String, Value>) {
+        let p = parse_program(src).unwrap();
+        let c = compile(&p);
+        let mut vm = Vm::new();
+        for max_steps in [3, 17, 64, 1_000, InterpConfig::default().max_steps] {
+            let cfg = InterpConfig {
+                max_steps,
+                ..Default::default()
+            };
+            let want = interp::run_with(&p, ins, cfg);
+            let got = vm.run(&c, ins, cfg);
+            assert_eq!(got, want, "divergence at max_steps={max_steps} for:\n{src}");
+        }
+    }
+
+    const SQRT_SRC: &str = "\
+task SquareRoot
+  in a
+  out x
+  local g, prev
+begin
+  g := a / 2
+  prev := 0
+  while abs(g - prev) > 1e-12 do
+    prev := g
+    g := (g + a / g) / 2
+  end
+  x := g
+end";
+
+    #[test]
+    fn figure4_sqrt_matches_interp() {
+        for a in [2.0, 9.0, 100.0, 12345.678] {
+            assert_parity(SQRT_SRC, &inputs(&[("a", Value::Num(a))]));
+        }
+    }
+
+    #[test]
+    fn sqrt_value_is_right() {
+        let p = parse_program(SQRT_SRC).unwrap();
+        let c = compile(&p);
+        let out = run_compiled(
+            &c,
+            &inputs(&[("a", Value::Num(2.0))]),
+            InterpConfig::default(),
+        )
+        .unwrap();
+        let x = out.outputs["x"].as_num("x").unwrap();
+        assert!((x - 2.0_f64.sqrt()).abs() < 1e-9);
+        assert!(out.ops > 0);
+    }
+
+    #[test]
+    fn missing_input_matches() {
+        assert_parity(SQRT_SRC, &BTreeMap::new());
+    }
+
+    #[test]
+    fn unassigned_output_matches() {
+        assert_parity(
+            "task T in a out x begin a := a end",
+            &inputs(&[("a", Value::Num(1.0))]),
+        );
+    }
+
+    #[test]
+    fn runaway_loop_hits_step_limit() {
+        let p = parse_program("task T out x begin x := 0 while 1 do x := x + 1 end end").unwrap();
+        let c = compile(&p);
+        let cfg = InterpConfig {
+            max_steps: 1000,
+            ..Default::default()
+        };
+        assert_eq!(
+            run_compiled(&c, &BTreeMap::new(), cfg),
+            Err(RunError::StepLimit(1000))
+        );
+    }
+
+    #[test]
+    fn if_else_for_while_parity() {
+        for src in [
+            "task T in a out s begin if a >= 0 then s := 1 else s := -1 end end",
+            "task T in n out s local i begin s := 0 for i := 1 to n do s := s + i end end",
+            "task T out s local i begin s := 0 for i := 1 to 0 do s := s + 1 end end",
+            "task T in n out s local i begin s := 0 i := 0 \
+             while i < n do i := i + 1 s := s + i * i end end",
+        ] {
+            for v in [-3.0, 0.0, 3.0, 100.0] {
+                assert_parity(src, &inputs(&[("a", Value::Num(v)), ("n", Value::Num(v))]));
+            }
+        }
+    }
+
+    #[test]
+    fn arrays_parity() {
+        let src = "task T in v out w local i, n begin \
+                   n := len(v) \
+                   w := zeros(n) \
+                   for i := 1 to n do w[i] := v[i] * 2 end \
+                   end";
+        assert_parity(src, &inputs(&[("v", Value::Array(vec![1.0, 2.0, 3.0]))]));
+        assert_parity(src, &inputs(&[("v", Value::Array(vec![]))]));
+        assert_parity(src, &inputs(&[("v", Value::Num(7.0))]));
+    }
+
+    #[test]
+    fn array_error_parity() {
+        assert_parity(
+            "task T in v out x begin x := v[5] end",
+            &inputs(&[("v", Value::Array(vec![1.0]))]),
+        );
+        assert_parity(
+            "task T in v out x begin v[1] := 0 x := 0 end",
+            &inputs(&[("v", Value::Num(3.0))]),
+        );
+    }
+
+    #[test]
+    fn prints_parity() {
+        assert_parity(
+            "task T in a begin print a print a * 2 print zeros(2) end",
+            &inputs(&[("a", Value::Num(5.0))]),
+        );
+    }
+
+    #[test]
+    fn short_circuit_parity() {
+        // RHS names an undefined variable; short-circuit must skip it.
+        assert_parity(
+            "task T in a out x begin \
+             if a = 0 and nosuch then x := 1 else x := 2 end end",
+            &inputs(&[("a", Value::Num(1.0))]),
+        );
+        assert_parity(
+            "task T in a out x begin \
+             if a = 1 or nosuch then x := 1 else x := 2 end end",
+            &inputs(&[("a", Value::Num(1.0))]),
+        );
+    }
+
+    #[test]
+    fn self_referential_logic_reads_old_value() {
+        // `x := a and x` — the destination must not be clobbered before
+        // the right-hand side reads it.
+        assert_parity(
+            "task T in a out x begin x := 1 x := a and x end",
+            &inputs(&[("a", Value::Num(1.0))]),
+        );
+        assert_parity(
+            "task T in a out x begin x := 0 x := a or x end",
+            &inputs(&[("a", Value::Num(0.0))]),
+        );
+    }
+
+    #[test]
+    fn constants_preloaded_and_overwritable() {
+        assert_parity("task T out x begin x := 2 * pi + e end", &BTreeMap::new());
+        assert_parity("task T out x begin pi := 3 x := pi end", &BTreeMap::new());
+    }
+
+    #[test]
+    fn dead_branch_unknown_function_is_harmless() {
+        assert_parity(
+            "task T in a out x begin \
+             if a > 0 then x := 1 else x := wat(1) end end",
+            &inputs(&[("a", Value::Num(1.0))]),
+        );
+        assert_parity(
+            "task T in a out x begin \
+             if a > 0 then x := 1 else x := wat(1) end end",
+            &inputs(&[("a", Value::Num(-1.0))]),
+        );
+        assert_parity(
+            "task T in a out x begin \
+             if a > 0 then x := 1 else x := sqrt(1, 2) end end",
+            &inputs(&[("a", Value::Num(-1.0))]),
+        );
+    }
+
+    #[test]
+    fn error_ordering_matches_interp() {
+        // Left operand must be rejected before the (undefined) right
+        // operand is evaluated.
+        assert_parity(
+            "task T in v out x begin x := v + nosuch end",
+            &inputs(&[("v", Value::Array(vec![1.0]))]),
+        );
+        // Unary: tick happens before the type check.
+        assert_parity(
+            "task T in v out x begin x := -v end",
+            &inputs(&[("v", Value::Array(vec![1.0]))]),
+        );
+        assert_parity(
+            "task T in v out x begin x := not v end",
+            &inputs(&[("v", Value::Array(vec![1.0]))]),
+        );
+    }
+
+    #[test]
+    fn negative_modulo_parity() {
+        assert_parity("task T out x begin x := -7 % 3 end", &BTreeMap::new());
+    }
+
+    #[test]
+    fn frame_reuse_across_programs() {
+        let mut vm = Vm::new();
+        let p1 = compile(&parse_program("task A in a out x begin x := a + 1 end").unwrap());
+        let p2 = compile(
+            &parse_program(
+                "task B in a out x local b, c, d begin \
+                 b := a c := b d := c x := d end",
+            )
+            .unwrap(),
+        );
+        for _ in 0..3 {
+            let o1 = vm
+                .run(
+                    &p1,
+                    &inputs(&[("a", Value::Num(1.0))]),
+                    InterpConfig::default(),
+                )
+                .unwrap();
+            assert_eq!(o1.outputs["x"], Value::Num(2.0));
+            let o2 = vm
+                .run(
+                    &p2,
+                    &inputs(&[("a", Value::Num(9.0))]),
+                    InterpConfig::default(),
+                )
+                .unwrap();
+            assert_eq!(o2.outputs["x"], Value::Num(9.0));
+        }
+    }
+
+    #[test]
+    fn stale_frame_does_not_leak_definitions() {
+        // Run a program that defines `g`, then one that reads `g`
+        // undefined — the recycled frame must not resurrect it.
+        let mut vm = Vm::new();
+        let def = compile(&parse_program("task A out g begin g := 5 end").unwrap());
+        vm.run(&def, &BTreeMap::new(), InterpConfig::default())
+            .unwrap();
+        let read = compile(&parse_program("task B out x begin x := g end").unwrap());
+        assert_eq!(
+            vm.run(&read, &BTreeMap::new(), InterpConfig::default()),
+            Err(RunError::Undefined("g".into()))
+        );
+    }
+
+    #[test]
+    fn ops_equal_interp_on_figure4_exactly() {
+        let p = parse_program(SQRT_SRC).unwrap();
+        let c = compile(&p);
+        let ins = inputs(&[("a", Value::Num(12345.678))]);
+        let want = interp::run(&p, &ins).unwrap();
+        let got = run_compiled(&c, &ins, InterpConfig::default()).unwrap();
+        assert_eq!(got.ops, want.ops, "scheduler weights must be identical");
+    }
+}

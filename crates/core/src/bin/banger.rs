@@ -15,6 +15,7 @@
 //! banger save-schedule <file> [-H h] [-o path]  persist a schedule
 //! banger verify <file> -s <schedule>      validate + replay a saved schedule
 //! banger run <file> [-i var=value]...     execute on host threads
+//! banger trial <file> <program> [-i ...]  trial-run one PITS program
 //! banger speedup <file> -t spec,spec,...  speedup prediction sweep
 //! banger codegen <file> rust|c [-i ...]   emit generated code to stdout
 //! banger parallelize <file> <task> <n>    split a reduction task n ways
@@ -36,11 +37,20 @@ use std::process::exit;
 
 /// Every subcommand, with a one-line summary for `banger help`.
 const COMMANDS: &[(&str, &str)] = &[
-    ("check", "static analysis: races, interface mismatches, hygiene (B0xx codes)"),
+    (
+        "check",
+        "static analysis: races, interface mismatches, hygiene (B0xx codes)",
+    ),
     ("show", "design statistics + DOT rendering"),
     ("gantt", "schedule + ASCII Gantt chart"),
-    ("compare", "run every scheduling heuristic, sorted by makespan"),
-    ("simulate", "message-accurate simulation: predicted vs achieved"),
+    (
+        "compare",
+        "run every scheduling heuristic, sorted by makespan",
+    ),
+    (
+        "simulate",
+        "message-accurate simulation: predicted vs achieved",
+    ),
     ("animate", "frame-by-frame schedule replay"),
     ("advise", "bottleneck analysis + suggestions"),
     ("recommend", "rank standard machines for the design"),
@@ -48,9 +58,13 @@ const COMMANDS: &[(&str, &str)] = &[
     ("save-schedule", "persist a schedule to a file"),
     ("verify", "validate + replay a saved schedule"),
     ("run", "execute the design on host threads"),
+    ("trial", "trial-run one PITS program with explicit inputs"),
     ("speedup", "speedup prediction sweep over topologies"),
     ("codegen", "emit generated Rust or C code to stdout"),
-    ("parallelize", "split a reduction task n ways and rewrite the document"),
+    (
+        "parallelize",
+        "split a reduction task n ways and rewrite the document",
+    ),
     ("help", "show this list"),
 ];
 
@@ -62,13 +76,14 @@ fn main() {
         return;
     }
     if !COMMANDS.iter().any(|(name, _)| *name == command) {
-        eprintln!(
-            "banger: unknown subcommand {command:?} (run `banger help` for the list)"
-        );
+        eprintln!("banger: unknown subcommand {command:?} (run `banger help` for the list)");
         exit(2);
     }
     let Some(path) = args.get(1).map(String::as_str) else {
-        eprintln!("banger: {command} needs a <file.bang> argument\n\n{}", usage_text());
+        eprintln!(
+            "banger: {command} needs a <file.bang> argument\n\n{}",
+            usage_text()
+        );
         exit(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -94,6 +109,7 @@ fn main() {
         "save-schedule" => cmd_save_schedule(&mut project, rest),
         "verify" => cmd_verify(&mut project, rest),
         "run" => cmd_run(&mut project, rest),
+        "trial" => cmd_trial(&project, rest),
         "speedup" => cmd_speedup(&mut project, rest),
         "codegen" => cmd_codegen(&mut project, rest),
         "parallelize" => cmd_parallelize(&mut project, rest),
@@ -105,7 +121,8 @@ fn main() {
 }
 
 fn usage_text() -> String {
-    let mut out = String::from("usage: banger <subcommand> <file.bang> [options]\n\nsubcommands:\n");
+    let mut out =
+        String::from("usage: banger <subcommand> <file.bang> [options]\n\nsubcommands:\n");
     for (name, summary) in COMMANDS {
         out.push_str(&format!("  {name:<14} {summary}\n"));
     }
@@ -118,6 +135,7 @@ fn usage_text() -> String {
          \x20 -s <path>        verify: saved schedule file\n\
          \x20 -o <path>        svg/save-schedule: output location\n\
          \x20 --format <fmt>   check: text (default) or json\n\
+         \x20 --reference      trial: use the tree-walking reference interpreter\n\
          \nexit codes:\n\
          \x20 0  success (warnings allowed)\n\
          \x20 1  operational failure, or `check` found error-severity diagnostics\n\
@@ -190,7 +208,11 @@ fn cmd_check(project: &mut Project, rest: &[String]) -> Result<(), String> {
     match format.as_str() {
         "text" => println!("{}", banger::analyze::render_report(&diags)),
         "json" => println!("{}", banger::analyze::render_json(&diags)),
-        other => return Err(format!("unknown check format {other:?} (want text or json)")),
+        other => {
+            return Err(format!(
+                "unknown check format {other:?} (want text or json)"
+            ))
+        }
     }
     if banger::analyze::has_errors(&diags) {
         let n = diags
@@ -430,6 +452,37 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
         println!("{var} = {value}");
     }
     eprintln!("({} task runs, wall {:?})", report.runs.len(), report.wall);
+    Ok(())
+}
+
+fn cmd_trial(project: &Project, rest: &[String]) -> Result<(), String> {
+    // banger trial <file> <program> [-i var=value]... [--reference]
+    // Runs one PITS program through the compiled VM (default) or the
+    // tree-walking reference interpreter (--reference); both produce
+    // identical outcomes.
+    let program = rest
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or_else(|| "trial needs a <program> name".to_string())?;
+    let inputs = opt_inputs(rest)?;
+    let config = banger_calc::InterpConfig {
+        reference: rest.iter().any(|a| a == "--reference"),
+        ..Default::default()
+    };
+    let outcome = project
+        .trial_run_with(program, &inputs, config)
+        .map_err(|e| e.to_string())?;
+    for line in &outcome.prints {
+        println!("{line}");
+    }
+    for (var, value) in &outcome.outputs {
+        println!("{var} = {value}");
+    }
+    eprintln!(
+        "({} ops, {} engine)",
+        outcome.ops,
+        if config.reference { "reference" } else { "vm" }
+    );
     Ok(())
 }
 

@@ -208,10 +208,12 @@ pub fn figure4() -> String {
     out.push_str("program (lower window):\n");
     out.push_str(&pretty::print_program(&prog));
 
-    // Trial run.
-    let outcome = banger_calc::interp::run(
+    // Trial run, through the same compile-once bytecode path the
+    // executor uses (the tree-walker stays available via `--reference`).
+    let outcome = banger_calc::vm::compile_and_run(
         &prog,
         &[("a".to_string(), Value::Num(2.0))].into_iter().collect(),
+        banger_calc::InterpConfig::default(),
     )
     .unwrap();
     let x = outcome.outputs["x"].as_num("x").unwrap();

@@ -227,17 +227,39 @@ impl Project {
     }
 
     /// Trial-runs one named PITS program with explicit inputs (paper
-    /// Figure 4's "trial run" of a single node).
+    /// Figure 4's "trial run" of a single node). Executes the library's
+    /// compile-once bytecode form.
     pub fn trial_run(
         &self,
         program: &str,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<Outcome, ProjectError> {
-        let prog = self
-            .library
-            .get(program)
-            .ok_or_else(|| ProjectError::UnknownProgram(program.to_string()))?;
-        interp::run_with(prog, inputs, InterpConfig::default()).map_err(ProjectError::Trial)
+        self.trial_run_with(program, inputs, InterpConfig::default())
+    }
+
+    /// [`trial_run`](Self::trial_run) with explicit interpreter
+    /// configuration: step budget, and `reference: true` to use the
+    /// tree-walking reference interpreter instead of the compiled VM
+    /// (`banger trial --reference`). Both produce identical outcomes.
+    pub fn trial_run_with(
+        &self,
+        program: &str,
+        inputs: &BTreeMap<String, Value>,
+        config: InterpConfig,
+    ) -> Result<Outcome, ProjectError> {
+        if config.reference {
+            let prog = self
+                .library
+                .get(program)
+                .ok_or_else(|| ProjectError::UnknownProgram(program.to_string()))?;
+            interp::run_with(prog, inputs, config).map_err(ProjectError::Trial)
+        } else {
+            let compiled = self
+                .library
+                .get_compiled(program)
+                .ok_or_else(|| ProjectError::UnknownProgram(program.to_string()))?;
+            banger_calc::vm::run_compiled(&compiled, inputs, config).map_err(ProjectError::Trial)
+        }
     }
 
     /// Re-weights every task node from the static cost estimate of its
@@ -581,6 +603,26 @@ mod tests {
             p.trial_run("nosuch", &BTreeMap::new()),
             Err(ProjectError::UnknownProgram(_))
         ));
+    }
+
+    #[test]
+    fn trial_run_reference_mode_matches_vm() {
+        let p = lu_project(3);
+        let (a, _) = test_system(3);
+        let inputs: BTreeMap<String, Value> =
+            [("A".to_string(), Value::Array(a))].into_iter().collect();
+        let vm = p.trial_run("fan1", &inputs).unwrap();
+        let tree = p
+            .trial_run_with(
+                "fan1",
+                &inputs,
+                InterpConfig {
+                    reference: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(vm, tree, "engines must agree outcome-for-outcome");
     }
 
     #[test]

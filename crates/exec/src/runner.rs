@@ -1,5 +1,6 @@
 //! The threaded executor.
 
+use banger_calc::vm::Vm;
 use banger_calc::{interp, InterpConfig, Program, ProgramLibrary, RunError, Value};
 use banger_sched::Schedule;
 use banger_taskgraph::hierarchy::Flattened;
@@ -332,21 +333,31 @@ struct Ctx<'a> {
     epoch: Instant,
 }
 
-/// One worker executing one task copy; shared by both modes.
+/// One worker executing one task copy; shared by both modes. `vm` is the
+/// worker's own frame, reused across every task copy it executes —
+/// compiled programs come pre-built from the library, so the steady
+/// state does no compilation and no frame allocation.
 fn run_one(
     ctx: &Ctx<'_>,
     worker: usize,
     t: TaskId,
+    vm: &mut Vm,
 ) -> Result<(TaskRun, Vec<(TaskId, String)>), ExecError> {
     let (g, lib, store) = (ctx.g, ctx.lib, ctx.store);
     let prog = program_of(g, lib, t)?;
     let inputs = gather_inputs(g, t, prog, store, ctx.external)?;
     let start = ctx.epoch.elapsed();
-    let outcome =
-        interp::run_with(prog, &inputs, ctx.options.interp).map_err(|error| ExecError::Run {
-            task: g.task(t).name.clone(),
-            error,
-        })?;
+    let outcome = if ctx.options.interp.reference {
+        interp::run_with(prog, &inputs, ctx.options.interp)
+    } else {
+        let name = g.task(t).program.as_deref().expect("pre-flight checked");
+        let compiled = lib.get_compiled(name).expect("pre-flight checked");
+        vm.run(&compiled, &inputs, ctx.options.interp)
+    }
+    .map_err(|error| ExecError::Run {
+        task: g.task(t).name.clone(),
+        error,
+    })?;
     let finish = ctx.epoch.elapsed();
     let prints = outcome
         .prints
@@ -391,11 +402,12 @@ fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
             let task_rx = task_rx.clone();
             let done_tx = done_tx.clone();
             scope.spawn(move || {
+                let mut vm = Vm::new();
                 while let Ok(t) = task_rx.recv() {
                     if ctx.store.poisoned.load(Ordering::SeqCst) {
                         break;
                     }
-                    let r = run_one(ctx, w, t);
+                    let r = run_one(ctx, w, t, &mut vm);
                     if done_tx.send(r).is_err() {
                         break;
                     }
@@ -476,13 +488,14 @@ fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
             let results = &results;
             let first_error = &first_error;
             scope.spawn(move || {
+                let mut vm = Vm::new();
                 for &(_, t) in queue {
                     // Wait for every predecessor to publish.
                     let preds: Vec<TaskId> = g.predecessors(t).collect();
                     if !ctx.store.wait_for(&preds) {
                         return; // poisoned
                     }
-                    match run_one(ctx, w, t) {
+                    match run_one(ctx, w, t, &mut vm) {
                         Ok((run, p)) => {
                             let mut lock = results.lock();
                             lock.0.push(run);
@@ -773,7 +786,10 @@ mod tests {
             &lib,
             &BTreeMap::new(),
             &ExecOptions {
-                interp: InterpConfig { max_steps: 5_000 },
+                interp: InterpConfig {
+                    max_steps: 5_000,
+                    ..Default::default()
+                },
                 ..ExecOptions::default()
             },
         )
@@ -803,6 +819,33 @@ mod tests {
         let w = r.measured_weights(f.graph.task_count());
         assert_eq!(w.len(), f.graph.task_count());
         assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn reference_interpreter_matches_vm_engine() {
+        let (f, lib) = fan(6);
+        let run = |reference: bool| {
+            execute(
+                &f,
+                &lib,
+                &ext(&[("a", Value::Num(3.0))]),
+                &ExecOptions {
+                    interp: InterpConfig {
+                        reference,
+                        ..Default::default()
+                    },
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let vm = run(false);
+        let tree = run(true);
+        assert_eq!(vm.outputs, tree.outputs);
+        assert_eq!(vm.prints, tree.prints);
+        // Measured weights (the scheduler's input) must be engine-independent.
+        let n = f.graph.task_count();
+        assert_eq!(vm.measured_weights(n), tree.measured_weights(n));
     }
 
     #[test]

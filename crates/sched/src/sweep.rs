@@ -39,10 +39,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers = planned_workers(items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -77,6 +74,18 @@ where
     out.into_iter()
         .map(|r| r.expect("worker claimed every index"))
         .collect()
+}
+
+/// The worker-thread count [`parallel_map`] will use for a sweep of
+/// `items` items: `available_parallelism` capped by the item count,
+/// where `<= 1` means the sweep runs as a plain sequential loop.
+/// Benchmarks use this to report the parallelism they actually measured
+/// instead of assuming the machine's core count was engaged.
+pub fn planned_workers(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
 }
 
 /// Schedules `g` on every machine in `machines` with the named heuristic,

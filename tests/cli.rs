@@ -110,6 +110,68 @@ fn run_executes_with_inputs() {
 }
 
 #[test]
+fn trial_runs_single_program_on_both_engines() {
+    let vm = run_ok(&[
+        "trial",
+        project_path(),
+        "Init",
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+    ]);
+    assert!(vm.contains("rod0 = [100,"), "{vm}");
+    let tree = run_ok(&[
+        "trial",
+        project_path(),
+        "Init",
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+        "--reference",
+    ]);
+    // Identical stdout (outputs and prints) from both engines; the op
+    // count on stderr must match too.
+    assert_eq!(vm, tree);
+    let ops_of = |reference: bool| {
+        let mut args = vec![
+            "trial",
+            project_path(),
+            "Init",
+            "-i",
+            "left=100",
+            "-i",
+            "right=0",
+        ];
+        if reference {
+            args.push("--reference");
+        }
+        let out = banger().args(&args).output().unwrap();
+        assert!(out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr).into_owned();
+        err.split_once(" ops")
+            .unwrap()
+            .0
+            .rsplit('(')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(ops_of(false), ops_of(true));
+
+    // Unknown program fails cleanly; missing program name is a usage error.
+    let bad = banger()
+        .args(["trial", project_path(), "NoSuch"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("no program named"));
+    let none = banger().args(["trial", project_path()]).output().unwrap();
+    assert!(!none.status.success());
+}
+
+#[test]
 fn advise_reports_bottlenecks() {
     let out = run_ok(&["advise", project_path()]);
     assert!(out.contains("binding chain"), "{out}");
@@ -299,6 +361,7 @@ fn help_lists_every_subcommand_and_exit_codes() {
         "save-schedule",
         "verify",
         "run",
+        "trial",
         "speedup",
         "codegen",
         "parallelize",
@@ -455,8 +518,7 @@ fn parse_value_at(c: &[char], i: &mut usize) -> Result<Json, String> {
                             Some('t') => s.push('\t'),
                             Some('u') => {
                                 let hex: String = c[*i + 1..*i + 5].iter().collect();
-                                let n = u32::from_str_radix(&hex, 16)
-                                    .map_err(|e| e.to_string())?;
+                                let n = u32::from_str_radix(&hex, 16).map_err(|e| e.to_string())?;
                                 s.push(char::from_u32(n).ok_or("bad codepoint")?);
                                 *i += 4;
                             }
@@ -529,7 +591,10 @@ fn check_json_round_trips_without_serde() {
         panic!("B001 carries nodes: {b001:?}");
     };
     let names: Vec<&str> = nodes.iter().filter_map(Json::as_str).collect();
-    assert!(names.contains(&"sensor_a") && names.contains(&"sensor_b"), "{names:?}");
+    assert!(
+        names.contains(&"sensor_a") && names.contains(&"sensor_b"),
+        "{names:?}"
+    );
 
     // A clean design yields an empty array, also valid JSON.
     let clean = run_ok(&["check", project_path(), "--format", "json"]);
