@@ -1,0 +1,53 @@
+//! Criterion `exec` group: executor data movement — old-style deep-copy
+//! gather baseline vs the zero-copy dense-routed executor, plus the
+//! multi-worker greedy path on the LU design. Mirrors `bench_exec`
+//! (which emits BENCH_exec.json) at Criterion statistics quality.
+
+use banger_bench::dataflow::{self, Workload};
+use banger_calc::InterpConfig;
+use banger_exec::{execute, ExecMode, ExecOptions};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn one_worker() -> ExecOptions {
+    ExecOptions {
+        mode: ExecMode::Greedy { workers: 1 },
+        ..ExecOptions::default()
+    }
+}
+
+fn bench_pair(c: &mut Criterion, w: &Workload, label: &str) {
+    let cfg = InterpConfig::default();
+    let opts = one_worker();
+    c.bench_function(format!("exec/{label}/oldstyle_deep_copy"), |b| {
+        b.iter(|| black_box(dataflow::run_oldstyle(black_box(w), cfg)))
+    });
+    c.bench_function(format!("exec/{label}/zero_copy"), |b| {
+        b.iter(|| black_box(execute(&w.design, &w.lib, &w.external, &opts).unwrap()))
+    });
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let w = dataflow::fanout(16_384, 16);
+    bench_pair(c, &w, "fanout_16k_x16");
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let w = dataflow::pipeline(16_384, 16);
+    bench_pair(c, &w, "pipeline_16k_x16");
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let w = dataflow::lu(7);
+    bench_pair(c, &w, "lu_n7");
+    // The parallel path on the same design, for scaling context.
+    let opts = ExecOptions {
+        mode: ExecMode::Greedy { workers: 4 },
+        ..ExecOptions::default()
+    };
+    c.bench_function("exec/lu_n7/zero_copy_4workers", |b| {
+        b.iter(|| black_box(execute(&w.design, &w.lib, &w.external, &opts).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_fanout, bench_pipeline, bench_lu);
+criterion_main!(benches);

@@ -47,7 +47,7 @@ fn bench_array_ops(c: &mut Criterion) {
     for n in [64usize, 512, 4096] {
         let inputs: BTreeMap<String, Value> = [(
             "v".to_string(),
-            Value::Array((0..n).map(|i| i as f64).collect()),
+            Value::array((0..n).map(|i| i as f64).collect()),
         )]
         .into_iter()
         .collect();
@@ -102,7 +102,7 @@ fn bench_vm_vs_tree_walk(c: &mut Criterion) {
     let fan1 = lib.get("fan1").unwrap().clone();
     let (a, _b) = banger::lu::test_system(9);
     let fan1_inputs: BTreeMap<String, Value> =
-        [("A".to_string(), Value::Array(a))].into_iter().collect();
+        [("A".to_string(), Value::array(a))].into_iter().collect();
 
     let mut group = c.benchmark_group("vm");
     for (name, prog, inputs) in [

@@ -45,7 +45,7 @@ fn bench_exec_pinned(c: &mut Criterion) {
     let (a, b) = test_system(5);
     let inputs = lu_inputs(&a, &b);
     let m = Machine::new(Topology::hypercube(2), figures::figure3_params());
-    let s = banger_sched::mh::mh(&design.graph, &m);
+    let s = std::sync::Arc::new(banger_sched::mh::mh(&design.graph, &m));
     c.bench_function("exec_lu5/pinned to MH schedule", |bch| {
         bch.iter(|| {
             black_box(

@@ -64,7 +64,7 @@ fn main() {
     let fan1 = lib.get("fan1").unwrap().clone();
     let (a, _b) = banger::lu::test_system(9);
     let fan1_inputs: BTreeMap<String, Value> =
-        [("A".to_string(), Value::Array(a))].into_iter().collect();
+        [("A".to_string(), Value::array(a))].into_iter().collect();
 
     let cfg = InterpConfig::default();
     let mut json = String::from("{\n");

@@ -1,0 +1,103 @@
+//! `bench_exec` — measures executor data movement and writes
+//! `BENCH_exec.json`: the pre-zero-copy gather/publish baseline (string
+//! matched, deep copy per consumer edge; see `banger_bench::dataflow`)
+//! versus the dense-routed Arc-backed executor, on a wide fan-out with
+//! large arrays, a deep array pipeline, and the paper's LU design end
+//! to end. Both sides run the same compiled VM single-threaded, so the
+//! ratio isolates data movement.
+//!
+//! ```text
+//! cargo run --release -p banger-bench --bin bench_exec [-- --quick]
+//! ```
+//!
+//! `--quick` shrinks the arrays and the measurement budget for CI smoke
+//! runs (a clone regression still shows; the numbers are just noisier).
+
+use banger_bench::dataflow;
+use banger_calc::InterpConfig;
+use banger_exec::{execute, ExecMode, ExecOptions};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean wall time of `f` in nanoseconds: one warmup call, then doubling
+/// batches until a batch takes >= `budget_ms` (or 65536 iterations).
+fn mean_ns<F: FnMut()>(budget_ms: u128, mut f: F) -> f64 {
+    f();
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= budget_ms || iters >= 65_536 {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (budget_ms, arr, fan_readers, pipe_stages, lu_n) = if quick {
+        (20, 4_096, 8, 8, 5)
+    } else {
+        (200, 65_536, 16, 24, 9)
+    };
+
+    let workloads = [
+        dataflow::fanout(arr, fan_readers),
+        dataflow::pipeline(arr, pipe_stages),
+        dataflow::lu(lu_n),
+    ];
+    let labels = [
+        format!("fanout_{arr}x{fan_readers}"),
+        format!("pipeline_{arr}x{pipe_stages}"),
+        format!("lu_n{lu_n}"),
+    ];
+
+    let cfg = InterpConfig::default();
+    let one_worker = ExecOptions {
+        mode: ExecMode::Greedy { workers: 1 },
+        ..ExecOptions::default()
+    };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    for (i, (w, label)) in workloads.iter().zip(&labels).enumerate() {
+        // Correctness gate before timing: the replica and the executor
+        // must agree on the design's outputs.
+        let old_out = dataflow::run_oldstyle(w, cfg);
+        let new_out = execute(&w.design, &w.lib, &w.external, &one_worker).unwrap();
+        assert_eq!(
+            format!("{old_out:?}"),
+            format!("{:?}", new_out.outputs),
+            "{label}: old-style replica and executor must agree"
+        );
+
+        let old_ns = mean_ns(budget_ms, || {
+            black_box(dataflow::run_oldstyle(black_box(w), cfg));
+        });
+        let new_ns = mean_ns(budget_ms, || {
+            black_box(execute(&w.design, &w.lib, &w.external, &one_worker).unwrap());
+        });
+
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  \"{label}\": {{\n    \
+             \"tasks\": {},\n    \
+             \"oldstyle_gather_mean_ns\": {old_ns:.0},\n    \
+             \"zero_copy_exec_mean_ns\": {new_ns:.0},\n    \
+             \"speedup\": {:.2}\n  }}",
+            w.design.graph.task_count(),
+            old_ns / new_ns,
+        );
+    }
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    print!("{json}");
+}

@@ -1,0 +1,203 @@
+//! Dataflow data-movement workloads, shared between the `bench_exec`
+//! binary (BENCH_exec.json) and the Criterion `exec` group.
+//!
+//! Three shapes stress the executor's gather/publish path rather than
+//! its compute: a **wide fan-out** (one producer's large array consumed
+//! by many readers), a **deep pipeline** (one array handed stage to
+//! stage), and the paper's **LU design** end to end. Each comes with an
+//! [`run_oldstyle`] baseline — a faithful replica of the pre-zero-copy
+//! executor's data movement: string-matched gather into name-keyed
+//! `BTreeMap`s with a deep array copy per consumer edge, single
+//! threaded. The replica drives the *same* compiled VM, so any measured
+//! gap is data movement, not compute. (It is conservative: the old
+//! runtime also deep-copied a second time when binding VM registers;
+//! the replica charges only the gather copy.)
+
+use banger_calc::vm::Vm;
+use banger_calc::{InterpConfig, ProgramLibrary, Value};
+use banger_taskgraph::hierarchy::{Flattened, HierGraph};
+use std::collections::BTreeMap;
+
+/// A design plus its program library and external inputs — everything
+/// `execute` (or [`run_oldstyle`]) needs.
+pub struct Workload {
+    /// Short machine-readable name.
+    pub name: &'static str,
+    /// The flattened design.
+    pub design: Flattened,
+    /// Task programs.
+    pub lib: ProgramLibrary,
+    /// External input-port values.
+    pub external: BTreeMap<String, Value>,
+}
+
+/// One producer building an `len`-element array, fanned out to `readers`
+/// consumer tasks that each read a single element. The array moves over
+/// `readers` arcs; the old runtime copied it per arc, the zero-copy
+/// runtime bumps a refcount per arc.
+pub fn fanout(len: usize, readers: usize) -> Workload {
+    let mut h = HierGraph::new("fanout");
+    let src = h.add_task_with_program("make", 1.0, "Make");
+    let mut lib = ProgramLibrary::new();
+    lib.add_source(&format!(
+        "task Make out big begin big := fill({len}, 2) end"
+    ))
+    .unwrap();
+    for i in 0..readers {
+        let r = h.add_task_with_program(format!("read{i}"), 1.0, format!("Read{i}"));
+        h.add_arc(src, r, "big", len as f64).unwrap();
+        let o = h.add_storage(format!("o{i}"), 1.0);
+        h.add_flow(r, o).unwrap();
+        lib.add_source(&format!(
+            "task Read{i} in big out o{i} begin o{i} := big[{}] end",
+            i + 1
+        ))
+        .unwrap();
+    }
+    Workload {
+        name: "fanout",
+        design: h.flatten().unwrap(),
+        lib,
+        external: BTreeMap::new(),
+    }
+}
+
+/// A `stages`-deep pipeline handing one `len`-element array from stage
+/// to stage unchanged (`v1 := v0`), with a final scalar read so the
+/// array itself is pure transit. Old runtime: one deep copy per stage;
+/// zero-copy runtime: one refcount bump per stage.
+pub fn pipeline(len: usize, stages: usize) -> Workload {
+    let mut h = HierGraph::new("pipeline");
+    let mut lib = ProgramLibrary::new();
+    let src = h.add_task_with_program("stage0", 1.0, "S0");
+    lib.add_source(&format!("task S0 out v1 begin v1 := fill({len}, 1) end"))
+        .unwrap();
+    let mut prev = src;
+    for i in 1..stages {
+        let t = h.add_task_with_program(format!("stage{i}"), 1.0, format!("S{i}"));
+        h.add_arc(prev, t, format!("v{i}"), len as f64).unwrap();
+        lib.add_source(&format!(
+            "task S{i} in v{i} out v{} begin v{} := v{i} end",
+            i + 1,
+            i + 1
+        ))
+        .unwrap();
+        prev = t;
+    }
+    let last = h.add_task_with_program("tail", 1.0, "Tail");
+    h.add_arc(prev, last, format!("v{stages}"), len as f64)
+        .unwrap();
+    let o = h.add_storage("x", 1.0);
+    h.add_flow(last, o).unwrap();
+    lib.add_source(&format!(
+        "task Tail in v{stages} out x begin x := v{stages}[1] end"
+    ))
+    .unwrap();
+    Workload {
+        name: "pipeline",
+        design: h.flatten().unwrap(),
+        lib,
+        external: BTreeMap::new(),
+    }
+}
+
+/// The paper's Figure-1 LU decomposition design for an `n`-by-`n`
+/// system, programs and inputs included.
+pub fn lu(n: usize) -> Workload {
+    let (a, b) = banger::lu::test_system(n);
+    Workload {
+        name: "lu",
+        design: banger_taskgraph::generators::lu_hierarchical(n)
+            .flatten()
+            .unwrap(),
+        lib: banger::lu::lu_program_library(n),
+        external: banger::lu::lu_inputs(&a, &b),
+    }
+}
+
+/// A structurally independent deep copy — the movement cost the old
+/// runtime paid implicitly on every consumer edge.
+fn deep(v: &Value) -> Value {
+    match v {
+        Value::Num(n) => Value::Num(*n),
+        Value::Array(a) => Value::array(a.as_ref().clone()),
+    }
+}
+
+/// The pre-zero-copy executor's data movement, replicated: topological
+/// single-threaded execution, per-task string-matched gather into a
+/// name-keyed `BTreeMap` with a deep copy per consumer edge, name-keyed
+/// publish maps. Drives the same compiled VM as `execute`. Returns the
+/// design's output-port values.
+pub fn run_oldstyle(w: &Workload, cfg: InterpConfig) -> BTreeMap<String, Value> {
+    let g = &w.design.graph;
+    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
+    let mut ready: Vec<_> = g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+    let mut store: Vec<Option<BTreeMap<String, Value>>> = vec![None; g.task_count()];
+    let mut vm = Vm::new();
+    while let Some(t) = ready.pop() {
+        // Per-run name resolution, as the old runner did.
+        let name = g.task(t).program.as_deref().expect("task has program");
+        let prog = w.lib.get_compiled(name).expect("program exists");
+        let mut inputs: BTreeMap<String, Value> = BTreeMap::new();
+        'vars: for var in prog.input_names() {
+            for &e in g.in_edges(t) {
+                let edge = g.edge(e);
+                if edge.label == var {
+                    let produced = store[edge.src.index()]
+                        .as_ref()
+                        .expect("predecessor completed");
+                    inputs.insert(var.to_string(), deep(&produced[var]));
+                    continue 'vars;
+                }
+            }
+            inputs.insert(var.to_string(), deep(&w.external[var]));
+        }
+        let out = vm.run(&prog, &inputs, cfg).expect("task runs");
+        store[t.index()] = Some(out.outputs);
+        for s in g.successors(t) {
+            let d = &mut indeg[s.index()];
+            *d -= 1;
+            if *d == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    let mut outputs = BTreeMap::new();
+    for port in &w.design.outputs {
+        let vals = store[port.tasks[0].index()].as_ref().expect("completed");
+        outputs.insert(port.var.clone(), vals[&port.var].clone());
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_exec::{execute, ExecMode, ExecOptions};
+
+    /// The old-style replica and the real executor agree on every
+    /// workload — the correctness gate bench_exec relies on.
+    #[test]
+    fn oldstyle_matches_execute() {
+        for w in [fanout(64, 4), pipeline(64, 6), lu(5)] {
+            let old = run_oldstyle(&w, InterpConfig::default());
+            let new = execute(
+                &w.design,
+                &w.lib,
+                &w.external,
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers: 1 },
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                format!("{old:?}"),
+                format!("{:?}", new.outputs),
+                "{} outputs diverged",
+                w.name
+            );
+        }
+    }
+}

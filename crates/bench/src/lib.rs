@@ -7,6 +7,8 @@
 //! paper (see DESIGN.md's experiment index: F1–F4, R1–R4, ablations
 //! A1–A3).
 
+pub mod dataflow;
+
 use banger::chart::SpeedupPoint;
 use banger::figures;
 use banger_machine::{Machine, MachineParams, Topology};

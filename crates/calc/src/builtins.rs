@@ -139,7 +139,7 @@ fn b_zeros(args: &[Value]) -> Result<Value, RunError> {
             "zeros() size must be in 0..=1e9, got {n}"
         )));
     }
-    Ok(Value::Array(vec![0.0; n as usize]))
+    Ok(Value::array(vec![0.0; n as usize]))
 }
 
 fn b_fill(args: &[Value]) -> Result<Value, RunError> {
@@ -149,7 +149,7 @@ fn b_fill(args: &[Value]) -> Result<Value, RunError> {
             "fill() size must be in 0..=1e9, got {n}"
         )));
     }
-    Ok(Value::Array(vec![num_arg(args, 1, "fill")?; n as usize]))
+    Ok(Value::array(vec![num_arg(args, 1, "fill")?; n as usize]))
 }
 
 /// The builtin table (kept sorted by name for binary search).
@@ -368,7 +368,7 @@ mod tests {
 
     #[test]
     fn array_functions() {
-        let a = Value::Array(vec![1.0, 2.0, 3.0]);
+        let a = Value::array(vec![1.0, 2.0, 3.0]);
         assert_eq!(
             apply("len", std::slice::from_ref(&a)).unwrap(),
             Value::Num(3.0)
@@ -391,27 +391,27 @@ mod tests {
         );
         assert_eq!(
             apply("zeros", &[Value::Num(2.0)]).unwrap(),
-            Value::Array(vec![0.0, 0.0])
+            Value::array(vec![0.0, 0.0])
         );
         assert_eq!(
             apply("fill", &[Value::Num(2.0), Value::Num(7.0)]).unwrap(),
-            Value::Array(vec![7.0, 7.0])
+            Value::array(vec![7.0, 7.0])
         );
     }
 
     #[test]
     fn type_errors() {
-        let a = Value::Array(vec![1.0]);
+        let a = Value::array(vec![1.0]);
         assert!(apply("sqrt", std::slice::from_ref(&a)).is_err());
         assert!(apply("len", &[Value::Num(1.0)]).is_err());
-        assert!(apply("dot", &[a, Value::Array(vec![1.0, 2.0])]).is_err());
+        assert!(apply("dot", &[a, Value::array(vec![1.0, 2.0])]).is_err());
         assert!(apply("zeros", &[Value::Num(-1.0)]).is_err());
         assert!(apply("nosuch", &[]).is_err());
     }
 
     #[test]
     fn type_error_messages_name_the_argument() {
-        let a = Value::Array(vec![1.0]);
+        let a = Value::array(vec![1.0]);
         let err = apply("sqrt", std::slice::from_ref(&a)).unwrap_err();
         assert_eq!(
             err,

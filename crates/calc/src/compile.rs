@@ -598,6 +598,34 @@ impl Compiler {
 }
 
 impl CompiledProgram {
+    /// Declared input names in `input_slots` (declaration) order — the
+    /// positional contract of [`crate::vm::Vm::run_dense`].
+    pub fn input_names(&self) -> impl Iterator<Item = &str> {
+        self.input_slots
+            .iter()
+            .map(move |&s| self.var_names[s as usize].as_str())
+    }
+
+    /// Declared output names in `output_slots` (declaration) order — the
+    /// positional layout of `DenseOutcome::outputs`.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.output_slots
+            .iter()
+            .map(move |&s| self.var_names[s as usize].as_str())
+    }
+
+    /// Position of `name` within the declared outputs, if any — resolves
+    /// a `(task, var)` string pair to a dense output port index once, at
+    /// routing-table build time.
+    pub fn output_index(&self, name: &str) -> Option<usize> {
+        self.output_names().position(|n| n == name)
+    }
+
+    /// Position of `name` within the declared inputs, if any.
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.input_names().position(|n| n == name)
+    }
+
     /// Remaps the compiler's provisional registers into the dense frame:
     /// literal-pool register `LIT_BASE + k` becomes `n_vars + k`, and
     /// end-counted temp `u32::MAX - k` becomes `n_vars + n_lits + k`.

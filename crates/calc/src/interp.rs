@@ -146,7 +146,9 @@ impl State {
                 let idxv = self.eval(index)?.as_num("array index")?;
                 let val = self.eval(expr)?.as_num("array element")?;
                 let arr = match self.env.get_mut(var) {
-                    Some(Value::Array(a)) => a,
+                    // CoW write gate: copy the buffer only if it is still
+                    // shared with another binding (no tick either way).
+                    Some(Value::Array(a)) => std::sync::Arc::make_mut(a),
                     Some(Value::Num(_)) => return Err(RunError::NotAnArray(var.clone())),
                     None => return Err(RunError::Undefined(var.clone())),
                 };
@@ -414,14 +416,14 @@ end";
              end",
         )
         .unwrap();
-        let out = run(&p, &inputs(&[("v", Value::Array(vec![1.0, 2.0, 3.0]))])).unwrap();
-        assert_eq!(out.outputs["w"], Value::Array(vec![2.0, 4.0, 6.0]));
+        let out = run(&p, &inputs(&[("v", Value::array(vec![1.0, 2.0, 3.0]))])).unwrap();
+        assert_eq!(out.outputs["w"], Value::array(vec![2.0, 4.0, 6.0]));
     }
 
     #[test]
     fn array_errors() {
         let p = parse_program("task T in v out x begin x := v[5] end").unwrap();
-        let err = run(&p, &inputs(&[("v", Value::Array(vec![1.0]))])).unwrap_err();
+        let err = run(&p, &inputs(&[("v", Value::array(vec![1.0]))])).unwrap_err();
         assert!(matches!(err, RunError::IndexOutOfRange { .. }));
 
         let p2 = parse_program("task T in v out x begin v[1] := 0 x := 0 end").unwrap();

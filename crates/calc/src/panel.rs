@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn registers_accessible() {
         let mut p = Panel::new();
-        p.set_register("v", Value::Array(vec![1.0, 2.0, 3.0]));
+        p.set_register("v", Value::array(vec![1.0, 2.0, 3.0]));
         p.press_all([
             Button::Func("sum".into()),
             Button::Var("v".into()),

@@ -4,20 +4,44 @@
 //! matrices along dataflow arcs — the LU example ships whole columns this
 //! way. Indexing is 1-based, matching calculator and Fortran conventions
 //! familiar to the paper's scientific audience.
+//!
+//! ## Copy-on-write arrays
+//!
+//! `Value::Array` holds its buffer behind an [`Arc`]: cloning a value —
+//! publishing a task's outputs, fanning an array out to N consumer
+//! edges, binding a VM input register, `M := A` inside a task body — is
+//! a reference-count bump, never an O(len) copy. The buffer is copied
+//! *only* when a write (`M[i] := x`) hits a shared value, via
+//! [`Value::as_array_mut`] / `Arc::make_mut`; a value holding the sole
+//! reference mutates in place. Observable semantics are identical to a
+//! deep-copying representation: mutation through one binding is never
+//! visible through another, and — because the interpreter's op counter
+//! ticks on *operations*, never on value movement — a CoW copy does not
+//! tick, so measured task weights (`Outcome::ops`) are byte-for-byte
+//! unchanged (see DESIGN.md §10 and `tests/prop_cow.rs`).
 
 use crate::error::RunError;
 use std::fmt;
+use std::sync::Arc;
 
 /// A PITS runtime value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A scalar.
     Num(f64),
-    /// A flat numeric array (1-based indexing at the language level).
-    Array(Vec<f64>),
+    /// A flat numeric array (1-based indexing at the language level),
+    /// shared copy-on-write: `clone` bumps a refcount, writes copy only
+    /// when the buffer is aliased.
+    Array(Arc<Vec<f64>>),
 }
 
 impl Value {
+    /// Wraps a buffer as an array value (the only allocation an array
+    /// value ever needs; every subsequent clone is a refcount bump).
+    pub fn array(v: Vec<f64>) -> Self {
+        Value::Array(Arc::new(v))
+    }
+
     /// The scalar inside, or an error naming `what` for diagnostics.
     pub fn as_num(&self, what: &str) -> Result<f64, RunError> {
         match self {
@@ -31,6 +55,27 @@ impl Value {
         match self {
             Value::Array(v) => Ok(v),
             Value::Num(_) => Err(RunError::NotAnArray(what.to_string())),
+        }
+    }
+
+    /// Mutable access to the array buffer, copying it first iff it is
+    /// shared with another binding (`Arc::make_mut`). This is the single
+    /// write gate that keeps aliased values semantically independent; the
+    /// copy, when it happens, does **not** tick the op counter.
+    pub fn as_array_mut(&mut self, what: &str) -> Result<&mut Vec<f64>, RunError> {
+        match self {
+            Value::Array(v) => Ok(Arc::make_mut(v)),
+            Value::Num(_) => Err(RunError::NotAnArray(what.to_string())),
+        }
+    }
+
+    /// True when `self` and `other` are arrays sharing one buffer — a
+    /// zero-copy witness for tests and benchmarks (scalars, and arrays
+    /// that have diverged through copy-on-write, return false).
+    pub fn shares_buffer(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Array(a), Value::Array(b)) => Arc::ptr_eq(a, b),
+            _ => false,
         }
     }
 
@@ -75,7 +120,7 @@ impl From<f64> for Value {
 
 impl From<Vec<f64>> for Value {
     fn from(v: Vec<f64>) -> Self {
-        Value::Array(v)
+        Value::array(v)
     }
 }
 
@@ -109,7 +154,7 @@ mod tests {
 
     #[test]
     fn array_accessors() {
-        let v = Value::Array(vec![1.0, 2.0]);
+        let v = Value::array(vec![1.0, 2.0]);
         assert_eq!(v.as_array("v").unwrap(), &[1.0, 2.0]);
         assert!(v.as_num("v").is_err());
         assert!(v.truthy("v").is_err());
@@ -119,7 +164,44 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Value::Num(3.0).to_string(), "3");
-        assert_eq!(Value::Array(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+        assert_eq!(Value::array(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let a = Value::array(vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert!(a.shares_buffer(&b), "clone must not copy the buffer");
+        b.as_array_mut("b").unwrap()[0] = 9.0;
+        assert!(!a.shares_buffer(&b), "write must unshare");
+        assert_eq!(a.as_array("a").unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.as_array("b").unwrap(), &[9.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sole_owner_mutates_in_place() {
+        let mut a = Value::array(vec![1.0, 2.0]);
+        let before = match &a {
+            Value::Array(v) => Arc::as_ptr(v),
+            _ => unreachable!(),
+        };
+        a.as_array_mut("a").unwrap()[1] = 7.0;
+        let after = match &a {
+            Value::Array(v) => Arc::as_ptr(v),
+            _ => unreachable!(),
+        };
+        assert_eq!(before, after, "unshared write must not reallocate");
+        assert_eq!(a.as_array("a").unwrap(), &[1.0, 7.0]);
+    }
+
+    #[test]
+    fn as_array_mut_rejects_scalars() {
+        let mut v = Value::Num(1.0);
+        assert_eq!(
+            v.as_array_mut("v"),
+            Err(RunError::NotAnArray("v".to_string()))
+        );
+        assert!(!Value::Num(1.0).shares_buffer(&Value::Num(1.0)));
     }
 
     #[test]

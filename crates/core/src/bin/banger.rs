@@ -190,7 +190,7 @@ fn parse_value(text: &str) -> Result<Value, String> {
                     .map_err(|_| format!("bad array element {part:?}"))?,
             );
         }
-        Ok(Value::Array(vals))
+        Ok(Value::array(vals))
     } else {
         t.parse::<f64>()
             .map(Value::Num)

@@ -516,7 +516,7 @@ end-program
             .run(
                 &[(
                     "v".to_string(),
-                    banger_calc::Value::Array(vec![1.0, 2.0, 3.0]),
+                    banger_calc::Value::array(vec![1.0, 2.0, 3.0]),
                 )]
                 .into_iter()
                 .collect(),

@@ -219,8 +219,8 @@ pub fn test_system(n: usize) -> (Vec<f64>, Vec<f64>) {
 /// Convenience: the external-input map for executing the LU design.
 pub fn lu_inputs(a: &[f64], b: &[f64]) -> std::collections::BTreeMap<String, Value> {
     [
-        ("A".to_string(), Value::Array(a.to_vec())),
-        ("b".to_string(), Value::Array(b.to_vec())),
+        ("A".to_string(), Value::array(a.to_vec())),
+        ("b".to_string(), Value::array(b.to_vec())),
     ]
     .into_iter()
     .collect()
@@ -251,7 +251,7 @@ mod tests {
         let (a, _) = test_system(3);
         let out = interp::run(
             lib.get("fan1").unwrap(),
-            &[("A".to_string(), Value::Array(a.clone()))]
+            &[("A".to_string(), Value::array(a.clone()))]
                 .into_iter()
                 .collect(),
         )

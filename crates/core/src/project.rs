@@ -327,7 +327,7 @@ impl Project {
             &self.library,
             inputs,
             &ExecOptions {
-                mode: ExecMode::Pinned(schedule.clone()),
+                mode: ExecMode::pinned(schedule.clone()),
                 ..ExecOptions::default()
             },
         )?)
@@ -594,7 +594,7 @@ mod tests {
         let out = p
             .trial_run(
                 "fan1",
-                &[("A".to_string(), Value::Array(a))].into_iter().collect(),
+                &[("A".to_string(), Value::array(a))].into_iter().collect(),
             )
             .unwrap();
         assert!(out.outputs.contains_key("l1"));
@@ -610,7 +610,7 @@ mod tests {
         let p = lu_project(3);
         let (a, _) = test_system(3);
         let inputs: BTreeMap<String, Value> =
-            [("A".to_string(), Value::Array(a))].into_iter().collect();
+            [("A".to_string(), Value::array(a))].into_iter().collect();
         let vm = p.trial_run("fan1", &inputs).unwrap();
         let tree = p
             .trial_run_with(

@@ -81,11 +81,23 @@ where
 /// where `<= 1` means the sweep runs as a plain sequential loop.
 /// Benchmarks use this to report the parallelism they actually measured
 /// instead of assuming the machine's core count was engaged.
+///
+/// The `BANGER_SWEEP_WORKERS` environment variable overrides the
+/// detected parallelism (still capped by the item count): containers
+/// that expose a single CPU to `available_parallelism` can set it to
+/// exercise — and benchmark — the multi-worker path. Unparseable or
+/// zero values are ignored.
 pub fn planned_workers(items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items)
+    let detected = std::env::var("BANGER_SWEEP_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    detected.min(items)
 }
 
 /// Schedules `g` on every machine in `machines` with the named heuristic,
@@ -131,6 +143,28 @@ mod tests {
         let none: Vec<u32> = vec![];
         assert!(parallel_map(&none, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_override_respected_and_capped() {
+        // Sweep results are worker-count-independent (collected by input
+        // index), so mutating the env var here cannot affect other tests'
+        // answers even if they race on it — only thread counts change.
+        std::env::set_var("BANGER_SWEEP_WORKERS", "3");
+        assert_eq!(planned_workers(100), 3);
+        assert_eq!(planned_workers(2), 2, "item count still caps");
+        std::env::set_var("BANGER_SWEEP_WORKERS", "0");
+        assert!(planned_workers(100) >= 1, "zero is ignored");
+        std::env::set_var("BANGER_SWEEP_WORKERS", "nope");
+        assert!(planned_workers(100) >= 1, "garbage is ignored");
+        std::env::remove_var("BANGER_SWEEP_WORKERS");
+
+        // And the parallel path still matches sequential under override.
+        std::env::set_var("BANGER_SWEEP_WORKERS", "4");
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map(&items, |_, &x| x * 2);
+        std::env::remove_var("BANGER_SWEEP_WORKERS");
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -72,7 +72,7 @@ fn main() {
     let trial = project
         .trial_run(
             "SumSquares",
-            &[("hi".to_string(), Value::Array(vec![1.0, 2.0, 3.0]))]
+            &[("hi".to_string(), Value::array(vec![1.0, 2.0, 3.0]))]
                 .into_iter()
                 .collect(),
         )
@@ -85,7 +85,7 @@ fn main() {
     // Step 4 — run the whole design for real on host threads.
     let v: Vec<f64> = (1..=8).map(|i| i as f64).collect();
     let inputs: BTreeMap<String, Value> =
-        [("v".to_string(), Value::Array(v))].into_iter().collect();
+        [("v".to_string(), Value::array(v))].into_iter().collect();
     let report = project.run(&inputs).expect("executes");
     println!(
         "executed {} tasks in {:?}; result = {}",

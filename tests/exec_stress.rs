@@ -128,7 +128,7 @@ fn pinned_stress_matches_greedy() {
         &lib,
         &BTreeMap::new(),
         &ExecOptions {
-            mode: ExecMode::Pinned(s),
+            mode: ExecMode::pinned(s),
             ..ExecOptions::default()
         },
     )

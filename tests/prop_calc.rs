@@ -189,7 +189,7 @@ proptest! {
         .unwrap();
         let out = interp::run(
             &prog,
-            &[("v".to_string(), Value::Array(v.clone()))].into_iter().collect(),
+            &[("v".to_string(), Value::array(v.clone()))].into_iter().collect(),
         )
         .unwrap();
         let s = out.outputs["s"].as_num("s").unwrap();
