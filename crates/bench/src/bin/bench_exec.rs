@@ -83,6 +83,17 @@ fn main() {
             black_box(execute(&w.design, &w.lib, &w.external, &one_worker).unwrap());
         });
 
+        // One traced run on the worker pool: the aggregate counters go
+        // into the report so trace-level regressions (copy storms, queue
+        // backup) show up in the benchmark record, not just in timings.
+        let traced = ExecOptions {
+            mode: ExecMode::Greedy { workers: 4 },
+            trace: true,
+            ..ExecOptions::default()
+        };
+        let report = execute(&w.design, &w.lib, &w.external, &traced).unwrap();
+        let s = report.trace.as_ref().expect("traced run").summary();
+
         if i > 0 {
             json.push_str(",\n");
         }
@@ -92,9 +103,24 @@ fn main() {
              \"tasks\": {},\n    \
              \"oldstyle_gather_mean_ns\": {old_ns:.0},\n    \
              \"zero_copy_exec_mean_ns\": {new_ns:.0},\n    \
-             \"speedup\": {:.2}\n  }}",
+             \"speedup\": {:.2},\n    \
+             \"trace\": {{\n      \
+             \"workers\": {},\n      \
+             \"tasks_per_sec\": {:.0},\n      \
+             \"utilization\": {:.3},\n      \
+             \"queue_wait_ns\": {},\n      \
+             \"cow_copies\": {},\n      \
+             \"cow_bytes\": {},\n      \
+             \"input_bytes\": {}\n    }}\n  }}",
             w.design.graph.task_count(),
             old_ns / new_ns,
+            s.workers,
+            s.tasks_per_sec(),
+            s.utilization(),
+            s.queue_wait.as_nanos(),
+            s.cow_copies,
+            s.cow_bytes,
+            s.bytes_in,
         );
     }
     json.push_str("\n}\n");

@@ -148,7 +148,7 @@ impl State {
                 let arr = match self.env.get_mut(var) {
                     // CoW write gate: copy the buffer only if it is still
                     // shared with another binding (no tick either way).
-                    Some(Value::Array(a)) => std::sync::Arc::make_mut(a),
+                    Some(Value::Array(a)) => crate::value::make_mut_counted(a),
                     Some(Value::Num(_)) => return Err(RunError::NotAnArray(var.clone())),
                     None => return Err(RunError::Undefined(var.clone())),
                 };

@@ -24,6 +24,44 @@ use crate::error::RunError;
 use std::fmt;
 use std::sync::Arc;
 
+/// Thread-local copy-on-write counters.
+///
+/// Every CoW write gate (the three `Arc::make_mut` sites: interpreter
+/// `AssignIndex`, VM `IndexSet`, and [`Value::as_array_mut`]) notes a
+/// copy here when — and only when — the write actually duplicated a
+/// shared buffer. The counters are cumulative per thread; the traced
+/// executor reads deltas around each task body to attribute copies to
+/// tasks. Counting never touches `Outcome` — measured weights stay
+/// byte-identical whether anyone reads these or not.
+pub mod cow {
+    use std::cell::Cell;
+
+    thread_local! {
+        static COPIES: Cell<u64> = const { Cell::new(0) };
+        static ELEMS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Cumulative `(buffer copies, f64 elements copied)` on the calling
+    /// thread since it started.
+    pub fn counters() -> (u64, u64) {
+        (COPIES.with(Cell::get), ELEMS.with(Cell::get))
+    }
+
+    pub(crate) fn note(elems: usize) {
+        COPIES.with(|c| c.set(c.get() + 1));
+        ELEMS.with(|c| c.set(c.get() + elems as u64));
+    }
+}
+
+/// The shared write gate: clones the buffer iff it is aliased (exactly
+/// `Arc::make_mut`), recording the copy in [`cow`] when one happens.
+pub(crate) fn make_mut_counted(a: &mut Arc<Vec<f64>>) -> &mut Vec<f64> {
+    if Arc::strong_count(a) > 1 {
+        cow::note(a.len());
+    }
+    Arc::make_mut(a)
+}
+
 /// A PITS runtime value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -64,7 +102,7 @@ impl Value {
     /// copy, when it happens, does **not** tick the op counter.
     pub fn as_array_mut(&mut self, what: &str) -> Result<&mut Vec<f64>, RunError> {
         match self {
-            Value::Array(v) => Ok(Arc::make_mut(v)),
+            Value::Array(v) => Ok(make_mut_counted(v)),
             Value::Num(_) => Err(RunError::NotAnArray(what.to_string())),
         }
     }

@@ -22,7 +22,6 @@ use crate::error::RunError;
 use crate::interp::{InterpConfig, Outcome};
 use crate::value::{to_index, Value};
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// The result of a dense-port run ([`Vm::run_dense`]): outputs in
 /// `CompiledProgram::output_slots` order instead of a name-keyed map, so
@@ -235,7 +234,7 @@ impl Vm {
                             let i = to_index(raw, name, a.len())?;
                             // CoW write gate: copies the buffer only if it
                             // is still shared (no tick either way).
-                            Arc::make_mut(a)[i] = v;
+                            crate::value::make_mut_counted(a)[i] = v;
                         }
                         Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
                     }

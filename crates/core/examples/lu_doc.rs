@@ -1,0 +1,18 @@
+//! Prints the LU-3 example project in the `.bang` document format.
+//!
+//! Regenerates `examples/projects/lu3.bang`:
+//!
+//! ```text
+//! cargo run -p banger --example lu_doc > examples/projects/lu3.bang
+//! ```
+
+use banger::figures;
+use banger_machine::{Machine, MachineParams, Topology};
+
+fn main() {
+    let p = figures::lu_project(
+        3,
+        Machine::new(Topology::hypercube(2), MachineParams::default()),
+    );
+    print!("{}", banger::print_project(&p));
+}

@@ -14,7 +14,12 @@
 //! banger svg <file> [-H h] [-o dir]       write gantt/speedup/utilization SVGs
 //! banger save-schedule <file> [-H h] [-o path]  persist a schedule
 //! banger verify <file> -s <schedule>      validate + replay a saved schedule
-//! banger run <file> [-i var=value]...     execute on host threads
+//! banger run <file> [-i var=value]... [--trace out.json [-H h]]
+//!                                         execute on host threads; --trace
+//!                                         runs pinned to the -H schedule,
+//!                                         writes Chrome trace JSON and
+//!                                         prints the observed-vs-predicted
+//!                                         drift report
 //! banger trial <file> <program> [-i ...]  trial-run one PITS program
 //! banger speedup <file> -t spec,spec,...  speedup prediction sweep
 //! banger codegen <file> rust|c [-i ...]   emit generated code to stdout
@@ -136,6 +141,9 @@ fn usage_text() -> String {
          \x20 -o <path>        svg/save-schedule: output location\n\
          \x20 --format <fmt>   check: text (default) or json\n\
          \x20 --reference      trial: use the tree-walking reference interpreter\n\
+         \x20 --trace <path>   run: execute pinned to the -H schedule with tracing,\n\
+         \x20                  write Chrome trace JSON (chrome://tracing, Perfetto)\n\
+         \x20                  and print the observed-vs-predicted drift report\n\
          \nexit codes:\n\
          \x20 0  success (warnings allowed)\n\
          \x20 1  operational failure, or `check` found error-severity diagnostics\n\
@@ -443,8 +451,66 @@ fn cmd_verify(project: &mut Project, rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger run <file> [-i var=value]... [--trace out.json [-H h]]
+    // Plain runs use the greedy pool. With --trace, the design runs
+    // pinned to the -H schedule (default MH) with event tracing on: the
+    // Chrome trace JSON goes to out.json, and the predicted vs observed
+    // Gantt charts, the per-task drift report, and the aggregate trace
+    // counters print alongside the outputs.
     let inputs = opt_inputs(rest)?;
-    let report = project.run(&inputs).map_err(|e| e.to_string())?;
+    let trace_path = rest
+        .windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| w[1].clone());
+    if rest.iter().any(|a| a == "--trace") && trace_path.is_none() {
+        return Err("--trace needs an output path (e.g. --trace out.json)".to_string());
+    }
+
+    let Some(trace_path) = trace_path else {
+        let report = project.run(&inputs).map_err(|e| e.to_string())?;
+        print_run_output(&report);
+        return Ok(());
+    };
+
+    // Traced run: schedule, execute pinned to it, then compare.
+    let h = opt_heuristic(rest);
+    let schedule = project.schedule(&h).map_err(|e| e.to_string())?;
+    let options = banger_exec::ExecOptions {
+        mode: banger_exec::ExecMode::pinned(schedule.clone()),
+        trace: true,
+        ..Default::default()
+    };
+    let report = project
+        .run_with(&inputs, &options)
+        .map_err(|e| e.to_string())?;
+    print_run_output(&report);
+    let trace = report.trace.as_ref().expect("traced run records a trace");
+
+    let f = project.flatten().map_err(|e| e.to_string())?;
+    let name_of = {
+        let g = f.graph.clone();
+        move |t| banger::project::short_name(&g.task(t).name)
+    };
+    std::fs::write(&trace_path, trace.chrome_json(&name_of))
+        .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+    eprintln!("wrote {trace_path} (load in chrome://tracing or Perfetto)");
+
+    println!("\npredicted ({h}):");
+    println!("{}", project.gantt(&schedule).map_err(|e| e.to_string())?);
+    println!("observed:");
+    println!(
+        "{}",
+        project.observed_gantt(trace).map_err(|e| e.to_string())?
+    );
+    let drift = project
+        .drift_report(&schedule, trace)
+        .map_err(|e| e.to_string())?;
+    println!("{}", drift.render(&name_of));
+    eprintln!("{}", trace.summary().render());
+    Ok(())
+}
+
+fn print_run_output(report: &banger_exec::ExecReport) {
     for (task, line) in &report.prints {
         println!("[{}] {}", task, line);
     }
@@ -452,7 +518,6 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
         println!("{var} = {value}");
     }
     eprintln!("({} task runs, wall {:?})", report.runs.len(), report.wall);
-    Ok(())
 }
 
 fn cmd_trial(project: &Project, rest: &[String]) -> Result<(), String> {

@@ -52,6 +52,7 @@ pub mod project;
 pub mod svg;
 
 pub use banger_analyze as analyze;
+pub use banger_trace as trace;
 pub use chart::{bar_chart, speedup_chart, SpeedupPoint};
 pub use document::{parse_project, print_project, DocError};
 pub use gantt::GanttOptions;

@@ -18,6 +18,7 @@ use banger_sched::{Schedule, ScheduleSummary};
 use banger_sim::{simulate, SimError, SimOptions, SimResult};
 use banger_taskgraph::hierarchy::Flattened;
 use banger_taskgraph::{GraphError, HierGraph};
+use banger_trace::{DriftReport, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -306,10 +307,7 @@ impl Project {
     /// Executes the design for real on host threads (greedy pool).
     /// The design must pass [`diagnose`](Self::diagnose) with no errors.
     pub fn run(&mut self, inputs: &BTreeMap<String, Value>) -> Result<ExecReport, ProjectError> {
-        self.gate()?;
-        self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
-        Ok(execute(f, &self.library, inputs, &ExecOptions::default())?)
+        self.run_with(inputs, &ExecOptions::default())
     }
 
     /// Executes the design pinned to a schedule (worker *i* = processor
@@ -319,18 +317,62 @@ impl Project {
         schedule: &Schedule,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<ExecReport, ProjectError> {
-        self.gate()?;
-        self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
-        Ok(execute(
-            f,
-            &self.library,
+        self.run_with(
             inputs,
             &ExecOptions {
                 mode: ExecMode::pinned(schedule.clone()),
                 ..ExecOptions::default()
             },
-        )?)
+        )
+    }
+
+    /// Executes the design with full [`ExecOptions`] control — mode,
+    /// interpreter configuration, and [`ExecOptions::trace`] to record
+    /// the event stream consumed by [`observed_gantt`](Self::observed_gantt)
+    /// and [`drift_report`](Self::drift_report).
+    /// The design must pass [`diagnose`](Self::diagnose) with no errors.
+    pub fn run_with(
+        &mut self,
+        inputs: &BTreeMap<String, Value>,
+        options: &ExecOptions,
+    ) -> Result<ExecReport, ProjectError> {
+        self.gate()?;
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(execute(f, &self.library, inputs, options)?)
+    }
+
+    /// Renders a traced execution's *observed* timeline as an ASCII
+    /// Gantt chart — same renderer and task labels as the predicted
+    /// [`gantt`](Self::gantt), rows are worker threads, time is
+    /// wall-clock seconds.
+    pub fn observed_gantt(&mut self, trace: &Trace) -> Result<String, ProjectError> {
+        let f = self.flatten()?;
+        let g = &f.graph;
+        let observed = trace.observed_schedule(g.task_count());
+        Ok(gantt::render(
+            &observed,
+            trace.workers,
+            |t| short_name(&g.task(t).name),
+            GanttOptions::default(),
+        ))
+    }
+
+    /// Joins a predicted schedule against a traced execution: the
+    /// prediction is refined through the message-accurate simulator when
+    /// possible (falling back to the schedule's own placements), and the
+    /// [`DriftReport`] compares per-task start/finish times and the
+    /// makespan under a global unit fit (see `banger_trace`).
+    pub fn drift_report(
+        &mut self,
+        schedule: &Schedule,
+        trace: &Trace,
+    ) -> Result<DriftReport, ProjectError> {
+        let predicted = match self.simulate(schedule) {
+            Ok(sim) => sim.achieved,
+            Err(_) => schedule.clone(),
+        };
+        Ok(DriftReport::new(&predicted, trace))
     }
 
     /// Predicts speedup of the design across machines built from the given
@@ -797,6 +839,45 @@ mod tests {
             p.parallelize_task("plain", 4),
             Err(ProjectError::Graph(_))
         ));
+    }
+
+    #[test]
+    fn traced_run_drives_observed_gantt_and_drift() {
+        let mut p = lu_project(3);
+        let s = p.schedule("MH").unwrap();
+        let (a, b) = test_system(3);
+        let report = p
+            .run_with(
+                &lu_inputs(&a, &b),
+                &ExecOptions {
+                    mode: ExecMode::pinned(s.clone()),
+                    trace: true,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+        // Same answer as the untraced path.
+        let got = report.outputs["x"].as_array("x").unwrap().to_vec();
+        let want = solve_reference(&a, &b);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        let trace = report.trace.expect("trace recorded");
+        let observed = p.observed_gantt(&trace).unwrap();
+        assert!(observed.contains("P0"), "{observed}");
+        // Task labels appear iff their bars are wide enough — timing
+        // dependent, so only assert the chart's observed header.
+        assert!(observed.contains("observed"), "{observed}");
+        let drift = p.drift_report(&s, &trace).unwrap();
+        assert_eq!(
+            drift.tasks.len(),
+            p.flatten().unwrap().graph.task_count(),
+            "every task has a drift row"
+        );
+        assert!(drift.predicted_makespan > 0.0);
+        assert!(drift.observed_makespan > 0.0);
+        let text = drift.render(|t| format!("t{}", t.0));
+        assert!(text.contains("makespan"), "{text}");
     }
 
     #[test]

@@ -21,7 +21,17 @@
 //!
 //! All synchronisation uses `crossbeam` channels plus a `parking_lot`
 //! mutex/condvar pair around the results store; workers never busy-wait.
+//!
+//! Setting [`ExecOptions::trace`] makes either mode record a
+//! [`Trace`](banger_trace::Trace) of what actually happened — task
+//! spans per worker, queue waits, CoW copy counts — which feeds the
+//! observed Gantt, the predicted-vs-observed drift report, and the
+//! Chrome trace export (see `banger_trace`). Task bodies run under a
+//! panic boundary: a panicking body is reported as
+//! [`ExecError::WorkerPanic`] with the task's name, never silently
+//! swallowed by a thread join.
 
 pub mod runner;
 
+pub use banger_trace::{DriftReport, Trace, TraceEvent, TraceSummary};
 pub use runner::{execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun};

@@ -17,17 +17,34 @@
 //! state allocates nothing per task beyond what the programs themselves
 //! compute. DESIGN.md §10 documents the routing tables and the CoW
 //! contract.
+//!
+//! ## Tracing and error paths
+//!
+//! With [`ExecOptions::trace`] set, every mode records
+//! [`TraceEvent`]s — task start/finish with CoW copy counts and
+//! per-input byte volumes, queue/dependency waits, and error events —
+//! into per-worker buffers merged into [`ExecReport::trace`]. With the
+//! flag off the hot path does no trace work at all. Task bodies run
+//! under `catch_unwind` in every mode, so a panicking body surfaces as
+//! [`ExecError::WorkerPanic`] naming the task instead of killing the
+//! worker silently; and the greedy coordinator treats a `done` channel
+//! disconnect with work outstanding as [`ExecError::WorkerLost`] rather
+//! than panicking itself. DESIGN.md §11 documents the event model and
+//! the overhead contract.
 
 use banger_calc::compile::CompiledProgram;
+use banger_calc::value::cow;
 use banger_calc::vm::Vm;
 use banger_calc::{interp, InterpConfig, Program, ProgramLibrary, RunError, Value};
 use banger_sched::Schedule;
 use banger_taskgraph::hierarchy::Flattened;
 use banger_taskgraph::{TaskGraph, TaskId};
+use banger_trace::{Trace, TraceEvent};
 use crossbeam::channel;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,6 +79,13 @@ pub struct ExecOptions {
     pub mode: ExecMode,
     /// Interpreter configuration for each task body.
     pub interp: InterpConfig,
+    /// Record a [`Trace`] of the execution into [`ExecReport::trace`].
+    /// Off by default; the untraced hot path performs no trace work.
+    pub trace: bool,
+    /// Fault injection for error-path tests: panic inside the body of
+    /// the task with this exact name. Not part of the public contract.
+    #[doc(hidden)]
+    pub inject_panic: Option<String>,
 }
 
 impl Default for ExecOptions {
@@ -69,6 +93,8 @@ impl Default for ExecOptions {
         ExecOptions {
             mode: ExecMode::Greedy { workers: 0 },
             interp: InterpConfig::default(),
+            trace: false,
+            inject_panic: None,
         }
     }
 }
@@ -99,6 +125,9 @@ pub struct ExecReport {
     pub wall: Duration,
     /// `print` lines from all tasks, tagged with the producing task.
     pub prints: Vec<(TaskId, String)>,
+    /// The recorded event stream, present iff [`ExecOptions::trace`] was
+    /// set.
+    pub trace: Option<Trace>,
 }
 
 impl ExecReport {
@@ -145,6 +174,17 @@ pub enum ExecError {
     Cyclic,
     /// Pinned mode: the schedule does not cover the graph.
     BadSchedule(String),
+    /// A task body panicked; caught and attributed instead of killing
+    /// the worker thread silently.
+    WorkerPanic {
+        /// Task whose body panicked.
+        task: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Every worker exited while tasks were still outstanding — the
+    /// coordinator's `done` channel disconnected mid-run.
+    WorkerLost(String),
 }
 
 impl fmt::Display for ExecError {
@@ -167,6 +207,10 @@ impl fmt::Display for ExecError {
             ExecError::Run { task, error } => write!(f, "task {task:?} failed: {error}"),
             ExecError::Cyclic => write!(f, "design graph is cyclic"),
             ExecError::BadSchedule(m) => write!(f, "bad schedule for pinned execution: {m}"),
+            ExecError::WorkerPanic { task, message } => {
+                write!(f, "task {task:?} panicked: {message}")
+            }
+            ExecError::WorkerLost(m) => write!(f, "executor workers lost: {m}"),
         }
     }
 }
@@ -398,7 +442,7 @@ pub fn execute(
         epoch,
     };
 
-    let report_core = match &options.mode {
+    let out = match &options.mode {
         ExecMode::Greedy { workers } => {
             let n = if *workers == 0 {
                 std::thread::available_parallelism()
@@ -418,21 +462,43 @@ pub fn execute(
         ExecMode::Pinned(schedule) => run_pinned(&ctx, schedule)?,
     };
 
-    let (runs, prints) = report_core;
     let mut outputs = BTreeMap::new();
     for (var, t, out) in &router.out_ports {
         let vals = store.get(*t).expect("all tasks completed");
         outputs.insert(var.clone(), vals[*out].clone());
     }
+    let wall = epoch.elapsed();
+    let trace = options
+        .trace
+        .then(|| Trace::from_events(out.events, out.workers, wall));
     Ok(ExecReport {
         outputs,
-        runs,
-        wall: epoch.elapsed(),
-        prints,
+        runs: out.runs,
+        wall,
+        prints: out.prints,
+        trace,
     })
 }
 
-type Runs = (Vec<TaskRun>, Vec<(TaskId, String)>);
+/// What each dispatch mode hands back to `execute`.
+struct ModeOutput {
+    runs: Vec<TaskRun>,
+    prints: Vec<(TaskId, String)>,
+    /// Trace events (empty unless `ExecOptions::trace`).
+    events: Vec<TraceEvent>,
+    /// Worker threads the mode actually used.
+    workers: usize,
+}
+
+impl ModeOutput {
+    /// Stable orders for reproducible reports.
+    fn sorted(mut self) -> Self {
+        self.runs
+            .sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
+        self.prints.sort_by_key(|a| a.0);
+        self
+    }
+}
 
 /// Everything a worker needs, bundled so dispatch code stays readable.
 struct Ctx<'a> {
@@ -443,18 +509,67 @@ struct Ctx<'a> {
     epoch: Instant,
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one task copy with the panic boundary every mode shares: a
+/// panicking task body (or a broken internal invariant inside
+/// [`run_one`]) becomes [`ExecError::WorkerPanic`] naming the task,
+/// instead of unwinding through the worker thread — which the scoped
+/// join would either swallow (pinned) or turn into a coordinator
+/// deadlock-then-panic (greedy). When tracing, failures also record a
+/// [`TraceEvent::TaskError`].
+fn run_one_caught(
+    ctx: &Ctx<'_>,
+    worker: usize,
+    t: TaskId,
+    vm: &mut Vm,
+    frame: &mut Vec<Value>,
+    events: Option<&mut Vec<TraceEvent>>,
+) -> Result<(TaskRun, Vec<(TaskId, String)>), ExecError> {
+    let mut events = events;
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        run_one(ctx, worker, t, vm, frame, events.as_deref_mut())
+    }))
+    .unwrap_or_else(|payload| {
+        Err(ExecError::WorkerPanic {
+            task: ctx.g.task(t).name.clone(),
+            message: panic_message(payload),
+        })
+    });
+    if let (Err(e), Some(events)) = (&result, events) {
+        events.push(TraceEvent::TaskError {
+            task: ctx.g.task(t).name.clone(),
+            worker,
+            at: ctx.epoch.elapsed(),
+            message: e.to_string(),
+        });
+    }
+    result
+}
+
 /// One worker executing one task copy; shared by both modes. `vm` is the
 /// worker's own bytecode frame and `frame` its input staging vector, both
 /// reused across every task copy it executes — programs come pre-compiled
 /// via the router, inputs arrive as `Arc` bumps from the slab store, so
 /// the steady state performs no compilation, no string handling, and no
-/// per-task allocation.
+/// per-task allocation. `events` is `Some` iff tracing; only then are
+/// input volumes and CoW counter deltas computed.
 fn run_one(
     ctx: &Ctx<'_>,
     worker: usize,
     t: TaskId,
     vm: &mut Vm,
     frame: &mut Vec<Value>,
+    events: Option<&mut Vec<TraceEvent>>,
 ) -> Result<(TaskRun, Vec<(TaskId, String)>), ExecError> {
     let route = &ctx.router.routes[t.index()];
 
@@ -475,7 +590,34 @@ fn run_one(
         }
     }
 
+    if let Some(pat) = &ctx.options.inject_panic {
+        if ctx.g.task(t).name == *pat {
+            panic!("injected fault: inject_panic matched task {pat:?}");
+        }
+    }
+
+    // Trace preamble: per-input byte volumes (an f64 element is 8 bytes)
+    // and the worker thread's cumulative CoW counters, read again after
+    // the body so the delta attributes copies to this task.
+    let trace_pre = events.as_ref().map(|_| {
+        let bytes_in: Vec<(String, u64)> = route
+            .compiled
+            .input_names()
+            .zip(frame.iter())
+            .map(|(n, v)| (n.to_string(), (v.volume() * 8.0) as u64))
+            .collect();
+        (bytes_in, cow::counters())
+    });
+
+    let mut events = events;
     let start = ctx.epoch.elapsed();
+    if let Some(events) = events.as_deref_mut() {
+        events.push(TraceEvent::TaskStart {
+            task: t,
+            worker,
+            at: start,
+        });
+    }
     let (dense_outputs, prints, ops) = if ctx.options.interp.reference {
         // Reference engine: rebuild the name-keyed view the tree-walker
         // expects. Cold path by construction (`banger trial --reference`).
@@ -515,6 +657,19 @@ fn run_one(
     let finish = ctx.epoch.elapsed();
     let prints = prints.into_iter().map(|s| (t, s)).collect::<Vec<_>>();
     ctx.store.publish(t, dense_outputs);
+    if let (Some(events), Some((bytes_in, (copies0, elems0)))) = (events, trace_pre) {
+        let (copies1, elems1) = cow::counters();
+        events.push(TraceEvent::TaskFinish {
+            task: t,
+            worker,
+            start,
+            finish,
+            ops,
+            cow_copies: copies1 - copies0,
+            cow_bytes: (elems1 - elems0) * 8,
+            bytes_in,
+        });
+    }
     Ok((
         TaskRun {
             task: t,
@@ -530,7 +685,7 @@ fn run_one(
 /// Sequential execution on the caller's thread — what `Greedy {
 /// workers: 1 }` means, without paying for a thread spawn and a channel
 /// pair per `execute` call.
-fn run_inline(ctx: &Ctx<'_>) -> Result<Runs, ExecError> {
+fn run_inline(ctx: &Ctx<'_>) -> Result<ModeOutput, ExecError> {
     let g = ctx.g;
     let mut indeg: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
     let mut ready: Vec<TaskId> = g.task_ids().filter(|t| indeg[t.index()] == 0).collect();
@@ -538,8 +693,10 @@ fn run_inline(ctx: &Ctx<'_>) -> Result<Runs, ExecError> {
     let mut frame = Vec::new();
     let mut runs = Vec::with_capacity(g.task_count());
     let mut prints = Vec::new();
+    let mut events = Vec::new();
     while let Some(t) = ready.pop() {
-        let (run, p) = run_one(ctx, 0, t, &mut vm, &mut frame)?;
+        let tracer = ctx.options.trace.then_some(&mut events);
+        let (run, p) = run_one_caught(ctx, 0, t, &mut vm, &mut frame, tracer)?;
         runs.push(run);
         prints.extend(p);
         for s in g.successors(t) {
@@ -550,22 +707,30 @@ fn run_inline(ctx: &Ctx<'_>) -> Result<Runs, ExecError> {
             }
         }
     }
-    runs.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
-    prints.sort_by_key(|a| a.0);
-    Ok((runs, prints))
+    Ok(ModeOutput {
+        runs,
+        prints,
+        events,
+        workers: 1,
+    }
+    .sorted())
 }
 
-fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
+fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<ModeOutput, ExecError> {
     let g = ctx.g;
-    let (task_tx, task_rx) = channel::unbounded::<TaskId>();
+    let tracing = ctx.options.trace;
+    // Tasks travel with their enqueue time when tracing, so the dequeuing
+    // worker can record the ready-to-running queue wait.
+    let (task_tx, task_rx) = channel::unbounded::<(TaskId, Option<Duration>)>();
     let (done_tx, done_rx) =
         channel::unbounded::<Result<(TaskRun, Vec<(TaskId, String)>), ExecError>>();
+    let enqueue_stamp = || tracing.then(|| ctx.epoch.elapsed());
 
     let mut indeg: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
     let mut outstanding = 0usize;
     for t in g.task_ids() {
         if indeg[t.index()] == 0 {
-            task_tx.send(t).expect("channel open");
+            task_tx.send((t, enqueue_stamp())).expect("channel open");
             outstanding += 1;
         }
     }
@@ -574,22 +739,38 @@ fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
     let mut runs = Vec::with_capacity(total);
     let mut prints = Vec::new();
     let mut first_error: Option<ExecError> = None;
+    // Per-worker event buffers merge here when each worker exits.
+    let event_sink: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let task_rx = task_rx.clone();
             let done_tx = done_tx.clone();
+            let event_sink = &event_sink;
             scope.spawn(move || {
                 let mut vm = Vm::new();
                 let mut frame = Vec::new();
-                while let Ok(t) = task_rx.recv() {
+                let mut events: Vec<TraceEvent> = Vec::new();
+                while let Ok((t, enqueued)) = task_rx.recv() {
                     if ctx.store.poisoned.load(Ordering::SeqCst) {
                         break;
                     }
-                    let r = run_one(ctx, w, t, &mut vm, &mut frame);
+                    if let Some(since) = enqueued {
+                        events.push(TraceEvent::QueueWait {
+                            task: t,
+                            worker: w,
+                            since,
+                            until: ctx.epoch.elapsed(),
+                        });
+                    }
+                    let tracer = tracing.then_some(&mut events);
+                    let r = run_one_caught(ctx, w, t, &mut vm, &mut frame, tracer);
                     if done_tx.send(r).is_err() {
                         break;
                     }
+                }
+                if !events.is_empty() {
+                    event_sink.lock().append(&mut events);
                 }
             });
         }
@@ -597,7 +778,20 @@ fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
         drop(done_tx);
 
         while completed < total && outstanding > 0 {
-            let msg = done_rx.recv().expect("workers alive");
+            // A disconnect here means every worker exited while tasks
+            // were still outstanding. Nothing further can complete, so
+            // surface the loss instead of panicking the coordinator
+            // (run_one_caught normally converts failures into messages,
+            // making this a defence-in-depth path).
+            let Ok(msg) = done_rx.recv() else {
+                if first_error.is_none() {
+                    first_error = Some(ExecError::WorkerLost(format!(
+                        "all {workers} workers exited with {outstanding} task(s) outstanding"
+                    )));
+                }
+                ctx.store.poison();
+                break;
+            };
             outstanding -= 1;
             match msg {
                 Ok((run, p)) => {
@@ -609,7 +803,7 @@ fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
                         let d = &mut indeg[s.index()];
                         *d -= 1;
                         if *d == 0 {
-                            task_tx.send(s).expect("channel open");
+                            task_tx.send((s, enqueue_stamp())).expect("channel open");
                             outstanding += 1;
                         }
                     }
@@ -630,13 +824,16 @@ fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<Runs, ExecError> {
     if let Some(e) = first_error {
         return Err(e);
     }
-    // Stable order for reproducible reports.
-    runs.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
-    prints.sort_by_key(|a| a.0);
-    Ok((runs, prints))
+    Ok(ModeOutput {
+        runs,
+        prints,
+        events: event_sink.into_inner(),
+        workers,
+    }
+    .sorted())
 }
 
-fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
+fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<ModeOutput, ExecError> {
     let g = ctx.g;
     // Per-worker ordered copy lists.
     let mut max_proc = 0usize;
@@ -659,23 +856,48 @@ fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
         q.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
 
+    let tracing = ctx.options.trace;
+    type Runs = (Vec<TaskRun>, Vec<(TaskId, String)>);
     let results: Mutex<Runs> = Mutex::new((Vec::new(), Vec::new()));
     let first_error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let event_sink: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for (w, queue) in queues.iter().enumerate() {
             let results = &results;
             let first_error = &first_error;
+            let event_sink = &event_sink;
             scope.spawn(move || {
                 let mut vm = Vm::new();
                 let mut frame = Vec::new();
+                let mut events: Vec<TraceEvent> = Vec::new();
+                let flush = |events: &mut Vec<TraceEvent>| {
+                    if !events.is_empty() {
+                        event_sink.lock().append(events);
+                    }
+                };
                 for &(_, t) in queue {
-                    // Wait for every predecessor to publish.
+                    // Wait for every predecessor to publish; when tracing,
+                    // the blocked interval is the task's dependency wait.
                     let preds: Vec<TaskId> = g.predecessors(t).collect();
+                    let since = tracing.then(|| ctx.epoch.elapsed());
                     if !ctx.store.wait_for(&preds) {
+                        flush(&mut events);
                         return; // poisoned
                     }
-                    match run_one(ctx, w, t, &mut vm, &mut frame) {
+                    if let Some(since) = since {
+                        let until = ctx.epoch.elapsed();
+                        if until > since {
+                            events.push(TraceEvent::QueueWait {
+                                task: t,
+                                worker: w,
+                                since,
+                                until,
+                            });
+                        }
+                    }
+                    let tracer = tracing.then_some(&mut events);
+                    match run_one_caught(ctx, w, t, &mut vm, &mut frame, tracer) {
                         Ok((run, p)) => {
                             let mut lock = results.lock();
                             lock.0.push(run);
@@ -687,10 +909,12 @@ fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
                                 *lock = Some(e);
                             }
                             ctx.store.poison();
+                            flush(&mut events);
                             return;
                         }
                     }
                 }
+                flush(&mut events);
             });
         }
     });
@@ -698,10 +922,14 @@ fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<Runs, ExecError> {
     if let Some(e) = first_error.into_inner() {
         return Err(e);
     }
-    let (mut runs, mut prints) = results.into_inner();
-    runs.sort_by(|a, b| a.finish.cmp(&b.finish).then(a.task.cmp(&b.task)));
-    prints.sort_by_key(|a| a.0);
-    Ok((runs, prints))
+    let (runs, prints) = results.into_inner();
+    Ok(ModeOutput {
+        runs,
+        prints,
+        events: event_sink.into_inner(),
+        workers: queues.len(),
+    }
+    .sorted())
 }
 
 #[cfg(test)]
@@ -1158,6 +1386,187 @@ mod tests {
             assert_eq!(rep.outputs["wa"], Value::Num(99.0), "workers={workers}");
             assert_eq!(rep.outputs["ra"], Value::Num(1.0), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn worker_panic_reported_with_task_name_all_modes() {
+        let (f, lib) = fan(6);
+        let m = Machine::new(Topology::fully_connected(3), MachineParams::default());
+        let s = banger_sched::list::etf(&f.graph, &m);
+        let modes = [
+            ExecMode::Greedy { workers: 1 },
+            ExecMode::Greedy { workers: 4 },
+            ExecMode::pinned(s),
+        ];
+        for mode in modes {
+            let err = execute(
+                &f,
+                &lib,
+                &ext(&[("a", Value::Num(2.0))]),
+                &ExecOptions {
+                    mode: mode.clone(),
+                    inject_panic: Some("w3".into()),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ExecError::WorkerPanic { ref task, ref message }
+                        if task == "w3" && message.contains("injected fault")
+                ),
+                "mode {mode:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_error_with_outstanding_work_does_not_panic() {
+        // A failing task in a wide fan leaves siblings outstanding when
+        // the coordinator poisons; this used to hit the
+        // `expect("workers alive")` coordinator panic in edge cases and
+        // must now always return an error cleanly.
+        let (f, lib) = fan(16);
+        for _ in 0..20 {
+            let err = execute(
+                &f,
+                &lib,
+                &ext(&[("a", Value::Num(2.0))]),
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers: 4 },
+                    inject_panic: Some("w0".into()),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ExecError::WorkerPanic { .. } | ExecError::WorkerLost(_)
+                ),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let (f, lib) = fan(8);
+        let inputs = ext(&[("a", Value::Num(3.0))]);
+        for workers in [1, 4] {
+            let base = ExecOptions {
+                mode: ExecMode::Greedy { workers },
+                ..ExecOptions::default()
+            };
+            let plain = execute(&f, &lib, &inputs, &base).unwrap();
+            let traced = execute(
+                &f,
+                &lib,
+                &inputs,
+                &ExecOptions {
+                    trace: true,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(plain.outputs, traced.outputs, "workers={workers}");
+            assert_eq!(plain.prints, traced.prints);
+            let n = f.graph.task_count();
+            assert_eq!(plain.measured_weights(n), traced.measured_weights(n));
+            assert!(plain.trace.is_none());
+            let trace = traced.trace.expect("trace recorded");
+            assert_eq!(trace.workers, workers);
+            assert_eq!(trace.spans().len(), traced.runs.len());
+            let summary = trace.summary();
+            assert_eq!(summary.tasks, n);
+            assert_eq!(summary.ops, traced.runs.iter().map(|r| r.ops).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn trace_records_cow_copy_with_bytes() {
+        // Producer fans an array to a writer: the writer's index
+        // assignment hits a shared buffer and must show up as exactly
+        // one CoW copy of 8*len bytes attributed to that task.
+        let mut h = HierGraph::new("cowtrace");
+        let src = h.add_task_with_program("make", 1.0, "Mk");
+        let w = h.add_task_with_program("writer", 1.0, "Wr");
+        let r = h.add_task_with_program("reader", 1.0, "Rd");
+        let o1 = h.add_storage("wa", 1.0);
+        let o2 = h.add_storage("ra", 1.0);
+        h.add_arc(src, w, "v", 1.0).unwrap();
+        h.add_arc(src, r, "v", 1.0).unwrap();
+        h.add_flow(w, o1).unwrap();
+        h.add_flow(r, o2).unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Mk out v begin v := fill(64, 1) end")
+            .unwrap();
+        lib.add_source("task Wr in v out wa begin v[1] := 99 wa := v[1] end")
+            .unwrap();
+        lib.add_source("task Rd in v out ra begin ra := v[1] end")
+            .unwrap();
+        let f = h.flatten().unwrap();
+        let rep = execute(
+            &f,
+            &lib,
+            &BTreeMap::new(),
+            &ExecOptions {
+                mode: ExecMode::Greedy { workers: 1 },
+                trace: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let trace = rep.trace.unwrap();
+        let writer_finish = trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::TaskFinish {
+                    task,
+                    cow_copies,
+                    cow_bytes,
+                    bytes_in,
+                    ..
+                } if f.graph.task(*task).name == "writer" => {
+                    Some((*cow_copies, *cow_bytes, bytes_in.clone()))
+                }
+                _ => None,
+            })
+            .expect("writer traced");
+        assert_eq!(writer_finish.0, 1, "one CoW copy");
+        assert_eq!(writer_finish.1, 64 * 8, "copied the whole buffer");
+        assert_eq!(writer_finish.2, vec![("v".to_string(), 64 * 8)]);
+        let summary = trace.summary();
+        assert_eq!(summary.cow_copies, 1);
+        // Reader + writer each gathered the 64-element array.
+        assert_eq!(summary.bytes_in, 2 * 64 * 8);
+    }
+
+    #[test]
+    fn pinned_trace_observed_schedule_covers_all_copies() {
+        let (f, lib) = fan(6);
+        let m = Machine::new(Topology::fully_connected(3), MachineParams::default());
+        let s = banger_sched::list::etf(&f.graph, &m);
+        let rep = execute(
+            &f,
+            &lib,
+            &ext(&[("a", Value::Num(2.0))]),
+            &ExecOptions {
+                mode: ExecMode::pinned(s),
+                trace: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let trace = rep.trace.unwrap();
+        let obs = trace.observed_schedule(f.graph.task_count());
+        assert_eq!(obs.placements().len(), rep.runs.len());
+        for t in f.graph.task_ids() {
+            assert!(obs.primary(t).is_some(), "task {t} has a primary span");
+        }
+        assert!(obs.makespan() > 0.0);
     }
 
     #[test]

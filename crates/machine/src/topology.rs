@@ -111,7 +111,14 @@ impl Topology {
 
     /// A `dim`-dimensional binary hypercube with `2^dim` processors;
     /// processors are adjacent iff their ids differ in exactly one bit.
+    /// The degenerate 0-dimensional cube is one linkless processor, and
+    /// canonicalizes to [`Topology::single`] so its name (and thus its
+    /// printed spec) stays parseable — the spec syntax spells one
+    /// processor `single`, never `hypercube:0`.
     pub fn hypercube(dim: u32) -> Self {
+        if dim == 0 {
+            return Topology::single();
+        }
         let n = 1usize << dim;
         let mut edges = Vec::with_capacity(n * dim as usize / 2);
         for p in 0..n as u32 {
@@ -240,6 +247,10 @@ impl Topology {
             "single" => Ok(Topology::single()),
             "hypercube" => {
                 let d = one(args)?;
+                check(
+                    d >= 1,
+                    "hypercube dimension must be >= 1 (one processor is spelled `single`)",
+                )?;
                 check(d <= 20, "hypercube dimension too large")?;
                 Ok(Topology::hypercube(d as u32))
             }
@@ -476,6 +487,30 @@ mod tests {
             "star:1",
         ] {
             assert!(Topology::parse(bad).is_err(), "spec {bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_zero_dimensions() {
+        // Every zero-extent spec must fail at parse time — a degenerate
+        // machine here would only surface as confusing scheduler errors
+        // (or an accidental 1-processor "hypercube") downstream.
+        for bad in [
+            "hypercube:0",
+            "mesh:0x3",
+            "mesh:3x0",
+            "torus:0x4",
+            "ring:0",
+            "linear:0",
+            "star:0",
+            "tree:0x2",
+            "full:0",
+        ] {
+            let err = Topology::parse(bad).unwrap_err();
+            let TopologyError::BadSpec(msg) = &err else {
+                panic!("spec {bad:?}: unexpected error {err:?}");
+            };
+            assert!(msg.contains(&format!("{bad:?}")), "spec {bad:?}: {msg}");
         }
     }
 }

@@ -110,6 +110,87 @@ fn run_executes_with_inputs() {
 }
 
 #[test]
+fn run_trace_emits_chrome_json_and_drift_report() {
+    let trace_path = std::env::temp_dir().join("banger_cli_test_trace.json");
+    let out = banger()
+        .args([
+            "run",
+            project_path(),
+            "-i",
+            "left=100",
+            "-i",
+            "right=0",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("CLI runs");
+    assert!(
+        out.status.success(),
+        "traced run failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // The normal run output still prints, plus both Gantt charts and
+    // the per-task drift table.
+    assert!(stdout.contains("summary = ["), "{stdout}");
+    assert!(stdout.contains("predicted (MH):"), "{stdout}");
+    assert!(stdout.contains("observed:"), "{stdout}");
+    assert!(stdout.contains("drift report"), "{stdout}");
+    assert!(stdout.contains("makespan: predicted"), "{stdout}");
+    assert!(stderr.contains("task runs in"), "{stderr}");
+    assert!(stderr.contains("CoW copies"), "{stderr}");
+
+    // The file is valid Chrome trace-format JSON: an object with a
+    // traceEvents array of M/X/C phase events carrying pid/tid/ts.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let json = parse_json(text.trim()).expect("trace file is valid JSON");
+    assert_eq!(
+        json.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let Some(Json::Arr(events)) = json.get("traceEvents") else {
+        panic!("traceEvents missing or not an array");
+    };
+    assert!(!events.is_empty());
+    let mut complete = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event has ph");
+        assert!(
+            matches!(ph, "M" | "X" | "C" | "i"),
+            "unexpected phase {ph:?}"
+        );
+        if ph == "X" {
+            assert!(e.get("ts").is_some() && e.get("dur").is_some());
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            // Complete events are task spans or queue-wait intervals.
+            if e.get("cat").and_then(Json::as_str) == Some("task") {
+                complete += 1;
+            }
+        }
+    }
+    // One task-span complete event per task run (5 tasks in heat_probe).
+    assert_eq!(complete, 5, "{text}");
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
+fn run_trace_without_path_is_a_usage_error() {
+    let err = banger()
+        .args(["run", project_path(), "--trace"])
+        .output()
+        .expect("CLI runs");
+    assert!(!err.status.success());
+    assert!(
+        String::from_utf8_lossy(&err.stderr).contains("--trace needs an output path"),
+        "{}",
+        String::from_utf8_lossy(&err.stderr)
+    );
+}
+
+#[test]
 fn trial_runs_single_program_on_both_engines() {
     let vm = run_ok(&[
         "trial",

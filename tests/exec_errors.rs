@@ -1,0 +1,208 @@
+//! Executor error-path integration tests at scale.
+//!
+//! A worker panic must surface as an attributed [`ExecError::WorkerPanic`]
+//! naming the offending task — never crash the test process, never hang
+//! the coordinator, and never leave the run deadlocked with work
+//! outstanding — in every dispatch mode (inline, greedy pool, pinned).
+//! The panics are injected with the `ExecOptions::inject_panic` test hook
+//! so the fault fires inside a worker thread's task body, exactly where a
+//! buggy PITS builtin or a poisoned lock would.
+
+use banger_calc::{ProgramLibrary, Value};
+use banger_exec::{execute, ExecError, ExecMode, ExecOptions};
+use banger_machine::{Machine, MachineParams, Topology};
+use banger_taskgraph::hierarchy::{Flattened, HierGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Random layered design where task `t{l}_{w}` computes `1 + sum(inputs)`,
+/// gathered into a `result` port (same shape as `tests/exec_stress.rs`).
+fn build(seed: u64, layers: usize, width: usize) -> (Flattened, ProgramLibrary, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = HierGraph::new("errs");
+    let mut lib = ProgramLibrary::new();
+    let mut prev: Vec<(banger_taskgraph::HierNodeId, String)> = Vec::new();
+    let mut values: BTreeMap<String, f64> = BTreeMap::new();
+
+    for l in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let out_var = format!("o{l}_{w}");
+            let node = h.add_task_with_program(format!("t{l}_{w}"), 1.0, format!("P{l}_{w}"));
+            let mut ins: Vec<String> = Vec::new();
+            if l > 0 {
+                for (pn, pv) in &prev {
+                    if rng.gen_bool(0.4) || (ins.is_empty() && *pn == prev.last().unwrap().0) {
+                        h.add_arc(*pn, node, pv.clone(), 1.0).unwrap();
+                        ins.push(pv.clone());
+                    }
+                }
+            }
+            let body_sum = if ins.is_empty() {
+                String::from("1")
+            } else {
+                format!("1 + {}", ins.join(" + "))
+            };
+            lib.add_source(&format!(
+                "task P{l}_{w} {} out {out_var} begin {out_var} := {body_sum} end",
+                if ins.is_empty() {
+                    String::new()
+                } else {
+                    format!("in {}", ins.join(", "))
+                },
+            ))
+            .unwrap();
+            let v = 1.0 + ins.iter().map(|i| values[i]).sum::<f64>();
+            values.insert(out_var.clone(), v);
+            cur.push((node, out_var));
+        }
+        prev = cur;
+    }
+
+    let gather = h.add_task_with_program("gather", 1.0, "Gather");
+    let sink = h.add_storage("result", 1.0);
+    h.add_flow(gather, sink).unwrap();
+    let mut ins = Vec::new();
+    for (pn, pv) in &prev {
+        h.add_arc(*pn, gather, pv.clone(), 1.0).unwrap();
+        ins.push(pv.clone());
+    }
+    lib.add_source(&format!(
+        "task Gather in {} out result begin result := {} end",
+        ins.join(", "),
+        ins.join(" + ")
+    ))
+    .unwrap();
+    let expected: f64 = ins.iter().map(|i| values[i]).sum();
+
+    (h.flatten().unwrap(), lib, expected)
+}
+
+fn all_modes(design: &Flattened) -> Vec<(&'static str, ExecMode)> {
+    let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+    let pinned = banger_sched::list::etf(&design.graph, &m);
+    vec![
+        ("inline", ExecMode::Greedy { workers: 1 }),
+        ("greedy-4", ExecMode::Greedy { workers: 4 }),
+        ("greedy-8", ExecMode::Greedy { workers: 8 }),
+        ("pinned", ExecMode::pinned(pinned)),
+    ]
+}
+
+#[test]
+fn injected_panic_is_attributed_in_every_mode() {
+    let (design, lib, _) = build(3, 6, 8);
+    // A mid-graph task: predecessors have completed, successors are
+    // still outstanding when the panic fires.
+    let victim = "t3_4";
+    for (label, mode) in all_modes(&design) {
+        let err = execute(
+            &design,
+            &lib,
+            &BTreeMap::new(),
+            &ExecOptions {
+                mode,
+                inject_panic: Some(victim.to_string()),
+                ..ExecOptions::default()
+            },
+        )
+        .expect_err("injected panic must fail the run");
+        match err {
+            ExecError::WorkerPanic { task, message } => {
+                assert_eq!(task, victim, "mode {label}");
+                assert!(
+                    message.contains("injected fault"),
+                    "mode {label}: panic payload lost: {message}"
+                );
+            }
+            other => panic!("mode {label}: expected WorkerPanic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn panic_with_outstanding_fan_out_never_crashes_or_hangs() {
+    // Panic the very first task of a wide graph: everything else is
+    // outstanding, so the coordinator must unwind dozens of queued and
+    // in-flight tasks without its old `expect("workers alive")` crash.
+    for seed in 0..10u64 {
+        let (design, lib, _) = build(seed, 4, 16);
+        for workers in [2usize, 4, 8] {
+            let err = execute(
+                &design,
+                &lib,
+                &BTreeMap::new(),
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers },
+                    inject_panic: Some("t0_0".to_string()),
+                    ..ExecOptions::default()
+                },
+            )
+            .expect_err("injected panic must fail the run");
+            assert!(
+                matches!(
+                    err,
+                    ExecError::WorkerPanic { .. } | ExecError::WorkerLost(_)
+                ),
+                "seed {seed} workers {workers}: unexpected error {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_error_is_attributed_not_panicked() {
+    // A genuine PITS runtime error (out-of-range index) inside a large
+    // run must come back as ExecError::Run naming the task, through the
+    // same poisoned-store unwind as a panic.
+    let mut h = HierGraph::new("bad-index");
+    let mut lib = ProgramLibrary::new();
+    let ok = h.add_task_with_program("fine", 1.0, "Fine");
+    let bad = h.add_task_with_program("oops", 1.0, "Oops");
+    h.add_arc(ok, bad, "v", 4.0).unwrap();
+    lib.add_source("task Fine out v begin v := fill(4, 1) end")
+        .unwrap();
+    lib.add_source("task Oops in v out r begin r := v[99] end")
+        .unwrap();
+    let design = h.flatten().unwrap();
+
+    for (label, mode) in all_modes(&design) {
+        let err = execute(
+            &design,
+            &lib,
+            &BTreeMap::new(),
+            &ExecOptions {
+                mode,
+                ..ExecOptions::default()
+            },
+        )
+        .expect_err("out-of-range index must fail the run");
+        match err {
+            ExecError::Run { task, .. } => assert_eq!(task, "oops", "mode {label}"),
+            other => panic!("mode {label}: expected Run error, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn executor_recovers_after_a_failed_run() {
+    // The same design executes correctly right after a panicked run:
+    // no global state (thread-locals, poisoned locks) leaks across runs.
+    let (design, lib, expected) = build(21, 5, 8);
+    for workers in [1usize, 4] {
+        let opts = ExecOptions {
+            mode: ExecMode::Greedy { workers },
+            inject_panic: Some("t2_3".to_string()),
+            ..ExecOptions::default()
+        };
+        execute(&design, &lib, &BTreeMap::new(), &opts).expect_err("injected panic");
+        let clean = ExecOptions {
+            mode: ExecMode::Greedy { workers },
+            ..ExecOptions::default()
+        };
+        let report = execute(&design, &lib, &BTreeMap::new(), &clean)
+            .unwrap_or_else(|e| panic!("workers={workers}: clean rerun failed: {e}"));
+        assert_eq!(report.outputs["result"], Value::Num(expected));
+    }
+}

@@ -1,0 +1,150 @@
+//! Tracing transparency property suite.
+//!
+//! Turning [`ExecOptions::trace`] on must be *observationally free*: a
+//! traced run's outputs, prints, and measured task weights are
+//! byte-identical to the same run untraced, in every dispatch mode.
+//! The recorded trace itself must be internally consistent — one span
+//! per task run, workers within range, nested-interval-free spans per
+//! worker, and summary counters that reconcile with the report.
+
+use banger_calc::ProgramLibrary;
+use banger_exec::{execute, ExecMode, ExecOptions, ExecReport};
+use banger_machine::{Machine, MachineParams, Topology};
+use banger_taskgraph::hierarchy::{Flattened, HierGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Random layered design mixing scalar sums with array traffic (the
+/// `fill`/index-write tasks force CoW copies so the trace's byte
+/// counters see real work). Task `t{l}_{w}` computes `1 + sum(inputs)`.
+fn build(seed: u64, layers: usize, width: usize) -> (Flattened, ProgramLibrary) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = HierGraph::new("traced");
+    let mut lib = ProgramLibrary::new();
+    let mut prev: Vec<(banger_taskgraph::HierNodeId, String)> = Vec::new();
+
+    for l in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let out_var = format!("o{l}_{w}");
+            let node = h.add_task_with_program(format!("t{l}_{w}"), 1.0, format!("P{l}_{w}"));
+            let mut ins: Vec<String> = Vec::new();
+            if l > 0 {
+                for (pn, pv) in &prev {
+                    if rng.gen_bool(0.5) || (ins.is_empty() && *pn == prev.last().unwrap().0) {
+                        h.add_arc(*pn, node, pv.clone(), 1.0).unwrap();
+                        ins.push(pv.clone());
+                    }
+                }
+            }
+            // Sources push an array through an index write, forcing a
+            // CoW unshare on every downstream aliased read; interior
+            // tasks read the first element of each (array) input.
+            let stmt = if ins.is_empty() {
+                format!("{out_var} := fill(8, {}) {out_var}[1] := 2", l + w + 1)
+            } else {
+                format!("{out_var} := fill(4, 1 + {}[1])", ins.join("[1] + "))
+            };
+            lib.add_source(&format!(
+                "task P{l}_{w} {} out {out_var} begin {stmt} end",
+                if ins.is_empty() {
+                    String::new()
+                } else {
+                    format!("in {}", ins.join(", "))
+                },
+            ))
+            .unwrap();
+            cur.push((node, out_var));
+        }
+        prev = cur;
+    }
+
+    let gather = h.add_task_with_program("gather", 1.0, "Gather");
+    let sink = h.add_storage("result", 1.0);
+    h.add_flow(gather, sink).unwrap();
+    let mut ins = Vec::new();
+    for (pn, pv) in &prev {
+        h.add_arc(*pn, gather, pv.clone(), 1.0).unwrap();
+        ins.push(pv.clone());
+    }
+    lib.add_source(&format!(
+        "task Gather in {} out result begin result := {} end",
+        ins.join(", "),
+        ins.join("[1] + ") + "[1]"
+    ))
+    .unwrap();
+
+    (h.flatten().unwrap(), lib)
+}
+
+fn run(design: &Flattened, lib: &ProgramLibrary, mode: ExecMode, trace: bool) -> ExecReport {
+    execute(
+        design,
+        lib,
+        &BTreeMap::new(),
+        &ExecOptions {
+            mode,
+            trace,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("run succeeds")
+}
+
+fn modes(design: &Flattened, workers: usize) -> Vec<ExecMode> {
+    let m = Machine::new(Topology::fully_connected(workers), MachineParams::default());
+    vec![
+        ExecMode::Greedy { workers },
+        ExecMode::pinned(banger_sched::list::etf(&design.graph, &m)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traced_runs_are_observationally_identical(
+        seed in 0u64..500,
+        layers in 2usize..5,
+        width in 1usize..5,
+        workers in 1usize..5,
+    ) {
+        let (design, lib) = build(seed, layers, width);
+        let n = design.graph.task_count();
+        for mode in modes(&design, workers) {
+            let plain = run(&design, &lib, mode.clone(), false);
+            let traced = run(&design, &lib, mode.clone(), true);
+
+            // The observable contract: byte-identical outputs, prints,
+            // and measured weights.
+            prop_assert_eq!(
+                format!("{:?}", plain.outputs),
+                format!("{:?}", traced.outputs)
+            );
+            prop_assert_eq!(&plain.prints, &traced.prints);
+            prop_assert_eq!(plain.measured_weights(n), traced.measured_weights(n));
+            prop_assert!(plain.trace.is_none());
+
+            // Trace self-consistency.
+            let trace = traced.trace.as_ref().expect("traced run records events");
+            let spans = trace.spans();
+            prop_assert_eq!(spans.len(), traced.runs.len());
+            for sp in &spans {
+                prop_assert!(sp.worker < trace.workers);
+                prop_assert!(sp.start <= sp.finish);
+            }
+            let summary = trace.summary();
+            prop_assert_eq!(summary.tasks, traced.runs.len());
+            prop_assert_eq!(summary.errors, 0);
+            prop_assert_eq!(
+                summary.ops,
+                traced.runs.iter().map(|r| r.ops).sum::<u64>()
+            );
+            // The observed schedule replays every span onto its worker.
+            let observed = trace.observed_schedule(n);
+            prop_assert_eq!(observed.placements().len(), spans.len());
+        }
+    }
+}
