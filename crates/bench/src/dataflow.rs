@@ -9,9 +9,9 @@
 //! executor's data movement: string-matched gather into name-keyed
 //! `BTreeMap`s with a deep array copy per consumer edge, single
 //! threaded. The replica drives the *same* compiled VM, so any measured
-//! gap is data movement, not compute. (It is conservative: the old
-//! runtime also deep-copied a second time when binding VM registers;
-//! the replica charges only the gather copy.)
+//! gap is data movement, not compute. Like the old runtime, it copies
+//! each input twice: once on the consumer edge at gather, and once more
+//! when the run boundary binds VM registers by value.
 
 use banger_calc::vm::Vm;
 use banger_calc::{InterpConfig, ProgramLibrary, Value};
@@ -153,7 +153,12 @@ pub fn run_oldstyle(w: &Workload, cfg: InterpConfig) -> BTreeMap<String, Value> 
             }
             inputs.insert(var.to_string(), deep(&w.external[var]));
         }
-        let out = vm.run(&prog, &inputs, cfg).expect("task runs");
+        // The old runtime's VM bound registers by value as well: every
+        // input was structurally copied a second time out of the gather
+        // map at the run boundary.
+        let bound: BTreeMap<String, Value> =
+            inputs.iter().map(|(k, v)| (k.clone(), deep(v))).collect();
+        let out = vm.run(&prog, &bound, cfg).expect("task runs");
         store[t.index()] = Some(out.outputs);
         for s in g.successors(t) {
             let d = &mut indeg[s.index()];

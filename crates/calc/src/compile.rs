@@ -150,6 +150,64 @@ pub enum Op {
     /// Raise a compile-time-frozen runtime error (unknown function, bad
     /// arity) — executed only if control actually reaches the call site.
     Fail(u32),
+    /// Two or three chained scalar binary operations in one dispatch
+    /// (`chain.len >= 2`): the compiler's emission for nested scalar
+    /// expressions like the affine index `(i - 1) * n + j`. Produced
+    /// only by the peephole fuser ([`fuse`]) where each intermediate was
+    /// a single-use scratch register; the chain replays the original
+    /// [`Op::BinNum`]s' checks and ticks in their exact order, so
+    /// errors, `StepLimit` budgets, and measured weights are unchanged —
+    /// only the dispatch count drops.
+    BinChain { chain: ChainSpec, dst: Reg },
+    /// A 1–3-op scalar chain feeding an [`Op::IndexGet`]'s index:
+    /// `r[dst] = Num(r[slot][chain])`.
+    IdxGetChain {
+        chain: ChainSpec,
+        slot: Reg,
+        dst: Reg,
+    },
+    /// A 1–3-op scalar chain feeding an [`Op::IndexSet`]'s *value*:
+    /// `r[slot][r[idx]] = chain`.
+    IdxSetChain {
+        chain: ChainSpec,
+        slot: Reg,
+        idx: Reg,
+    },
+    /// Fused for-loop back edge: the per-iteration tick, `r[i] += 1`,
+    /// and the jump to the loop head in one dispatch.
+    ForNext { i: Reg, head: u32 },
+    /// Fused loop-head pair: [`Op::ForTest`] plus the [`Op::Copy`] that
+    /// publishes the VM-owned counter into the named loop variable.
+    ForTestCopy {
+        i: Reg,
+        end: Reg,
+        var: Reg,
+        target: u32,
+    },
+}
+
+/// A left-to-right chain of 1–3 scalar binary operations whose
+/// intermediates were single-use scratch registers before fusion:
+/// `t1 = r[a] op1 r[b]`, then (if `len >= 2`) `t2 = t1 op2 r[c]` — or
+/// `r[c] op2 t1` when `swap2` — then (if `len == 3`) the same with
+/// `op3`/`d`/`swap3`. Stages past `len` hold don't-care filler. The VM
+/// evaluates a chain with exactly the checks and ticks of the original
+/// `BinNum` sequence; a chained intermediate itself needs no checks (it
+/// is a number the VM just produced), matching how the original read of
+/// an always-initialised scratch slot could not fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct ChainSpec {
+    pub len: u8,
+    pub op1: BinOp,
+    pub a: Reg,
+    pub b: Reg,
+    pub op2: BinOp,
+    pub c: Reg,
+    pub swap2: bool,
+    pub op3: BinOp,
+    pub d: Reg,
+    pub swap3: bool,
 }
 
 /// A compiled PITS program: flat ops plus the frame layout metadata the
@@ -201,6 +259,7 @@ pub fn compile(prog: &Program) -> CompiledProgram {
         c.slot(n);
     }
     c.block(&prog.body);
+    c.ops = fuse(drop_dead_checks(std::mem::take(&mut c.ops)));
     let output_slots: Vec<Reg> = prog.outputs.iter().map(|n| c.slot(n)).collect();
 
     let n_vars = c.names.len();
@@ -597,6 +656,276 @@ impl Compiler {
     }
 }
 
+/// The link between two adjacent `BinNum`s: the first's destination
+/// feeds exactly one operand of the second. Returns the second op's
+/// *other* operand and whether the chained value sits on the right
+/// (`swap = true` means the chained intermediate is the RIGHT operand:
+/// `other op chained`).
+fn chain_link(t: Reg, lhs: Reg, rhs: Reg) -> Option<(Reg, bool)> {
+    match (lhs == t, rhs == t) {
+        (true, false) => Some((rhs, false)),
+        (false, true) => Some((lhs, true)),
+        _ => None,
+    }
+}
+
+/// Which op indices are jump targets. Interior ops of a fused group
+/// must not be targets (control may only *fall* into positions 2..n of
+/// a group); group heads may be.
+fn jump_targets(ops: &[Op]) -> Vec<bool> {
+    let mut is_target = vec![false; ops.len() + 1];
+    for op in ops {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse { target: t, .. }
+            | Op::ShortCircuit { target: t, .. }
+            | Op::ForTest { target: t, .. }
+            | Op::ForTestCopy { target: t, .. }
+            | Op::ForNext { head: t, .. } => is_target[*t as usize] = true,
+            _ => {}
+        }
+    }
+    is_target
+}
+
+/// Rewrites every jump target through `map` (old op index -> new op
+/// index) after a peephole pass dropped or merged ops.
+fn remap_targets(ops: &mut [Op], map: &[u32]) {
+    for op in ops {
+        match op {
+            Op::Jump(t)
+            | Op::JumpIfFalse { target: t, .. }
+            | Op::ShortCircuit { target: t, .. }
+            | Op::ForTest { target: t, .. }
+            | Op::ForTestCopy { target: t, .. }
+            | Op::ForNext { head: t, .. } => *t = map[*t as usize],
+            _ => {}
+        }
+    }
+}
+
+/// True when `op` writes `reg` with a value that is certainly a scalar
+/// number — the producers after which a [`Op::CheckNum`] on that
+/// register can never fire.
+fn writes_scalar(op: &Op, reg: Reg) -> bool {
+    match *op {
+        Op::BinNum { dst, .. }
+        | Op::IndexGet { dst, .. }
+        | Op::Const { dst, .. }
+        | Op::Neg { dst, .. }
+        | Op::Not { dst, .. } => dst == reg,
+        _ => false,
+    }
+}
+
+/// Peephole pass 1: drop `CheckNum`s that can never fire. The compiler
+/// emits `CheckNum` to preserve the tree-walker's evaluation order
+/// ("convert this operand to a number *before* evaluating the next
+/// sub-expression"); when the checked register was just written by an
+/// op that always produces a scalar, the check is unobservable — it
+/// ticks nothing and cannot fail — so dropping it changes no program's
+/// outcome, error, or measured weight. Kept when the `CheckNum` is a
+/// jump target (control could arrive without the producer running).
+fn drop_dead_checks(ops: Vec<Op>) -> Vec<Op> {
+    let n = ops.len();
+    let is_target = jump_targets(&ops);
+    let mut out: Vec<Op> = Vec::with_capacity(n);
+    let mut map = vec![0u32; n + 1];
+    for (i, op) in ops.into_iter().enumerate() {
+        map[i] = out.len() as u32;
+        if let Op::CheckNum { src, .. } = op {
+            if !is_target[i] && out.last().is_some_and(|prev| writes_scalar(prev, src)) {
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    map[n] = out.len() as u32;
+    remap_targets(&mut out, &map);
+    out
+}
+
+/// Peephole pass 2: superinstruction fuser, run on the finished op
+/// stream before [`CompiledProgram::seal`] (scratch registers are still
+/// identifiable as `>= TEMP_SPLIT`). Fusions performed:
+///
+/// * `BinNum` chains of length 2–3 where each intermediate is a scratch
+///   register written once and consumed by the very next op — the
+///   compiler's emission for nested scalar expressions like the affine
+///   index `(i - 1) * n + j` — become [`Op::BinChain`]. Scratch
+///   single-use holds by construction: every multi-read scratch
+///   lifetime (loop counters, bounds, call-argument blocks) is consumed
+///   by a non-`BinNum` op, so it can never match the pattern.
+/// * A chain (length 1–3) whose final scratch feeds the very next
+///   `IndexGet`'s index, or the very next `IndexSet`'s element value,
+///   fuses into [`Op::IdxGetChain`] / [`Op::IdxSetChain`] — the
+///   dominant array-sweep shape (`M[(i-1)*n+j]`).
+/// * `Tick(1), ForInc, Jump` — the for-loop back edge — becomes
+///   [`Op::ForNext`].
+/// * `ForTest, Copy` (counter publication) becomes [`Op::ForTestCopy`].
+///
+/// Registers already consumed into a chain must not reappear as later
+/// operands of the same fused group (the fused form never writes them,
+/// so a re-read would see a stale value); the scan checks this and
+/// refuses such fusions. Each fused op replays its constituents' checks
+/// and ticks in the identical order, preserving the ops-as-weight
+/// invariant bit-for-bit.
+fn fuse(ops: Vec<Op>) -> Vec<Op> {
+    let n = ops.len();
+    let is_target = jump_targets(&ops);
+    let temp = |r: Reg| r >= TEMP_SPLIT;
+
+    let mut out: Vec<Op> = Vec::with_capacity(n);
+    let mut map = vec![0u32; n + 1];
+    let mut i = 0usize;
+    while i < n {
+        map[i] = out.len() as u32;
+
+        // Scalar chains, longest first, then their array consumers.
+        if let Op::BinNum {
+            op: op1,
+            dst,
+            lhs: a,
+            rhs: b,
+        } = ops[i]
+        {
+            if temp(dst) {
+                let mut chain = ChainSpec {
+                    len: 1,
+                    op1,
+                    a,
+                    b,
+                    op2: op1,
+                    c: a,
+                    swap2: false,
+                    op3: op1,
+                    d: a,
+                    swap3: false,
+                };
+                // `last` holds the chain value so far; `interm` are the
+                // scratch registers already folded away (never written
+                // by the fused form, so later stages must not read them).
+                let mut last = dst;
+                let mut interm: Vec<Reg> = Vec::new();
+                let mut len = 1usize;
+                while len < 3 {
+                    let k = i + len;
+                    if k >= n || is_target[k] || !temp(last) {
+                        break;
+                    }
+                    let Op::BinNum { op, dst, lhs, rhs } = ops[k] else {
+                        break;
+                    };
+                    let Some((other, swap)) = chain_link(last, lhs, rhs) else {
+                        break;
+                    };
+                    if interm.contains(&other) {
+                        break;
+                    }
+                    if len == 1 {
+                        chain.op2 = op;
+                        chain.c = other;
+                        chain.swap2 = swap;
+                    } else {
+                        chain.op3 = op;
+                        chain.d = other;
+                        chain.swap3 = swap;
+                    }
+                    interm.push(last);
+                    last = dst;
+                    len += 1;
+                    chain.len = len as u8;
+                }
+
+                // An IndexGet/IndexSet consuming the chain's scratch?
+                let k = i + len;
+                let consumer = if k < n && !is_target[k] && temp(last) {
+                    match ops[k] {
+                        Op::IndexGet { dst, slot, idx }
+                            if idx == last && slot != last && !interm.contains(&slot) =>
+                        {
+                            Some(Op::IdxGetChain { chain, slot, dst })
+                        }
+                        Op::IndexSet { slot, idx, val }
+                            if val == last
+                                && idx != last
+                                && slot != last
+                                && !interm.contains(&idx)
+                                && !interm.contains(&slot) =>
+                        {
+                            Some(Op::IdxSetChain { chain, slot, idx })
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+
+                if let Some(op) = consumer {
+                    out.push(op);
+                    let fused = out.len() as u32 - 1;
+                    map[i..=k].fill(fused);
+                    i = k + 1;
+                    continue;
+                }
+                if len >= 2 {
+                    out.push(Op::BinChain { chain, dst: last });
+                    let fused = out.len() as u32 - 1;
+                    map[i..i + len].fill(fused);
+                    i += len;
+                    continue;
+                }
+            }
+        }
+
+        // For-loop back edge: Tick(1), ForInc, Jump.
+        if let Op::Tick(1) = ops[i] {
+            if i + 2 < n && !is_target[i + 1] && !is_target[i + 2] {
+                if let (Op::ForInc { i: ctr }, Op::Jump(head)) = (&ops[i + 1], &ops[i + 2]) {
+                    out.push(Op::ForNext {
+                        i: *ctr,
+                        head: *head,
+                    });
+                    map[i + 1] = out.len() as u32 - 1;
+                    map[i + 2] = out.len() as u32 - 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+
+        // Loop head: ForTest, Copy (publish counter into the variable).
+        if let Op::ForTest {
+            i: ctr,
+            end,
+            target,
+        } = ops[i]
+        {
+            if i + 1 < n && !is_target[i + 1] {
+                if let Op::Copy { dst, src } = ops[i + 1] {
+                    if src == ctr {
+                        out.push(Op::ForTestCopy {
+                            i: ctr,
+                            end,
+                            var: dst,
+                            target,
+                        });
+                        map[i + 1] = out.len() as u32 - 1;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        out.push(ops[i].clone());
+        i += 1;
+    }
+    map[n] = out.len() as u32;
+    remap_targets(&mut out, &map);
+    out
+}
+
 impl CompiledProgram {
     /// Declared input names in `input_slots` (declaration) order — the
     /// positional contract of [`crate::vm::Vm::run_dense`].
@@ -683,7 +1012,35 @@ impl CompiledProgram {
                     fix(i);
                     fix(end);
                 }
-                Op::ForInc { i } => fix(i),
+                Op::ForInc { i } | Op::ForNext { i, .. } => fix(i),
+                Op::ForTestCopy { i, end, var, .. } => {
+                    fix(i);
+                    fix(end);
+                    fix(var);
+                }
+                Op::BinChain { chain, dst } => {
+                    fix(&mut chain.a);
+                    fix(&mut chain.b);
+                    fix(&mut chain.c);
+                    fix(&mut chain.d);
+                    fix(dst);
+                }
+                Op::IdxGetChain { chain, slot, dst } => {
+                    fix(&mut chain.a);
+                    fix(&mut chain.b);
+                    fix(&mut chain.c);
+                    fix(&mut chain.d);
+                    fix(slot);
+                    fix(dst);
+                }
+                Op::IdxSetChain { chain, slot, idx } => {
+                    fix(&mut chain.a);
+                    fix(&mut chain.b);
+                    fix(&mut chain.c);
+                    fix(&mut chain.d);
+                    fix(slot);
+                    fix(idx);
+                }
                 Op::Print { src } => fix(src),
                 Op::Tick(_) | Op::Jump(_) | Op::Fail(_) => {}
             }
@@ -820,7 +1177,15 @@ mod tests {
             Op::BoolCast { src, dst, .. } => vec![src, dst],
             Op::CheckNum { src, .. } | Op::CheckNumRound { src, .. } => vec![src],
             Op::ForTest { i, end, .. } => vec![i, end],
-            Op::ForInc { i } => vec![i],
+            Op::ForInc { i } | Op::ForNext { i, .. } => vec![i],
+            Op::ForTestCopy { i, end, var, .. } => vec![i, end, var],
+            Op::BinChain { chain, dst } => vec![chain.a, chain.b, chain.c, chain.d, dst],
+            Op::IdxGetChain { chain, slot, dst } => {
+                vec![chain.a, chain.b, chain.c, chain.d, slot, dst]
+            }
+            Op::IdxSetChain { chain, slot, idx } => {
+                vec![chain.a, chain.b, chain.c, chain.d, slot, idx]
+            }
             Op::Print { src } => vec![src],
             Op::Tick(_) | Op::Jump(_) | Op::Fail(_) => vec![],
         }

@@ -24,7 +24,7 @@ pub struct ProgramLibrary {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    source: Program,
+    source: Arc<Program>,
     compiled: Arc<CompiledProgram>,
 }
 
@@ -51,7 +51,7 @@ impl ProgramLibrary {
         self.programs.insert(
             name.clone(),
             Entry {
-                source: prog,
+                source: Arc::new(prog),
                 compiled,
             },
         );
@@ -60,7 +60,16 @@ impl ProgramLibrary {
 
     /// Looks a program up by name.
     pub fn get(&self, name: &str) -> Option<&Program> {
-        self.programs.get(name).map(|e| &e.source)
+        self.programs.get(name).map(|e| e.source.as_ref())
+    }
+
+    /// The shared handle to a named program's AST. Lets long-lived
+    /// runtimes (the executor's persistent [`Session`]s) own their
+    /// routing tables without borrowing the library or cloning ASTs.
+    ///
+    /// [`Session`]: https://docs.rs/banger-exec
+    pub fn get_shared(&self, name: &str) -> Option<Arc<Program>> {
+        self.programs.get(name).map(|e| Arc::clone(&e.source))
     }
 
     /// The compile-once bytecode form of a named program. Cloning the
@@ -81,7 +90,7 @@ impl ProgramLibrary {
 
     /// Iterates over `(name, program)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Program)> {
-        self.programs.iter().map(|(n, e)| (n, &e.source))
+        self.programs.iter().map(|(n, e)| (n, e.source.as_ref()))
     }
 
     /// Static weight estimate for a named program (see [`crate::cost`]).

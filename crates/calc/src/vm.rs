@@ -190,6 +190,43 @@ impl Vm {
                 }
             }};
         }
+        // Evaluates a fused 1–3-op scalar chain (`ChainSpec`), replaying
+        // each constituent `BinNum`'s checks and ticks in order. The
+        // non-chained operand of each stage keeps its original left/right
+        // error context (`swap` = the chained value was the right-hand
+        // operand, so the register operand is the left).
+        macro_rules! chain_stage {
+            ($v:expr, $op:expr, $other:expr, $swap:expr) => {{
+                check_init!($other);
+                if $swap {
+                    let o = self.regs[$other as usize].as_num(ctx::LEFT_OPERAND)?;
+                    tick!(1);
+                    apply_bin($op, o, $v)
+                } else {
+                    let o = self.regs[$other as usize].as_num(ctx::RIGHT_OPERAND)?;
+                    tick!(1);
+                    apply_bin($op, $v, o)
+                }
+            }};
+        }
+        macro_rules! chain_eval {
+            ($ch:expr) => {{
+                let ch = $ch;
+                check_init!(ch.a);
+                let l = self.regs[ch.a as usize].as_num(ctx::LEFT_OPERAND)?;
+                check_init!(ch.b);
+                let r = self.regs[ch.b as usize].as_num(ctx::RIGHT_OPERAND)?;
+                tick!(1);
+                let mut v = apply_bin(ch.op1, l, r);
+                if ch.len >= 2 {
+                    v = chain_stage!(v, ch.op2, ch.c, ch.swap2);
+                }
+                if ch.len >= 3 {
+                    v = chain_stage!(v, ch.op3, ch.d, ch.swap3);
+                }
+                v
+            }};
+        }
 
         while pc < code.len() {
             match code[pc] {
@@ -245,22 +282,60 @@ impl Vm {
                     check_init!(rhs);
                     let r = self.regs[rhs as usize].as_num(ctx::RIGHT_OPERAND)?;
                     tick!(1);
-                    let v = match op {
-                        BinOp::Add => l + r,
-                        BinOp::Sub => l - r,
-                        BinOp::Mul => l * r,
-                        BinOp::Div => l / r, // IEEE semantics, like the tree-walker
-                        BinOp::Mod => l.rem_euclid(r),
-                        BinOp::Pow => l.powf(r),
-                        BinOp::Eq => bool_num(l == r),
-                        BinOp::Ne => bool_num(l != r),
-                        BinOp::Lt => bool_num(l < r),
-                        BinOp::Le => bool_num(l <= r),
-                        BinOp::Gt => bool_num(l > r),
-                        BinOp::Ge => bool_num(l >= r),
-                        BinOp::And | BinOp::Or => unreachable!("compiled to ShortCircuit"),
-                    };
+                    put!(dst, Value::Num(apply_bin(op, l, r)));
+                }
+                // The fused chains replay their constituent `BinNum`s'
+                // check/tick/compute sequences exactly; intermediates
+                // live in a local instead of scratch registers. A
+                // chained intermediate needs no checks (it is a number
+                // the VM just produced), matching how the original read
+                // of an always-initialised scratch slot could not fail.
+                Op::BinChain { ref chain, dst } => {
+                    let v = chain_eval!(chain);
                     put!(dst, Value::Num(v));
+                }
+                Op::IdxGetChain {
+                    ref chain,
+                    slot,
+                    dst,
+                } => {
+                    // The chain computes the index; then exactly the
+                    // `IndexGet` sequence (its index checks are the
+                    // trivially-passing scratch reads).
+                    let raw = chain_eval!(chain);
+                    let name = &prog.var_names[slot as usize];
+                    if !self.init[slot as usize] {
+                        return Err(RunError::Undefined(name.clone()));
+                    }
+                    let v = match &self.regs[slot as usize] {
+                        Value::Array(a) => a[to_index(raw, name, a.len())?],
+                        Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
+                    };
+                    tick!(1);
+                    put!(dst, Value::Num(v));
+                }
+                Op::IdxSetChain {
+                    ref chain,
+                    slot,
+                    idx,
+                } => {
+                    // The chain computes the element *value* (it ran
+                    // before the `IndexSet` in the unfused stream); the
+                    // index check below is the real one.
+                    let v = chain_eval!(chain);
+                    check_init!(idx);
+                    let raw = self.regs[idx as usize].as_num(ctx::ARRAY_INDEX)?;
+                    let name = &prog.var_names[slot as usize];
+                    if !self.init[slot as usize] {
+                        return Err(RunError::Undefined(name.clone()));
+                    }
+                    match &mut self.regs[slot as usize] {
+                        Value::Array(a) => {
+                            let i = to_index(raw, name, a.len())?;
+                            crate::value::make_mut_counted(a)[i] = v;
+                        }
+                        Value::Num(_) => return Err(RunError::NotAnArray(name.clone())),
+                    }
                 }
                 Op::Neg { dst, src } => {
                     check_init!(src);
@@ -351,6 +426,26 @@ impl Vm {
                     let v = own_num!(i);
                     self.regs[i as usize] = Value::Num(v + 1.0);
                 }
+                Op::ForNext { i, head } => {
+                    tick!(1);
+                    let v = own_num!(i);
+                    self.regs[i as usize] = Value::Num(v + 1.0);
+                    pc = head as usize;
+                    continue;
+                }
+                Op::ForTestCopy {
+                    i,
+                    end,
+                    var,
+                    target,
+                } => {
+                    if own_num!(i) > own_num!(end) {
+                        pc = target as usize;
+                        continue;
+                    }
+                    let v = self.regs[i as usize].clone();
+                    put!(var, v);
+                }
                 Op::Print { src } => {
                     check_init!(src);
                     prints.push(self.regs[src as usize].to_string());
@@ -368,6 +463,26 @@ fn bool_num(b: bool) -> f64 {
         1.0
     } else {
         0.0
+    }
+}
+
+/// Scalar arithmetic shared by [`Op::BinNum`] and the fused chain ops.
+#[inline(always)]
+fn apply_bin(op: BinOp, l: f64, r: f64) -> f64 {
+    match op {
+        BinOp::Add => l + r,
+        BinOp::Sub => l - r,
+        BinOp::Mul => l * r,
+        BinOp::Div => l / r, // IEEE semantics, like the tree-walker
+        BinOp::Mod => l.rem_euclid(r),
+        BinOp::Pow => l.powf(r),
+        BinOp::Eq => bool_num(l == r),
+        BinOp::Ne => bool_num(l != r),
+        BinOp::Lt => bool_num(l < r),
+        BinOp::Le => bool_num(l <= r),
+        BinOp::Gt => bool_num(l > r),
+        BinOp::Ge => bool_num(l >= r),
+        BinOp::And | BinOp::Or => unreachable!("compiled to ShortCircuit"),
     }
 }
 

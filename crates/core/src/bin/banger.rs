@@ -62,7 +62,10 @@ const COMMANDS: &[(&str, &str)] = &[
     ("svg", "write gantt/speedup/utilization SVG charts"),
     ("save-schedule", "persist a schedule to a file"),
     ("verify", "validate + replay a saved schedule"),
-    ("run", "execute the design on host threads"),
+    (
+        "run",
+        "execute the design on host threads (--repeat N for a warm session)",
+    ),
     ("trial", "trial-run one PITS program with explicit inputs"),
     ("speedup", "speedup prediction sweep over topologies"),
     ("codegen", "emit generated Rust or C code to stdout"),
@@ -141,6 +144,8 @@ fn usage_text() -> String {
          \x20 -o <path>        svg/save-schedule: output location\n\
          \x20 --format <fmt>   check: text (default) or json\n\
          \x20 --reference      trial: use the tree-walking reference interpreter\n\
+         \x20 --repeat <n>     run: fire the design n times through one persistent\n\
+         \x20                  session (warm worker pool; prints per-firing stats)\n\
          \x20 --trace <path>   run: execute pinned to the -H schedule with tracing,\n\
          \x20                  write Chrome trace JSON (chrome://tracing, Perfetto)\n\
          \x20                  and print the observed-vs-predicted drift report\n\
@@ -451,12 +456,16 @@ fn cmd_verify(project: &mut Project, rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
-    // banger run <file> [-i var=value]... [--trace out.json [-H h]]
-    // Plain runs use the greedy pool. With --trace, the design runs
-    // pinned to the -H schedule (default MH) with event tracing on: the
-    // Chrome trace JSON goes to out.json, and the predicted vs observed
-    // Gantt charts, the per-task drift report, and the aggregate trace
-    // counters print alongside the outputs.
+    // banger run <file> [-i var=value]... [--repeat N] [--trace out.json [-H h]]
+    // Plain runs use the greedy work-stealing pool. With --repeat N the
+    // design fires N times through one persistent exec::Session (warm
+    // worker pool, routing tables, and slab store reused per firing) and
+    // the last firing's outputs print, with per-firing latency stats.
+    // With --trace, the design runs pinned to the -H schedule (default
+    // MH) with event tracing on: the Chrome trace JSON goes to out.json,
+    // and the predicted vs observed Gantt charts, the per-task drift
+    // report, and the aggregate trace counters print alongside the
+    // outputs.
     let inputs = opt_inputs(rest)?;
     let trace_path = rest
         .windows(2)
@@ -464,6 +473,45 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
         .map(|w| w[1].clone());
     if rest.iter().any(|a| a == "--trace") && trace_path.is_none() {
         return Err("--trace needs an output path (e.g. --trace out.json)".to_string());
+    }
+    let repeat = rest
+        .windows(2)
+        .find(|w| w[0] == "--repeat")
+        .map(|w| {
+            w[1].parse::<u32>()
+                .map_err(|_| format!("--repeat needs a positive count, got {:?}", w[1]))
+        })
+        .transpose()?;
+    if rest.iter().any(|a| a == "--repeat") && repeat.is_none() {
+        return Err("--repeat needs a count (e.g. --repeat 1000)".to_string());
+    }
+
+    if let Some(n) = repeat {
+        if n == 0 {
+            return Err("--repeat needs a count of at least 1".to_string());
+        }
+        if trace_path.is_some() {
+            return Err("--repeat and --trace are mutually exclusive".to_string());
+        }
+        let mut session = project
+            .session(&banger_exec::ExecOptions::default())
+            .map_err(|e| e.to_string())?;
+        let mut report = None;
+        let mut total = std::time::Duration::ZERO;
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..n {
+            let r = session.run(&inputs).map_err(|e| e.to_string())?;
+            total += r.wall;
+            best = best.min(r.wall);
+            report = Some(r);
+        }
+        print_run_output(&report.expect("n >= 1"));
+        eprintln!(
+            "({n} firings on {} warm workers: total {total:?}, mean {:?}, best {best:?})",
+            session.workers(),
+            total / n,
+        );
+        return Ok(());
     }
 
     let Some(trace_path) = trace_path else {

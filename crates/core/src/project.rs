@@ -12,7 +12,7 @@ use crate::gantt::{self, GanttOptions};
 use banger_analyze::Diagnostic;
 use banger_calc::{interp, InterpConfig, Outcome, ProgramLibrary, RunError, Value};
 use banger_codegen::CodegenError;
-use banger_exec::{execute, ExecError, ExecMode, ExecOptions, ExecReport};
+use banger_exec::{execute, ExecError, ExecMode, ExecOptions, ExecReport, Session};
 use banger_machine::{Machine, MachineParams, Topology};
 use banger_sched::{Schedule, ScheduleSummary};
 use banger_sim::{simulate, SimError, SimOptions, SimResult};
@@ -340,6 +340,19 @@ impl Project {
         self.flatten()?;
         let f = self.flattened.as_ref().unwrap();
         Ok(execute(f, &self.library, inputs, options)?)
+    }
+
+    /// Opens a persistent [`Session`] on the design: routing tables,
+    /// compiled programs, the slab store, and a parked worker pool all
+    /// survive across [`Session::run`] firings, so repeated executions
+    /// (parameter sweeps, convergence loops, `banger run --repeat N`)
+    /// pay the setup once. Greedy mode only.
+    /// The design must pass [`diagnose`](Self::diagnose) with no errors.
+    pub fn session(&mut self, options: &ExecOptions) -> Result<Session, ProjectError> {
+        self.gate()?;
+        self.flatten()?;
+        let f = self.flattened.as_ref().unwrap();
+        Ok(Session::new(f, &self.library, options)?)
     }
 
     /// Renders a traced execution's *observed* timeline as an ASCII

@@ -19,8 +19,20 @@
 //!   its placements in predicted start order, including duplicated
 //!   copies. This is "run the Gantt chart".
 //!
-//! All synchronisation uses `crossbeam` channels plus a `parking_lot`
-//! mutex/condvar pair around the results store; workers never busy-wait.
+//! Greedy mode runs on per-worker Chase–Lev work-stealing deques
+//! (`crossbeam::deque`): completing a task publishes newly ready
+//! successors straight into the completing worker's own deque, idle
+//! workers steal, and tasks below [`ExecOptions::inline_below`] run on
+//! the publishing thread's private stack with no queueing at all.
+//! Blocking uses a `parking_lot` mutex/condvar pair behind a Dekker
+//! flag; workers never busy-wait and publishers pay no syscall while
+//! nobody sleeps.
+//!
+//! For repeated firings of one design — parameter sweeps, convergence
+//! loops — a persistent [`Session`] keeps the worker threads parked and
+//! the routing tables, compiled programs, Vm frames, and slab store
+//! allocated across runs, so a warm firing pays none of the per-
+//! `execute` setup.
 //!
 //! Setting [`ExecOptions::trace`] makes either mode record a
 //! [`Trace`](banger_trace::Trace) of what actually happened — task
@@ -32,6 +44,10 @@
 //! swallowed by a thread join.
 
 pub mod runner;
+pub mod session;
 
 pub use banger_trace::{DriftReport, Trace, TraceEvent, TraceSummary};
-pub use runner::{execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun};
+pub use runner::{
+    execute, ExecError, ExecMode, ExecOptions, ExecReport, TaskRun, DEFAULT_INLINE_BELOW,
+};
+pub use session::Session;

@@ -18,18 +18,36 @@
 //! compute. DESIGN.md §10 documents the routing tables and the CoW
 //! contract.
 //!
+//! ## Work stealing
+//!
+//! Greedy mode has no coordinator thread and no channels. Each worker
+//! owns a Chase–Lev deque ([`crossbeam::deque`]); completing a task
+//! decrements successor in-degrees (atomics) and publishes newly ready
+//! tasks straight into the completing worker's own deque, where idle
+//! workers steal them FIFO. Ready tasks whose static weight falls below
+//! [`ExecOptions::inline_below`] skip the deque entirely: they go onto
+//! the worker's private stack and run on the same thread with no
+//! publication and no wakeup — the small-grain regime the paper's
+//! large-grain model degrades into pays no coordination at all. Workers
+//! with nothing to run or steal park on a condvar behind a Dekker-style
+//! `waiting` flag, so publishers pay a fence plus one relaxed load (no
+//! syscall) when nobody sleeps. The same machinery is reused across
+//! firings by [`crate::session::Session`], which keeps the threads
+//! parked between runs. DESIGN.md §12 documents the protocol.
+//!
 //! ## Tracing and error paths
 //!
 //! With [`ExecOptions::trace`] set, every mode records
 //! [`TraceEvent`]s — task start/finish with CoW copy counts and
-//! per-input byte volumes, queue/dependency waits, and error events —
-//! into per-worker buffers merged into [`ExecReport::trace`]. With the
-//! flag off the hot path does no trace work at all. Task bodies run
-//! under `catch_unwind` in every mode, so a panicking body surfaces as
+//! per-input byte volumes, queue/dependency waits, per-worker
+//! steal/inline counters, and error events — into per-worker buffers
+//! merged into [`ExecReport::trace`]. With the flag off the hot path
+//! does no trace work at all. Task bodies run under `catch_unwind` in
+//! every mode, so a panicking body surfaces as
 //! [`ExecError::WorkerPanic`] naming the task instead of killing the
-//! worker silently; and the greedy coordinator treats a `done` channel
-//! disconnect with work outstanding as [`ExecError::WorkerLost`] rather
-//! than panicking itself. DESIGN.md §11 documents the event model and
+//! worker silently; a worker thread lost with work in flight poisons
+//! the run and surfaces as [`ExecError::WorkerLost`] rather than
+//! hanging the barrier. DESIGN.md §11 documents the event model and
 //! the overhead contract.
 
 use banger_calc::compile::CompiledProgram;
@@ -40,14 +58,21 @@ use banger_sched::Schedule;
 use banger_taskgraph::hierarchy::Flattened;
 use banger_taskgraph::{TaskGraph, TaskId};
 use banger_trace::{Trace, TraceEvent};
-use crossbeam::channel;
+use crossbeam::deque::{self, Steal};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default [`ExecOptions::inline_below`]: ready tasks whose static
+/// weight (ops estimate) is under this run on the publishing worker's
+/// private stack instead of a stealable deque. Weights are in
+/// interpreter ops (see DESIGN.md §9's ops-as-weight invariant), so
+/// this says "don't pay cross-thread handoff for under ~1k ops".
+pub const DEFAULT_INLINE_BELOW: f64 = 1024.0;
 
 /// How tasks are dispatched to workers.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,10 +107,22 @@ pub struct ExecOptions {
     /// Record a [`Trace`] of the execution into [`ExecReport::trace`].
     /// Off by default; the untraced hot path performs no trace work.
     pub trace: bool,
+    /// Work-stealing greedy mode: ready tasks with static weight
+    /// strictly below this run on the publishing worker's private
+    /// stack — no deque publication, no wakeup, no steal. `0.0`
+    /// disables inlining (every ready task is stealable), which the
+    /// differential suites use to force the cross-thread path.
+    pub inline_below: f64,
     /// Fault injection for error-path tests: panic inside the body of
     /// the task with this exact name. Not part of the public contract.
     #[doc(hidden)]
     pub inject_panic: Option<String>,
+    /// Fault injection for error-path tests: the worker that dequeues
+    /// the task with this exact name dies (its thread unwinds with the
+    /// task unfinished), exercising the `WorkerLost` path. Not part of
+    /// the public contract.
+    #[doc(hidden)]
+    pub inject_worker_death: Option<String>,
 }
 
 impl Default for ExecOptions {
@@ -94,7 +131,9 @@ impl Default for ExecOptions {
             mode: ExecMode::Greedy { workers: 0 },
             interp: InterpConfig::default(),
             trace: false,
+            inline_below: DEFAULT_INLINE_BELOW,
             inject_panic: None,
+            inject_worker_death: None,
         }
     }
 }
@@ -182,8 +221,8 @@ pub enum ExecError {
         /// The panic payload, if it was a string.
         message: String,
     },
-    /// Every worker exited while tasks were still outstanding — the
-    /// coordinator's `done` channel disconnected mid-run.
+    /// A worker thread was lost with tasks still outstanding (its
+    /// dequeued work never completed), so the run can no longer drain.
     WorkerLost(String),
 }
 
@@ -224,20 +263,20 @@ type TaskOutputs = Arc<Vec<Value>>;
 /// Shared results store: an indexed slab of task outputs plus a condvar
 /// for pinned-mode waiting. No string keys anywhere — consumers address
 /// values as `outputs[task][output index]` via the [`Router`].
-struct Store {
+pub(crate) struct Store {
     /// `outputs[t]` is `Some` once any copy of `t` completed.
-    outputs: Mutex<Vec<Option<TaskOutputs>>>,
+    pub(crate) outputs: Mutex<Vec<Option<TaskOutputs>>>,
     ready: Condvar,
     /// Threads currently blocked in [`Store::wait_for`]. Publishing only
     /// notifies the condvar when this is non-zero: only pinned mode ever
     /// waits, and `std`'s futex condvar pays a `FUTEX_WAKE` syscall per
     /// notify even with no waiters — a measurable per-task tax otherwise.
     waiters: AtomicUsize,
-    poisoned: AtomicBool,
+    pub(crate) poisoned: AtomicBool,
 }
 
 impl Store {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Store {
             outputs: Mutex::new(vec![None; n]),
             ready: Condvar::new(),
@@ -258,8 +297,19 @@ impl Store {
         }
     }
 
-    fn get(&self, t: TaskId) -> Option<TaskOutputs> {
+    pub(crate) fn get(&self, t: TaskId) -> Option<TaskOutputs> {
         self.outputs.lock()[t.index()].clone()
+    }
+
+    /// Rearms the slab for another firing of the same graph (session
+    /// reuse): drops every published output, un-poisons. The backing
+    /// `Vec` keeps its allocation.
+    pub(crate) fn reset(&self) {
+        let mut lock = self.outputs.lock();
+        for slot in lock.iter_mut() {
+            *slot = None;
+        }
+        self.poisoned.store(false, Ordering::SeqCst);
     }
 
     /// Blocks until every task in `tasks` has published (pinned mode).
@@ -293,46 +343,52 @@ enum Feed {
     /// Output port `out` of task `src` (an index into its published
     /// output vector).
     Arc { src: TaskId, out: u32 },
-    /// Densified external input `Router::externals[idx]`.
+    /// Densified external-input slot `idx` (bound per firing by
+    /// [`Router::bind`]).
     External(u32),
 }
 
 /// Everything one task needs to run, with all names resolved away.
-struct TaskRoute<'l> {
+/// Owns `Arc` handles into the library (no borrows), so a [`Router`]
+/// can outlive the `execute` call that built it — the persistent
+/// [`crate::session::Session`] keeps one across thousands of firings.
+struct TaskRoute {
     /// Pre-resolved bytecode (shared with the library; workers bump the
     /// refcount, never re-compile).
     compiled: Arc<CompiledProgram>,
     /// The AST, for reference-interpreter runs.
-    prog: &'l Program,
+    prog: Arc<Program>,
     /// One feed per program input, in `input_slots` (declaration) order —
     /// the positional contract of [`Vm::run_dense`].
     feeds: Vec<Feed>,
 }
 
-/// Dense routing tables for one execution: built once, read by every
-/// worker. Resolving `(task, var)` string pairs happens here and only
-/// here; binding failures (`UnboundInput`, `MissingArcValue`) surface
-/// before any task runs.
-struct Router<'l> {
-    routes: Vec<TaskRoute<'l>>,
-    /// External input values actually referenced by some feed (an `Arc`
-    /// bump per referencing task at gather time).
-    externals: Vec<Value>,
+/// Dense routing tables for a design: built once, read by every worker
+/// across any number of firings. Resolving `(task, var)` string pairs
+/// happens here and only here; structural failures (`NoProgram`,
+/// `MissingArcValue`) surface at build time, and per-firing value
+/// failures (`UnboundInput`) at [`Router::bind`] time — both before
+/// any task runs.
+pub(crate) struct Router {
+    routes: Vec<TaskRoute>,
+    /// External-input slots in first-reference order: `(variable, name
+    /// of the first task that reads it)` — the task named by an
+    /// `UnboundInput` error when a firing omits the variable.
+    ext_slots: Vec<(String, String)>,
+    /// Slot indices sorted by variable name — the merge-join order used
+    /// by [`Router::bind`].
+    ext_sorted: Vec<u32>,
     /// Design output ports: `(port var, producing task, output index)`.
     out_ports: Vec<(String, TaskId, usize)>,
 }
 
-impl<'l> Router<'l> {
-    fn build(
-        design: &Flattened,
-        lib: &'l ProgramLibrary,
-        external: &BTreeMap<String, Value>,
-    ) -> Result<Self, ExecError> {
+impl Router {
+    pub(crate) fn build(design: &Flattened, lib: &ProgramLibrary) -> Result<Self, ExecError> {
         let g = &design.graph;
         // Pass 1: every task resolves to a program (fail fast, not
         // mid-run).
         let mut compiled: Vec<Arc<CompiledProgram>> = Vec::with_capacity(g.task_count());
-        let mut progs: Vec<&'l Program> = Vec::with_capacity(g.task_count());
+        let mut progs: Vec<Arc<Program>> = Vec::with_capacity(g.task_count());
         for t in g.task_ids() {
             let task = g.task(t);
             let name = task
@@ -340,16 +396,16 @@ impl<'l> Router<'l> {
                 .as_deref()
                 .ok_or_else(|| ExecError::NoProgram(task.name.clone()))?;
             let prog = lib
-                .get(name)
+                .get_shared(name)
                 .ok_or_else(|| ExecError::UnknownProgram(name.to_string()))?;
             progs.push(prog);
-            compiled.push(lib.get_compiled(name).expect("get() succeeded"));
+            compiled.push(lib.get_compiled(name).expect("get_shared() succeeded"));
         }
 
         // Pass 2: resolve every input binding to a feed.
-        let mut externals: Vec<Value> = Vec::new();
-        let mut ext_index: BTreeMap<&str, u32> = BTreeMap::new();
-        let mut routes: Vec<TaskRoute<'l>> = Vec::with_capacity(g.task_count());
+        let mut ext_slots: Vec<(String, String)> = Vec::new();
+        let mut ext_index: BTreeMap<String, u32> = BTreeMap::new();
+        let mut routes: Vec<TaskRoute> = Vec::with_capacity(g.task_count());
         for t in g.task_ids() {
             let c = Arc::clone(&compiled[t.index()]);
             let mut feeds = Vec::with_capacity(c.input_slots.len());
@@ -372,23 +428,17 @@ impl<'l> Router<'l> {
                         continue 'vars;
                     }
                 }
-                // ... otherwise the design's external inputs must.
-                if let Some((key, v)) = external.get_key_value(var) {
-                    let idx = *ext_index.entry(key.as_str()).or_insert_with(|| {
-                        externals.push(v.clone());
-                        (externals.len() - 1) as u32
-                    });
-                    feeds.push(Feed::External(idx));
-                    continue 'vars;
-                }
-                return Err(ExecError::UnboundInput {
-                    task: g.task(t).name.clone(),
-                    var: var.to_string(),
+                // ... otherwise it is an external-input slot, valued per
+                // firing by `bind`.
+                let idx = *ext_index.entry(var.to_string()).or_insert_with(|| {
+                    ext_slots.push((var.to_string(), g.task(t).name.clone()));
+                    (ext_slots.len() - 1) as u32
                 });
+                feeds.push(Feed::External(idx));
             }
             routes.push(TaskRoute {
                 compiled: c,
-                prog: progs[t.index()],
+                prog: Arc::clone(&progs[t.index()]),
                 feeds,
             });
         }
@@ -408,11 +458,64 @@ impl<'l> Router<'l> {
             out_ports.push((port.var.clone(), t, out));
         }
 
+        let mut ext_sorted: Vec<u32> = (0..ext_slots.len() as u32).collect();
+        ext_sorted.sort_by(|&x, &y| ext_slots[x as usize].0.cmp(&ext_slots[y as usize].0));
+
         Ok(Router {
             routes,
-            externals,
+            ext_slots,
+            ext_sorted,
             out_ports,
         })
+    }
+
+    /// Values for every external-input slot, in slot order, from one
+    /// firing's `external` map. A missing variable is `UnboundInput`
+    /// naming the first task that reads it — the same attribution the
+    /// build-time check used to give.
+    ///
+    /// This runs on every `Session` firing, so instead of one `BTreeMap`
+    /// lookup per slot it merge-joins the slots (pre-sorted by variable
+    /// at build time) against the map's ordered iterator — one linear
+    /// walk over both. Extra keys in `external` are skipped; a missing
+    /// slot bails to a cold path that rescans in slot order so the
+    /// reported `(task, var)` is identical to the per-slot version's.
+    pub(crate) fn bind(&self, external: &BTreeMap<String, Value>) -> Result<Vec<Value>, ExecError> {
+        let mut vals = vec![Value::Num(0.0); self.ext_slots.len()];
+        let mut it = external.iter();
+        let mut cur = it.next();
+        for &si in &self.ext_sorted {
+            let var = self.ext_slots[si as usize].0.as_str();
+            loop {
+                match cur {
+                    Some((k, v)) => match k.as_str().cmp(var) {
+                        std::cmp::Ordering::Less => cur = it.next(),
+                        std::cmp::Ordering::Equal => {
+                            vals[si as usize] = v.clone();
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => return Err(self.unbound(external)),
+                    },
+                    None => return Err(self.unbound(external)),
+                }
+            }
+        }
+        Ok(vals)
+    }
+
+    /// Error path of [`Router::bind`]: the first slot (in first-reference
+    /// order) whose variable the firing omitted.
+    #[cold]
+    fn unbound(&self, external: &BTreeMap<String, Value>) -> ExecError {
+        for (var, task) in &self.ext_slots {
+            if !external.contains_key(var) {
+                return ExecError::UnboundInput {
+                    task: task.clone(),
+                    var: var.clone(),
+                };
+            }
+        }
+        unreachable!("bind() only takes the cold path on a missing slot")
     }
 }
 
@@ -430,7 +533,8 @@ pub fn execute(
         return Err(ExecError::Cyclic);
     }
     // All name resolution happens here; workers only see indices.
-    let router = Router::build(design, lib, external)?;
+    let router = Router::build(design, lib)?;
+    let externals = router.bind(external)?;
 
     let store = Store::new(g.task_count());
     let epoch = Instant::now();
@@ -439,6 +543,7 @@ pub fn execute(
         router: &router,
         options,
         store: &store,
+        externals: &externals,
         epoch,
     };
 
@@ -462,31 +567,44 @@ pub fn execute(
         ExecMode::Pinned(schedule) => run_pinned(&ctx, schedule)?,
     };
 
+    Ok(assemble_report(&router, &store, out, epoch, options.trace))
+}
+
+/// Collects a finished mode's output into the caller-facing report:
+/// output-port values out of the slab, wall clock, optional trace.
+/// Shared by `execute` and the persistent session.
+pub(crate) fn assemble_report(
+    router: &Router,
+    store: &Store,
+    out: ModeOutput,
+    epoch: Instant,
+    tracing: bool,
+) -> ExecReport {
     let mut outputs = BTreeMap::new();
     for (var, t, out) in &router.out_ports {
         let vals = store.get(*t).expect("all tasks completed");
         outputs.insert(var.clone(), vals[*out].clone());
     }
     let wall = epoch.elapsed();
-    let trace = options
-        .trace
-        .then(|| Trace::from_events(out.events, out.workers, wall));
-    Ok(ExecReport {
+    let trace = tracing.then(|| Trace::from_events(out.events, out.workers, wall));
+    ExecReport {
         outputs,
         runs: out.runs,
         wall,
         prints: out.prints,
         trace,
-    })
+    }
 }
 
 /// What each dispatch mode hands back to `execute`.
-struct ModeOutput {
+pub(crate) struct ModeOutput {
     runs: Vec<TaskRun>,
     prints: Vec<(TaskId, String)>,
     /// Trace events (empty unless `ExecOptions::trace`).
     events: Vec<TraceEvent>,
-    /// Worker threads the mode actually used.
+    /// Worker threads that actually executed or recorded something —
+    /// work-stealing runs where inlining collapsed the firing onto one
+    /// thread report 1 regardless of pool size.
     workers: usize,
 }
 
@@ -501,12 +619,16 @@ impl ModeOutput {
 }
 
 /// Everything a worker needs, bundled so dispatch code stays readable.
-struct Ctx<'a> {
-    g: &'a TaskGraph,
-    router: &'a Router<'a>,
-    options: &'a ExecOptions,
-    store: &'a Store,
-    epoch: Instant,
+/// One `Ctx` lives for one firing; the session rebuilds it per firing
+/// around its long-lived router/store/graph.
+pub(crate) struct Ctx<'a> {
+    pub(crate) g: &'a TaskGraph,
+    pub(crate) router: &'a Router,
+    pub(crate) options: &'a ExecOptions,
+    pub(crate) store: &'a Store,
+    /// This firing's external-input values, in `Router` slot order.
+    pub(crate) externals: &'a [Value],
+    pub(crate) epoch: Instant,
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -585,7 +707,7 @@ fn run_one(
                         .expect("predecessor must have completed");
                     produced[out as usize].clone()
                 }
-                Feed::External(i) => ctx.router.externals[i as usize].clone(),
+                Feed::External(i) => ctx.externals[i as usize].clone(),
             });
         }
     }
@@ -628,7 +750,7 @@ fn run_one(
             .zip(frame.iter().cloned())
             .collect();
         let mut outcome =
-            interp::run_with(route.prog, &inputs, ctx.options.interp).map_err(|error| {
+            interp::run_with(&route.prog, &inputs, ctx.options.interp).map_err(|error| {
                 ExecError::Run {
                     task: ctx.g.task(t).name.clone(),
                     error,
@@ -716,121 +838,434 @@ fn run_inline(ctx: &Ctx<'_>) -> Result<ModeOutput, ExecError> {
     .sorted())
 }
 
-fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<ModeOutput, ExecError> {
-    let g = ctx.g;
-    let tracing = ctx.options.trace;
-    // Tasks travel with their enqueue time when tracing, so the dequeuing
-    // worker can record the ready-to-running queue wait.
-    let (task_tx, task_rx) = channel::unbounded::<(TaskId, Option<Duration>)>();
-    let (done_tx, done_rx) =
-        channel::unbounded::<Result<(TaskRun, Vec<(TaskId, String)>), ExecError>>();
-    let enqueue_stamp = || tracing.then(|| ctx.epoch.elapsed());
+/// A ready task travelling through the work-stealing deques, stamped
+/// with its publication time iff tracing (for `QueueWait` attribution;
+/// inline tasks never queue, so they carry no stamp).
+pub(crate) type WsItem = (TaskId, Option<Duration>);
 
-    let mut indeg: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
-    let mut outstanding = 0usize;
-    for t in g.task_ids() {
-        if indeg[t.index()] == 0 {
-            task_tx.send((t, enqueue_stamp())).expect("channel open");
-            outstanding += 1;
+/// Barrier state guarded by [`WsState::coord`].
+pub(crate) struct WsCoord {
+    /// Pool workers (indices ≥ 1) parked between firings (session) or
+    /// after their final firing.
+    pub(crate) parked: usize,
+    /// Pool workers whose threads died (injected faults); the session
+    /// barrier counts them as permanently "parked".
+    pub(crate) dead: usize,
+}
+
+/// Per-worker completed-work buffers, merged at flush points.
+#[derive(Default)]
+pub(crate) struct WsSink {
+    runs: Vec<TaskRun>,
+    prints: Vec<(TaskId, String)>,
+    events: Vec<TraceEvent>,
+}
+
+/// Work-stealing shared state for one pool (one `execute` call, or the
+/// whole lifetime of a session).
+pub(crate) struct WsState {
+    /// One stealer handle per worker deque, visible to every worker.
+    pub(crate) stealers: Vec<deque::Stealer<WsItem>>,
+    /// Remaining-predecessor count per task; the `fetch_sub` that hits
+    /// zero owns publication of that task.
+    indeg: Vec<AtomicU32>,
+    /// Tasks not yet completed this firing; zero ends the firing.
+    remaining: AtomicUsize,
+    /// Workers inside the park path — the Dekker flag publishers check
+    /// (fence + relaxed load, no syscall) before touching the condvar.
+    pub(crate) waiting: AtomicUsize,
+    pub(crate) coord: Mutex<WsCoord>,
+    pub(crate) cv: Condvar,
+    first_error: Mutex<Option<ExecError>>,
+    sink: Mutex<WsSink>,
+    /// Session teardown flag; one-shot executions never set it.
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl WsState {
+    pub(crate) fn new(g: &TaskGraph, stealers: Vec<deque::Stealer<WsItem>>) -> Self {
+        WsState {
+            stealers,
+            indeg: g
+                .task_ids()
+                .map(|t| AtomicU32::new(g.in_degree(t) as u32))
+                .collect(),
+            remaining: AtomicUsize::new(g.task_count()),
+            waiting: AtomicUsize::new(0),
+            coord: Mutex::new(WsCoord { parked: 0, dead: 0 }),
+            cv: Condvar::new(),
+            first_error: Mutex::new(None),
+            sink: Mutex::new(WsSink::default()),
+            shutdown: AtomicBool::new(false),
         }
     }
-    let total = g.task_count();
-    let mut completed = 0usize;
-    let mut runs = Vec::with_capacity(total);
-    let mut prints = Vec::new();
-    let mut first_error: Option<ExecError> = None;
-    // Per-worker event buffers merge here when each worker exits.
-    let event_sink: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+    /// Rearms per-firing state for session reuse. Callers must ensure
+    /// every pool worker is parked and every deque drained first.
+    pub(crate) fn reset(&self, g: &TaskGraph) {
+        for t in g.task_ids() {
+            self.indeg[t.index()].store(g.in_degree(t) as u32, Ordering::Relaxed);
+        }
+        self.remaining.store(g.task_count(), Ordering::SeqCst);
+        *self.first_error.lock() = None;
+        let mut sink = self.sink.lock();
+        sink.runs.clear();
+        sink.prints.clear();
+        sink.events.clear();
+    }
+
+    pub(crate) fn take_error(&self) -> Option<ExecError> {
+        self.first_error.lock().take()
+    }
+
+    /// Drains every deque via the stealer side (used by session reset
+    /// after a poisoned firing left items behind; all workers parked).
+    pub(crate) fn drain_deques(&self) {
+        for s in &self.stealers {
+            while let Steal::Success(_) | Steal::Retry = s.steal() {}
+        }
+    }
+
+    /// Collects the merged sink into a [`ModeOutput`] with
+    /// engaged-worker accounting: `workers` is 1 + the highest worker
+    /// index that actually ran or recorded anything, so utilization
+    /// reflects threads that participated, not pool size.
+    pub(crate) fn collect(&self) -> ModeOutput {
+        let sink = std::mem::take(&mut *self.sink.lock());
+        let mut hi = 0usize;
+        for r in &sink.runs {
+            hi = hi.max(r.worker);
+        }
+        for e in &sink.events {
+            hi = hi.max(e.worker());
+        }
+        ModeOutput {
+            runs: sink.runs,
+            prints: sink.prints,
+            events: sink.events,
+            workers: hi + 1,
+        }
+        .sorted()
+    }
+}
+
+/// One worker's private half of the work-stealing runtime: its deque,
+/// its unstealable small-task stack, and its reusable Vm frame and
+/// buffers. A session keeps these alive across firings so the warm
+/// path allocates nothing.
+pub(crate) struct WsWorker {
+    me: usize,
+    dq: deque::Worker<WsItem>,
+    /// Ready tasks below the inline threshold: run by this worker,
+    /// LIFO, never published, never woken for.
+    pub(crate) local: Vec<TaskId>,
+    vm: Vm,
+    frame: Vec<Value>,
+    runs: Vec<TaskRun>,
+    prints: Vec<(TaskId, String)>,
+    events: Vec<TraceEvent>,
+    steals: u64,
+    inlined: u64,
+}
+
+impl WsWorker {
+    pub(crate) fn new(me: usize, dq: deque::Worker<WsItem>) -> Self {
+        WsWorker {
+            me,
+            dq,
+            local: Vec::new(),
+            vm: Vm::new(),
+            frame: Vec::new(),
+            runs: Vec::new(),
+            prints: Vec::new(),
+            events: Vec::new(),
+            steals: 0,
+            inlined: 0,
+        }
+    }
+}
+
+/// Marker payload for an injected worker-thread death: unwinds through
+/// `ws_run` into the spawn wrapper, which does the dead-worker
+/// accounting. Distinguishable from a task-body panic (those are caught
+/// by `run_one_caught` and never unwind this far).
+struct WsDeath;
+
+/// Next task for `w`: own small-task stack (LIFO, counts as inline),
+/// then own deque (LIFO), then steal FIFO from the others — retrying
+/// the round while any victim reports a racing `Retry`.
+fn ws_next(ws: &WsState, w: &mut WsWorker) -> Option<WsItem> {
+    if let Some(t) = w.local.pop() {
+        w.inlined += 1;
+        return Some((t, None));
+    }
+    if let Some(item) = w.dq.pop() {
+        return Some(item);
+    }
+    let n = ws.stealers.len();
+    loop {
+        let mut retry = false;
+        for k in 1..n {
+            match ws.stealers[(w.me + k) % n].steal() {
+                Steal::Success(item) => {
+                    w.steals += 1;
+                    return Some(item);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Wakes parked workers if any might be sleeping. Pairs with the park
+/// path in `ws_run`: the publisher orders its deque push before the
+/// `waiting` read, the parker orders its `waiting` raise before the
+/// deque re-check — one of the two must see the other.
+fn ws_signal_work(ws: &WsState) {
+    fence(Ordering::SeqCst);
+    if ws.waiting.load(Ordering::Relaxed) > 0 {
+        let _coord = ws.coord.lock();
+        ws.cv.notify_all();
+    }
+}
+
+/// Decrements successor in-degrees and publishes the newly ready ones:
+/// small tasks onto `w`'s private stack, the rest into `w`'s own deque
+/// for thieves — one wakeup check per batch, no coordinator round trip.
+fn ws_publish_ready(ctx: &Ctx<'_>, ws: &WsState, w: &mut WsWorker, t: TaskId) {
+    let mut pushed = false;
+    for s in ctx.g.successors(t) {
+        if ws.indeg[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+            if ctx.g.task(s).weight < ctx.options.inline_below {
+                w.local.push(s);
+            } else {
+                let stamp = ctx.options.trace.then(|| ctx.epoch.elapsed());
+                w.dq.push((s, stamp));
+                pushed = true;
+            }
+        }
+    }
+    if pushed {
+        ws_signal_work(ws);
+    }
+}
+
+/// Completion accounting, after publication so a zero here means the
+/// firing is fully drained. Returns true when this call ended it.
+fn ws_task_done(ws: &WsState) -> bool {
+    if ws.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Same Dekker pairing as `ws_signal_work`: sleepers raise
+        // `waiting` before re-reading `remaining`, so either we see them
+        // here or they see the zero.
+        fence(Ordering::SeqCst);
+        if ws.waiting.load(Ordering::Relaxed) > 0 {
+            let _coord = ws.coord.lock();
+            ws.cv.notify_all();
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Records the first error, poisons the store, and wakes everyone so
+/// the firing unwinds instead of hanging.
+pub(crate) fn ws_fail(ctx: &Ctx<'_>, ws: &WsState, e: ExecError) {
+    {
+        let mut lock = ws.first_error.lock();
+        if lock.is_none() {
+            *lock = Some(e);
+        }
+    }
+    ctx.store.poison();
+    let _coord = ws.coord.lock();
+    ws.cv.notify_all();
+}
+
+/// Merges `w`'s buffered results into the shared sink and emits the
+/// per-worker steal/inline counters as a [`TraceEvent::WorkerStats`]
+/// when tracing. Called whenever the worker goes idle or exits, so
+/// partially completed firings still surface their records.
+pub(crate) fn ws_flush(ws: &WsState, w: &mut WsWorker, tracing: bool, epoch: Instant) {
+    if tracing && (w.steals > 0 || w.inlined > 0) {
+        w.events.push(TraceEvent::WorkerStats {
+            worker: w.me,
+            at: epoch.elapsed(),
+            steals: w.steals,
+            inline_tasks: w.inlined,
+        });
+    }
+    w.steals = 0;
+    w.inlined = 0;
+    if w.runs.is_empty() && w.prints.is_empty() && w.events.is_empty() {
+        return;
+    }
+    let mut sink = ws.sink.lock();
+    sink.runs.append(&mut w.runs);
+    sink.prints.append(&mut w.prints);
+    sink.events.append(&mut w.events);
+}
+
+/// One worker's firing loop: run, publish, steal, park. Returns when
+/// the firing completes, poisons, or the session shuts down. Leftover
+/// private state (an uncleared `local` after poison) is the caller's
+/// to clean up via `w.local.clear()` / session reset.
+pub(crate) fn ws_run(ctx: &Ctx<'_>, ws: &WsState, w: &mut WsWorker) {
+    let tracing = ctx.options.trace;
+    loop {
+        if ctx.store.poisoned.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some((t, enqueued)) = ws_next(ws, w) else {
+            // Idle: flush (so stalled firings still show partial
+            // traces), then park until work appears, the firing ends,
+            // or the run poisons. The `waiting` raise happens under the
+            // coord lock and before the deque re-check — see
+            // `ws_signal_work` for the pairing.
+            ws_flush(ws, w, tracing, ctx.epoch);
+            let mut coord = ws.coord.lock();
+            ws.waiting.fetch_add(1, Ordering::SeqCst);
+            let run_over = loop {
+                if ws.shutdown.load(Ordering::SeqCst)
+                    || ctx.store.poisoned.load(Ordering::SeqCst)
+                    || ws.remaining.load(Ordering::SeqCst) == 0
+                {
+                    break true;
+                }
+                if ws.stealers.iter().any(|s| !s.is_empty()) {
+                    break false;
+                }
+                ws.cv.wait(&mut coord);
+            };
+            ws.waiting.fetch_sub(1, Ordering::SeqCst);
+            if run_over {
+                return;
+            }
+            continue;
+        };
+        if let Some(since) = enqueued {
+            w.events.push(TraceEvent::QueueWait {
+                task: t,
+                worker: w.me,
+                since,
+                until: ctx.epoch.elapsed(),
+            });
+        }
+        if let Some(pat) = &ctx.options.inject_worker_death {
+            if ctx.g.task(t).name == *pat {
+                ws_fail(
+                    ctx,
+                    ws,
+                    ExecError::WorkerLost(format!(
+                        "worker {} died with task {:?} in flight",
+                        w.me,
+                        ctx.g.task(t).name
+                    )),
+                );
+                if w.me > 0 {
+                    // Pool threads die for real: unwind into the spawn
+                    // wrapper, which records the death. The caller's
+                    // thread (worker 0) can't be killed, so it just
+                    // stops participating.
+                    std::panic::panic_any(WsDeath);
+                }
+                return;
+            }
+        }
+        let tracer = tracing.then_some(&mut w.events);
+        match run_one_caught(ctx, w.me, t, &mut w.vm, &mut w.frame, tracer) {
+            Ok((run, p)) => {
+                w.runs.push(run);
+                w.prints.extend(p);
+                ws_publish_ready(ctx, ws, w, t);
+                if ws_task_done(ws) {
+                    return;
+                }
+            }
+            Err(e) => {
+                ws_fail(ctx, ws, e);
+                return;
+            }
+        }
+    }
+}
+
+/// Seeds the roots into worker 0's private stack / deque before the
+/// firing starts.
+pub(crate) fn ws_seed(ctx: &Ctx<'_>, ws: &WsState, w: &mut WsWorker) {
+    let mut pushed = false;
+    for t in ctx.g.task_ids() {
+        if ctx.g.in_degree(t) == 0 {
+            if ctx.g.task(t).weight < ctx.options.inline_below {
+                w.local.push(t);
+            } else {
+                let stamp = ctx.options.trace.then(|| ctx.epoch.elapsed());
+                w.dq.push((t, stamp));
+                pushed = true;
+            }
+        }
+    }
+    if pushed {
+        ws_signal_work(ws);
+    }
+}
+
+/// Thread body for pool workers (indices ≥ 1), shared by one-shot
+/// greedy mode and sessions for a single firing: runs the worker loop
+/// under a panic boundary, flushes, and accounts an injected death.
+pub(crate) fn ws_pool_fire(ctx: &Ctx<'_>, ws: &WsState, w: &mut WsWorker) -> bool {
+    let died = std::panic::catch_unwind(AssertUnwindSafe(|| ws_run(ctx, ws, w))).is_err();
+    ws_flush(ws, w, ctx.options.trace, ctx.epoch);
+    w.local.clear();
+    if died {
+        // Defence in depth: an unwind that wasn't the injected death
+        // marker still poisons the run before the accounting below.
+        ws_fail(
+            ctx,
+            ws,
+            ExecError::WorkerLost(format!("worker {} thread died mid-run", w.me)),
+        );
+        let _coord = ws.coord.lock();
+        ws.cv.notify_all();
+    }
+    died
+}
+
+/// Work-stealing greedy execution (`workers >= 2`): the caller's thread
+/// is worker 0 and seeds/runs alongside the spawned pool.
+fn run_greedy(ctx: &Ctx<'_>, workers: usize) -> Result<ModeOutput, ExecError> {
+    let mut deques: Vec<deque::Worker<WsItem>> =
+        (0..workers).map(|_| deque::Worker::new()).collect();
+    let stealers = deques.iter().map(|d| d.stealer()).collect();
+    let ws = WsState::new(ctx.g, stealers);
+    let mut caller = WsWorker::new(0, deques.remove(0));
+    ws_seed(ctx, &ws, &mut caller);
 
     std::thread::scope(|scope| {
-        for w in 0..workers {
-            let task_rx = task_rx.clone();
-            let done_tx = done_tx.clone();
-            let event_sink = &event_sink;
+        for (i, dq) in deques.into_iter().enumerate() {
+            let ws = &ws;
             scope.spawn(move || {
-                let mut vm = Vm::new();
-                let mut frame = Vec::new();
-                let mut events: Vec<TraceEvent> = Vec::new();
-                while let Ok((t, enqueued)) = task_rx.recv() {
-                    if ctx.store.poisoned.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Some(since) = enqueued {
-                        events.push(TraceEvent::QueueWait {
-                            task: t,
-                            worker: w,
-                            since,
-                            until: ctx.epoch.elapsed(),
-                        });
-                    }
-                    let tracer = tracing.then_some(&mut events);
-                    let r = run_one_caught(ctx, w, t, &mut vm, &mut frame, tracer);
-                    if done_tx.send(r).is_err() {
-                        break;
-                    }
-                }
-                if !events.is_empty() {
-                    event_sink.lock().append(&mut events);
+                let mut w = WsWorker::new(i + 1, dq);
+                if ws_pool_fire(ctx, ws, &mut w) {
+                    let mut coord = ws.coord.lock();
+                    coord.dead += 1;
+                    ws.cv.notify_all();
                 }
             });
         }
-        drop(task_rx);
-        drop(done_tx);
-
-        while completed < total && outstanding > 0 {
-            // A disconnect here means every worker exited while tasks
-            // were still outstanding. Nothing further can complete, so
-            // surface the loss instead of panicking the coordinator
-            // (run_one_caught normally converts failures into messages,
-            // making this a defence-in-depth path).
-            let Ok(msg) = done_rx.recv() else {
-                if first_error.is_none() {
-                    first_error = Some(ExecError::WorkerLost(format!(
-                        "all {workers} workers exited with {outstanding} task(s) outstanding"
-                    )));
-                }
-                ctx.store.poison();
-                break;
-            };
-            outstanding -= 1;
-            match msg {
-                Ok((run, p)) => {
-                    let t = run.task;
-                    runs.push(run);
-                    prints.extend(p);
-                    completed += 1;
-                    for s in g.successors(t) {
-                        let d = &mut indeg[s.index()];
-                        *d -= 1;
-                        if *d == 0 {
-                            task_tx.send((s, enqueue_stamp())).expect("channel open");
-                            outstanding += 1;
-                        }
-                    }
-                }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
-                    ctx.store.poison();
-                    break;
-                }
-            }
-        }
-        // Closing the task channel lets workers drain and exit.
-        drop(task_tx);
+        ws_run(ctx, &ws, &mut caller);
+        ws_flush(&ws, &mut caller, ctx.options.trace, ctx.epoch);
+        caller.local.clear();
     });
 
-    if let Some(e) = first_error {
+    if let Some(e) = ws.take_error() {
         return Err(e);
     }
-    Ok(ModeOutput {
-        runs,
-        prints,
-        events: event_sink.into_inner(),
-        workers,
-    }
-    .sorted())
+    Ok(ws.collect())
 }
 
 fn run_pinned(ctx: &Ctx<'_>, schedule: &Schedule) -> Result<ModeOutput, ExecError> {
@@ -1476,7 +1911,13 @@ mod tests {
             assert_eq!(plain.measured_weights(n), traced.measured_weights(n));
             assert!(plain.trace.is_none());
             let trace = traced.trace.expect("trace recorded");
-            assert_eq!(trace.workers, workers);
+            // Engaged-worker accounting: inlining may collapse the whole
+            // firing onto fewer threads than the pool holds.
+            assert!(
+                (1..=workers).contains(&trace.workers),
+                "engaged {} of {workers}",
+                trace.workers
+            );
             assert_eq!(trace.spans().len(), traced.runs.len());
             let summary = trace.summary();
             assert_eq!(summary.tasks, n);
@@ -1567,6 +2008,95 @@ mod tests {
             assert!(obs.primary(t).is_some(), "task {t} has a primary span");
         }
         assert!(obs.makespan() > 0.0);
+    }
+
+    #[test]
+    fn stealable_path_matches_inline_path() {
+        // inline_below: 0.0 forces every ready task through the deques
+        // (cross-thread handoff path); results must match the default
+        // all-inline collapse and the one-worker loop.
+        let (f, lib) = fan(12);
+        let inputs = ext(&[("a", Value::Num(3.0))]);
+        let run = |workers: usize, inline_below: f64| {
+            execute(
+                &f,
+                &lib,
+                &inputs,
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers },
+                    inline_below,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let one = run(1, DEFAULT_INLINE_BELOW);
+        for workers in [2, 4] {
+            let stealing = run(workers, 0.0);
+            let inlined = run(workers, f64::INFINITY);
+            assert_eq!(one.outputs, stealing.outputs, "workers={workers}");
+            assert_eq!(one.outputs, inlined.outputs, "workers={workers}");
+            let n = f.graph.task_count();
+            assert_eq!(one.measured_weights(n), stealing.measured_weights(n));
+            assert_eq!(one.measured_weights(n), inlined.measured_weights(n));
+        }
+    }
+
+    #[test]
+    fn trace_counts_inline_and_stolen_tasks() {
+        let (f, lib) = fan(10);
+        let inputs = ext(&[("a", Value::Num(2.0))]);
+        let traced = |inline_below: f64| {
+            execute(
+                &f,
+                &lib,
+                &inputs,
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers: 4 },
+                    trace: true,
+                    inline_below,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
+            .trace
+            .unwrap()
+            .summary()
+        };
+        // All weights are tiny, so the default threshold inlines every
+        // task; nothing is ever stealable.
+        let inlined = traced(DEFAULT_INLINE_BELOW);
+        assert_eq!(inlined.inline_tasks, f.graph.task_count() as u64);
+        assert_eq!(inlined.steals, 0);
+        // Threshold 0 publishes everything; inline count must be zero.
+        // (Steal count depends on scheduling luck — on a loaded host the
+        // pool may drain everything from its own deques.)
+        let stealing = traced(0.0);
+        assert_eq!(stealing.inline_tasks, 0);
+    }
+
+    #[test]
+    fn injected_worker_death_surfaces_as_worker_lost() {
+        let (f, lib) = fan(12);
+        let inputs = ext(&[("a", Value::Num(2.0))]);
+        for inline_below in [0.0, DEFAULT_INLINE_BELOW] {
+            let err = execute(
+                &f,
+                &lib,
+                &inputs,
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers: 4 },
+                    inline_below,
+                    inject_worker_death: Some("w5".into()),
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ExecError::WorkerLost(ref m) if m.contains("w5")),
+                "inline_below={inline_below}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Persistent executions: one design, many firings, zero warm-up.
+//!
+//! [`execute`](crate::execute) is the one-shot entry point: every call
+//! re-resolves the routing tables, allocates a fresh slab store, spawns
+//! worker threads, and tears it all down again. For a parameter sweep
+//! or a convergence loop that fires the same design thousands of times,
+//! that setup dwarfs the work — exactly the overhead SDFG-style systems
+//! avoid by keeping the compiled dataflow "hot" between invocations.
+//!
+//! A [`Session`] hoists everything firing-invariant out of the loop:
+//!
+//! * the [`Router`] (name resolution, `Arc<CompiledProgram>` handles,
+//!   output-port bindings) is built once;
+//! * the slab [`Store`] keeps its allocation and is cleared, not
+//!   rebuilt, per firing;
+//! * worker threads are spawned once and *parked* on the work-stealing
+//!   runtime's condvar between firings — a warm firing whose tasks all
+//!   fall below [`ExecOptions::inline_below`] runs entirely on the
+//!   caller's thread and never wakes them at all;
+//! * each worker's [`Vm`](banger_calc::vm::Vm) frame, input staging
+//!   vector, and deque survive across firings.
+//!
+//! Per firing, only the external-input values are re-bound
+//! ([`Router::bind`]) and the per-firing counters re-armed. The firing
+//! itself runs the same `ws_run` loop as one-shot greedy mode, so
+//! results, traces, and error attribution are identical to
+//! [`execute`](crate::execute) — the differential suites assert this.
+//!
+//! ```text
+//! run(ext):  bind → reset(store, counters, deques) → publish firing
+//!            → seed roots → caller joins the pool → barrier (every
+//!            pool worker parked again) → report
+//! ```
+//!
+//! The end-of-firing barrier waits until `parked + dead == pool`:
+//! workers park between firings under the coord lock (notifying the
+//! barrier), and a worker thread killed by fault injection counts as
+//! permanently parked, so worker loss surfaces as
+//! [`ExecError::WorkerLost`] instead of a hang. Dropping the session
+//! sets the shutdown flag, wakes everyone, and joins the threads.
+
+use crate::runner::{
+    assemble_report, ws_flush, ws_pool_fire, ws_run, ws_seed, Ctx, ExecError, ExecMode,
+    ExecOptions, ExecReport, Router, Store, WsItem, WsState, WsWorker,
+};
+use banger_calc::{ProgramLibrary, Value};
+use banger_taskgraph::hierarchy::Flattened;
+use banger_taskgraph::TaskGraph;
+use crossbeam::deque;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What changes between firings: the epoch all trace timestamps are
+/// relative to, and the bound external-input values. Shared with pool
+/// workers by `Arc` so a firing needs no borrows from the caller.
+struct FiringShared {
+    epoch: Instant,
+    externals: Vec<Value>,
+}
+
+/// Everything firing-invariant, shared between the session handle and
+/// its pool threads.
+struct SessionCore {
+    graph: TaskGraph,
+    router: Router,
+    store: Store,
+    ws: WsState,
+    options: ExecOptions,
+    firing: Mutex<Arc<FiringShared>>,
+}
+
+/// A persistent executor for one flattened design: worker threads stay
+/// parked, routing tables and slab storage stay allocated, and each
+/// [`Session::run`] is one firing. See the module docs for the
+/// lifecycle; `banger run --repeat N` and
+/// [`Project::session`](https://docs.rs/banger-core) surface this.
+pub struct Session {
+    core: Arc<SessionCore>,
+    caller: WsWorker,
+    /// Pool thread count (`workers - 1`; the caller is worker 0).
+    pool: usize,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Session {
+    /// Builds the routing tables, allocates the store, and spawns the
+    /// parked worker pool. Fails on the same structural errors as
+    /// [`execute`](crate::execute) (`Cyclic`, `NoProgram`,
+    /// `UnknownProgram`, `MissingArcValue`); per-firing value errors
+    /// (`UnboundInput`) surface from [`Session::run`] instead. Only
+    /// greedy mode persists — a pinned schedule is rejected as
+    /// `BadSchedule`.
+    pub fn new(
+        design: &Flattened,
+        lib: &ProgramLibrary,
+        options: &ExecOptions,
+    ) -> Result<Self, ExecError> {
+        let workers = match &options.mode {
+            ExecMode::Greedy { workers } => {
+                if *workers == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    *workers
+                }
+            }
+            ExecMode::Pinned(_) => {
+                return Err(ExecError::BadSchedule(
+                    "persistent sessions support greedy mode only".into(),
+                ))
+            }
+        };
+        if !design.graph.is_dag() {
+            return Err(ExecError::Cyclic);
+        }
+        let router = Router::build(design, lib)?;
+        let mut deques: Vec<deque::Worker<WsItem>> =
+            (0..workers).map(|_| deque::Worker::new()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let core = Arc::new(SessionCore {
+            graph: design.graph.clone(),
+            router,
+            store: Store::new(design.graph.task_count()),
+            ws: WsState::new(&design.graph, stealers),
+            options: options.clone(),
+            firing: Mutex::new(Arc::new(FiringShared {
+                epoch: Instant::now(),
+                externals: Vec::new(),
+            })),
+        });
+        let caller = WsWorker::new(0, deques.remove(0));
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, dq)| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("banger-exec-{}", i + 1))
+                    .spawn(move || session_thread(core, i + 1, dq))
+                    .expect("spawn session worker")
+            })
+            .collect();
+        Ok(Session {
+            core,
+            caller,
+            pool: workers - 1,
+            threads,
+        })
+    }
+
+    /// Worker threads in the session, including the caller's.
+    pub fn workers(&self) -> usize {
+        self.pool + 1
+    }
+
+    /// One firing: binds `external`, re-arms the per-firing state, runs
+    /// the design on the warm pool, and waits for every pool worker to
+    /// park again. Reports are identical to what
+    /// [`execute`](crate::execute) returns for the same options, firing
+    /// after firing — errors (including injected panics) poison only
+    /// their own firing, and the next `run` starts clean.
+    pub fn run(&mut self, external: &BTreeMap<String, Value>) -> Result<ExecReport, ExecError> {
+        let core = &self.core;
+        let externals = core.router.bind(external)?;
+
+        // All pool workers are parked here (barrier of the previous
+        // firing / fresh construction), so the reset can't race a
+        // running worker. Deques are non-empty only after a poisoned
+        // firing; drained before any worker can see stale items.
+        core.store.reset();
+        core.ws.drain_deques();
+        self.caller.local.clear();
+        core.ws.reset(&core.graph);
+
+        let epoch = Instant::now();
+        let firing = Arc::new(FiringShared { epoch, externals });
+        *core.firing.lock() = Arc::clone(&firing);
+        let ctx = Ctx {
+            g: &core.graph,
+            router: &core.router,
+            options: &core.options,
+            store: &core.store,
+            externals: &firing.externals,
+            epoch,
+        };
+
+        ws_seed(&ctx, &core.ws, &mut self.caller);
+        ws_run(&ctx, &core.ws, &mut self.caller);
+        ws_flush(&core.ws, &mut self.caller, core.options.trace, epoch);
+        self.caller.local.clear();
+        // A poisoned firing can leave published items behind; clear
+        // them *before* the barrier so a worker that re-checks its wake
+        // condition after parking finds nothing and stays asleep.
+        core.ws.drain_deques();
+
+        // End-of-firing barrier: every pool worker parked (or dead —
+        // fault injection kills threads for real; they count as
+        // permanently parked so loss can't hang the session).
+        {
+            let mut coord = core.ws.coord.lock();
+            while coord.parked + coord.dead < self.pool {
+                core.ws.cv.wait(&mut coord);
+            }
+        }
+
+        if let Some(e) = core.ws.take_error() {
+            return Err(e);
+        }
+        Ok(assemble_report(
+            &core.router,
+            &core.store,
+            core.ws.collect(),
+            epoch,
+            core.options.trace,
+        ))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.core.ws.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _coord = self.core.ws.coord.lock();
+            self.core.ws.cv.notify_all();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Pool thread body: park between firings, join each firing's
+/// work-stealing loop, repeat until shutdown. Parking raises the
+/// Dekker `waiting` flag so the caller's seed publication wakes us, and
+/// bumps `parked` under the coord lock so the end-of-firing barrier
+/// sees us.
+fn session_thread(core: Arc<SessionCore>, me: usize, dq: deque::Worker<WsItem>) {
+    let mut w = WsWorker::new(me, dq);
+    loop {
+        {
+            let mut coord = core.ws.coord.lock();
+            coord.parked += 1;
+            core.ws.cv.notify_all(); // the barrier may be waiting on us
+            core.ws.waiting.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if core.ws.shutdown.load(Ordering::SeqCst) {
+                    core.ws.waiting.fetch_sub(1, Ordering::SeqCst);
+                    return;
+                }
+                if core.ws.stealers.iter().any(|s| !s.is_empty()) {
+                    break;
+                }
+                core.ws.cv.wait(&mut coord);
+            }
+            core.ws.waiting.fetch_sub(1, Ordering::SeqCst);
+            coord.parked -= 1;
+        }
+        // Work is visible: snapshot the current firing and join it.
+        let firing = core.firing.lock().clone();
+        let ctx = Ctx {
+            g: &core.graph,
+            router: &core.router,
+            options: &core.options,
+            store: &core.store,
+            externals: &firing.externals,
+            epoch: firing.epoch,
+        };
+        if ws_pool_fire(&ctx, &core.ws, &mut w) {
+            // Injected death: stay dead. The accounting below is what
+            // lets the barrier (and future firings) proceed without us.
+            let mut coord = core.ws.coord.lock();
+            coord.dead += 1;
+            core.ws.cv.notify_all();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, DEFAULT_INLINE_BELOW};
+    use banger_taskgraph::hierarchy::HierGraph;
+
+    /// source -> N squarers -> sum, with an external input `a`.
+    fn fan(n: usize) -> (Flattened, ProgramLibrary) {
+        let mut h = HierGraph::new("fan");
+        let a = h.add_storage("a", 1.0);
+        let src = h.add_task_with_program("spread", 1.0, "Spread");
+        h.add_flow(a, src).unwrap();
+        let sum = h.add_task_with_program("collect", 1.0, "Collect");
+        let x = h.add_storage("x", 1.0);
+        h.add_flow(sum, x).unwrap();
+        let mut lib = ProgramLibrary::new();
+        lib.add_source("task Spread in a out s begin s := a end")
+            .unwrap();
+        let mut ins = Vec::new();
+        for i in 0..n {
+            let w = h.add_task_with_program(format!("w{i}"), 5.0, format!("W{i}"));
+            h.add_arc(src, w, "s", 1.0).unwrap();
+            h.add_arc(w, sum, format!("r{i}"), 1.0).unwrap();
+            lib.add_source(&format!(
+                "task W{i} in s out r{i} begin r{i} := s * s + {i} end"
+            ))
+            .unwrap();
+            ins.push(format!("r{i}"));
+        }
+        let body: String = ins.iter().map(|v| format!("x := x + {v} ")).collect();
+        lib.add_source(&format!(
+            "task Collect in {} out x begin x := 0 {body} end",
+            ins.join(", ")
+        ))
+        .unwrap();
+        (h.flatten().unwrap(), lib)
+    }
+
+    fn ext(v: f64) -> BTreeMap<String, Value> {
+        [("a".to_string(), Value::Num(v))].into_iter().collect()
+    }
+
+    #[test]
+    fn repeated_firings_match_execute() {
+        let (f, lib) = fan(8);
+        for inline_below in [0.0, DEFAULT_INLINE_BELOW] {
+            let opts = ExecOptions {
+                mode: ExecMode::Greedy { workers: 4 },
+                inline_below,
+                ..ExecOptions::default()
+            };
+            let mut session = Session::new(&f, &lib, &opts).unwrap();
+            for round in 0..50 {
+                let a = f64::from(round);
+                let warm = session.run(&ext(a)).unwrap();
+                let cold = execute(&f, &lib, &ext(a), &opts).unwrap();
+                assert_eq!(warm.outputs, cold.outputs, "round {round}");
+                assert_eq!(warm.prints, cold.prints, "round {round}");
+                let n = f.graph.task_count();
+                assert_eq!(
+                    warm.measured_weights(n),
+                    cold.measured_weights(n),
+                    "round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_firing_external_rebinding() {
+        let (f, lib) = fan(4);
+        let mut session = Session::new(&f, &lib, &ExecOptions::default()).unwrap();
+        // sum of (a^2 + i) for i in 0..4 = 4a^2 + 6
+        for a in [0.0, 1.0, 3.0, 10.0] {
+            let r = session.run(&ext(a)).unwrap();
+            assert_eq!(r.outputs["x"], Value::Num(4.0 * a * a + 6.0), "a={a}");
+        }
+        let err = session.run(&BTreeMap::new()).unwrap_err();
+        assert!(
+            matches!(err, ExecError::UnboundInput { ref var, .. } if var == "a"),
+            "{err}"
+        );
+        // An unbound firing poisons nothing for the next one.
+        let r = session.run(&ext(2.0)).unwrap();
+        assert_eq!(r.outputs["x"], Value::Num(22.0));
+    }
+
+    #[test]
+    fn failed_firing_does_not_poison_the_next() {
+        let (f, lib) = fan(8);
+        for inline_below in [0.0, DEFAULT_INLINE_BELOW] {
+            let opts = ExecOptions {
+                mode: ExecMode::Greedy { workers: 4 },
+                inline_below,
+                inject_panic: Some("w3".into()),
+                ..ExecOptions::default()
+            };
+            let mut session = Session::new(&f, &lib, &opts).unwrap();
+            let err = session.run(&ext(2.0)).unwrap_err();
+            assert!(
+                matches!(err, ExecError::WorkerPanic { ref task, .. } if task == "w3"),
+                "inline_below={inline_below}: {err}"
+            );
+            // Same session object cannot clear inject_panic (options are
+            // fixed), so recovery is exercised against a clean session
+            // over the same warm design.
+            drop(session);
+            let clean = ExecOptions {
+                inject_panic: None,
+                ..opts
+            };
+            let mut session = Session::new(&f, &lib, &clean).unwrap();
+            let r1 = session.run(&ext(2.0)).unwrap();
+            let r2 = session.run(&ext(2.0)).unwrap();
+            assert_eq!(r1.outputs, r2.outputs);
+        }
+    }
+
+    #[test]
+    fn worker_death_mid_session_leaves_it_usable() {
+        let (f, lib) = fan(10);
+        // Force the stealable path so a pool thread (not the caller) can
+        // grab the victim task at least sometimes; either way the firing
+        // must error, never hang, and later firings must still complete.
+        let opts = ExecOptions {
+            mode: ExecMode::Greedy { workers: 4 },
+            inline_below: 0.0,
+            inject_worker_death: Some("w5".into()),
+            ..ExecOptions::default()
+        };
+        let mut session = Session::new(&f, &lib, &opts).unwrap();
+        let err = session.run(&ext(2.0)).unwrap_err();
+        assert!(matches!(err, ExecError::WorkerLost(_)), "{err}");
+        drop(session);
+
+        let clean = ExecOptions {
+            inject_worker_death: None,
+            ..opts
+        };
+        let mut session = Session::new(&f, &lib, &clean).unwrap();
+        let r = session.run(&ext(3.0)).unwrap();
+        // sum of (9 + i) for i in 0..10
+        assert_eq!(r.outputs["x"], Value::Num(135.0));
+    }
+
+    #[test]
+    fn traced_session_matches_untraced() {
+        let (f, lib) = fan(6);
+        let base = ExecOptions {
+            mode: ExecMode::Greedy { workers: 2 },
+            ..ExecOptions::default()
+        };
+        let mut plain = Session::new(&f, &lib, &base).unwrap();
+        let mut traced = Session::new(
+            &f,
+            &lib,
+            &ExecOptions {
+                trace: true,
+                ..base
+            },
+        )
+        .unwrap();
+        for a in [1.0, 2.0] {
+            let p = plain.run(&ext(a)).unwrap();
+            let t = traced.run(&ext(a)).unwrap();
+            assert_eq!(p.outputs, t.outputs);
+            assert!(p.trace.is_none());
+            let trace = t.trace.expect("trace recorded");
+            let summary = trace.summary();
+            assert_eq!(summary.tasks, f.graph.task_count());
+            assert_eq!(summary.errors, 0);
+            // Default threshold inlines everything in this tiny design.
+            assert_eq!(summary.inline_tasks, f.graph.task_count() as u64);
+        }
+    }
+
+    #[test]
+    fn pinned_mode_is_rejected() {
+        use banger_machine::{Machine, MachineParams, Topology};
+        let (f, lib) = fan(4);
+        let m = Machine::new(Topology::fully_connected(2), MachineParams::default());
+        let s = banger_sched::list::etf(&f.graph, &m);
+        let err = Session::new(
+            &f,
+            &lib,
+            &ExecOptions {
+                mode: ExecMode::pinned(s),
+                ..ExecOptions::default()
+            },
+        )
+        .err()
+        .expect("pinned session must be rejected");
+        assert!(matches!(err, ExecError::BadSchedule(_)), "{err}");
+    }
+}

@@ -103,6 +103,22 @@ pub enum TraceEvent {
         /// What was outstanding.
         detail: String,
     },
+    /// Work-stealing dispatch counters one worker accumulated since its
+    /// previous flush (a worker may emit several per execution; consumers
+    /// sum them). Attributes where the old coordinator queue wait went:
+    /// tasks run straight off the private inline stack never queued at
+    /// all, and steals mark the handoffs that did cross threads.
+    WorkerStats {
+        /// Worker thread index.
+        worker: usize,
+        /// When the counters were flushed.
+        at: Duration,
+        /// Successful steals from other workers' deques.
+        steals: u64,
+        /// Tasks executed from the private inline stack (below the
+        /// inline threshold; never published to a stealable deque).
+        inline_tasks: u64,
+    },
 }
 
 impl TraceEvent {
@@ -114,6 +130,7 @@ impl TraceEvent {
             TraceEvent::QueueWait { until, .. } => *until,
             TraceEvent::TaskError { at, .. } => *at,
             TraceEvent::WorkerLost { at, .. } => *at,
+            TraceEvent::WorkerStats { at, .. } => *at,
         }
     }
 
@@ -123,6 +140,7 @@ impl TraceEvent {
             TraceEvent::TaskStart { worker, .. }
             | TraceEvent::TaskFinish { worker, .. }
             | TraceEvent::QueueWait { worker, .. }
+            | TraceEvent::WorkerStats { worker, .. }
             | TraceEvent::TaskError { worker, .. } => *worker,
             TraceEvent::WorkerLost { .. } => 0,
         }
@@ -245,6 +263,14 @@ impl Trace {
                     s.queue_wait += until.saturating_sub(*since);
                 }
                 TraceEvent::TaskError { .. } | TraceEvent::WorkerLost { .. } => s.errors += 1,
+                TraceEvent::WorkerStats {
+                    steals,
+                    inline_tasks,
+                    ..
+                } => {
+                    s.steals += steals;
+                    s.inline_tasks += inline_tasks;
+                }
                 TraceEvent::TaskStart { .. } => {}
             }
         }
@@ -347,6 +373,20 @@ impl Trace {
                         json_escape(detail),
                     );
                 }
+                TraceEvent::WorkerStats {
+                    worker,
+                    at,
+                    steals,
+                    inline_tasks,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"dispatch\",\"ph\":\"C\",\"pid\":0,\"tid\":{worker},\
+                         \"ts\":{:.3},\"args\":{{\"steals\":{steals},\
+                         \"inline_tasks\":{inline_tasks}}}}}",
+                        us(at),
+                    );
+                }
             }
         }
         out.push_str("\n]\n}\n");
@@ -378,6 +418,11 @@ pub struct TraceSummary {
     pub bytes_in: u64,
     /// Error events (task failures, worker loss).
     pub errors: u64,
+    /// Successful deque steals across all workers (work-stealing mode).
+    pub steals: u64,
+    /// Tasks executed inline off private stacks, never queued
+    /// (work-stealing mode's small-task policy).
+    pub inline_tasks: u64,
 }
 
 impl TraceSummary {
@@ -406,13 +451,16 @@ impl TraceSummary {
     pub fn render(&self) -> String {
         format!(
             "trace: {} task runs in {:?} ({:.0} tasks/s), {} workers at {:.0}% utilization, \
-             queue wait {:?}, {} CoW copies ({} bytes), {} input bytes moved",
+             queue wait {:?}, {} inline / {} stolen, {} CoW copies ({} bytes), \
+             {} input bytes moved",
             self.tasks,
             self.wall,
             self.tasks_per_sec(),
             self.workers,
             100.0 * self.utilization(),
             self.queue_wait,
+            self.inline_tasks,
+            self.steals,
             self.cow_copies,
             self.cow_bytes,
             self.bytes_in,

@@ -9,7 +9,7 @@
 //! buggy PITS builtin or a poisoned lock would.
 
 use banger_calc::{ProgramLibrary, Value};
-use banger_exec::{execute, ExecError, ExecMode, ExecOptions};
+use banger_exec::{execute, ExecError, ExecMode, ExecOptions, Session, DEFAULT_INLINE_BELOW};
 use banger_machine::{Machine, MachineParams, Topology};
 use banger_taskgraph::hierarchy::{Flattened, HierGraph};
 use rand::rngs::StdRng;
@@ -204,5 +204,133 @@ fn executor_recovers_after_a_failed_run() {
         let report = execute(&design, &lib, &BTreeMap::new(), &clean)
             .unwrap_or_else(|e| panic!("workers={workers}: clean rerun failed: {e}"));
         assert_eq!(report.outputs["result"], Value::Num(expected));
+    }
+}
+
+/// Work-stealing dispatch thresholds: `inline_below: 0.0` forces every
+/// task (all weight 1.0 here) through the stealable Chase–Lev deques;
+/// the default threshold routes them through each worker's private
+/// inline stack instead. Fault paths must behave identically on both.
+fn ws_thresholds() -> [(&'static str, f64); 2] {
+    [("deque", 0.0), ("inline-stack", DEFAULT_INLINE_BELOW)]
+}
+
+#[test]
+fn injected_panic_is_attributed_under_forced_stealing() {
+    // Same contract as `injected_panic_is_attributed_in_every_mode`, but
+    // with inlining disabled so the victim task travels the deque/steal
+    // path — the panic unwinds inside whichever worker stole it, and the
+    // attribution must still name the task, not the thief.
+    let (design, lib, _) = build(3, 6, 8);
+    let victim = "t3_4";
+    for (label, inline_below) in ws_thresholds() {
+        for workers in [2usize, 4, 8] {
+            let err = execute(
+                &design,
+                &lib,
+                &BTreeMap::new(),
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers },
+                    inline_below,
+                    inject_panic: Some(victim.to_string()),
+                    ..ExecOptions::default()
+                },
+            )
+            .expect_err("injected panic must fail the run");
+            match err {
+                ExecError::WorkerPanic { task, message } => {
+                    assert_eq!(task, victim, "{label} workers={workers}");
+                    assert!(
+                        message.contains("injected fault"),
+                        "{label} workers={workers}: panic payload lost: {message}"
+                    );
+                }
+                other => panic!("{label} workers={workers}: expected WorkerPanic, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_death_with_stolen_work_in_flight_is_worker_lost_never_a_hang() {
+    // Killing a worker thread outright mid-run — while other workers
+    // still hold work stolen from its deque — must surface as
+    // ExecError::WorkerLost, not deadlock the remaining workers at the
+    // end-of-run rendezvous. The test completing at all is the no-hang
+    // assertion.
+    for seed in 0..6u64 {
+        let (design, lib, _) = build(seed, 4, 12);
+        for (label, inline_below) in ws_thresholds() {
+            for workers in [2usize, 4, 8] {
+                let err = execute(
+                    &design,
+                    &lib,
+                    &BTreeMap::new(),
+                    &ExecOptions {
+                        mode: ExecMode::Greedy { workers },
+                        inline_below,
+                        inject_worker_death: Some("t1_1".to_string()),
+                        ..ExecOptions::default()
+                    },
+                )
+                .expect_err("dead worker must fail the run");
+                assert!(
+                    matches!(err, ExecError::WorkerLost(_)),
+                    "{label} seed {seed} workers {workers}: expected WorkerLost, got {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn session_surfaces_faults_per_firing_and_stays_usable() {
+    // A persistent Session built with a fault injected fails every
+    // firing with the attributed error — the poisoned store and leftover
+    // deque items from one firing must not wedge or corrupt the next —
+    // and a clean session over the same design still computes the
+    // expected result afterwards.
+    let (design, lib, expected) = build(21, 5, 8);
+    for (label, inline_below) in ws_thresholds() {
+        let mut faulty = Session::new(
+            &design,
+            &lib,
+            &ExecOptions {
+                mode: ExecMode::Greedy { workers: 4 },
+                inline_below,
+                inject_panic: Some("t2_3".to_string()),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: session open failed: {e}"));
+        for firing in 0..2 {
+            let err = faulty
+                .run(&BTreeMap::new())
+                .expect_err("injected panic must fail every firing");
+            match err {
+                ExecError::WorkerPanic { task, .. } => {
+                    assert_eq!(task, "t2_3", "{label} firing {firing}")
+                }
+                other => panic!("{label} firing {firing}: expected WorkerPanic, got {other}"),
+            }
+        }
+        drop(faulty);
+
+        let mut clean = Session::new(
+            &design,
+            &lib,
+            &ExecOptions {
+                mode: ExecMode::Greedy { workers: 4 },
+                inline_below,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: clean session open failed: {e}"));
+        for firing in 0..2 {
+            let report = clean
+                .run(&BTreeMap::new())
+                .unwrap_or_else(|e| panic!("{label} firing {firing}: clean firing failed: {e}"));
+            assert_eq!(report.outputs["result"], Value::Num(expected));
+        }
     }
 }

@@ -304,3 +304,199 @@ fn read_only_bindings_stay_shared_and_ops_do_not_tick_on_copy() {
         &[3.0, 2.0, 3.0]
     );
 }
+
+// ---------------------------------------------------------------------------
+// Executor differential: work-stealing dispatch vs inline execution.
+// ---------------------------------------------------------------------------
+//
+// The dispatch layer must be invisible to the CoW machinery. A design
+// run on the work-stealing pool — at any inline threshold, including
+// `0.0` which forces every task through the stealable deques — or fired
+// repeatedly through a persistent `Session` produces byte-identical
+// outputs, the same per-task measured ops, and the same total CoW
+// copy/byte counters as the same design run sequentially on the
+// caller's thread. The generated designs push arrays through index
+// writes so every run exercises the unshare path.
+
+use banger_calc::ProgramLibrary;
+use banger_exec::{execute, ExecMode, ExecOptions, ExecReport, Session, DEFAULT_INLINE_BELOW};
+use banger_taskgraph::hierarchy::{Flattened, HierGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random layered design with aggressive array traffic (same shape as
+/// `tests/prop_trace.rs`): sources fill an array and write one slot,
+/// interior tasks read aliased elements of every input.
+fn build_design(seed: u64, layers: usize, width: usize) -> (Flattened, ProgramLibrary) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = HierGraph::new("cowdiff");
+    let mut lib = ProgramLibrary::new();
+    let mut prev: Vec<(banger_taskgraph::HierNodeId, String)> = Vec::new();
+
+    for l in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let out_var = format!("o{l}_{w}");
+            let node = h.add_task_with_program(format!("t{l}_{w}"), 1.0, format!("P{l}_{w}"));
+            let mut ins: Vec<String> = Vec::new();
+            if l > 0 {
+                for (pn, pv) in &prev {
+                    if rng.gen_bool(0.5) || (ins.is_empty() && *pn == prev.last().unwrap().0) {
+                        h.add_arc(*pn, node, pv.clone(), 1.0).unwrap();
+                        ins.push(pv.clone());
+                    }
+                }
+            }
+            let stmt = if ins.is_empty() {
+                format!("{out_var} := fill(8, {}) {out_var}[1] := 2", l + w + 1)
+            } else {
+                format!("{out_var} := fill(4, 1 + {}[1])", ins.join("[1] + "))
+            };
+            lib.add_source(&format!(
+                "task P{l}_{w} {} out {out_var} begin {stmt} end",
+                if ins.is_empty() {
+                    String::new()
+                } else {
+                    format!("in {}", ins.join(", "))
+                },
+            ))
+            .unwrap();
+            cur.push((node, out_var));
+        }
+        prev = cur;
+    }
+
+    let gather = h.add_task_with_program("gather", 1.0, "Gather");
+    let sink = h.add_storage("result", 1.0);
+    h.add_flow(gather, sink).unwrap();
+    let mut ins = Vec::new();
+    for (pn, pv) in &prev {
+        h.add_arc(*pn, gather, pv.clone(), 1.0).unwrap();
+        ins.push(pv.clone());
+    }
+    lib.add_source(&format!(
+        "task Gather in {} out result begin result := {} end",
+        ins.join(", "),
+        ins.join("[1] + ") + "[1]"
+    ))
+    .unwrap();
+
+    (h.flatten().unwrap(), lib)
+}
+
+/// Traced execution so the report carries the CoW copy/byte counters.
+fn run_exec(
+    design: &Flattened,
+    lib: &ProgramLibrary,
+    workers: usize,
+    inline_below: f64,
+) -> ExecReport {
+    execute(
+        design,
+        lib,
+        &BTreeMap::new(),
+        &ExecOptions {
+            mode: ExecMode::Greedy { workers },
+            inline_below,
+            trace: true,
+            ..ExecOptions::default()
+        },
+    )
+    .expect("run succeeds")
+}
+
+/// Byte-identical check between a work-stealing report and the inline
+/// baseline: outputs, prints, per-task ops, and total CoW counters.
+fn assert_matches_baseline(
+    label: &str,
+    base: &ExecReport,
+    other: &ExecReport,
+    n: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        format!("{:?}", base.outputs),
+        format!("{:?}", other.outputs),
+        "{}: outputs diverge",
+        label
+    );
+    prop_assert_eq!(&base.prints, &other.prints, "{}: prints diverge", label);
+    prop_assert_eq!(
+        base.measured_weights(n),
+        other.measured_weights(n),
+        "{}: per-task ops diverge",
+        label
+    );
+    let bs = base.trace.as_ref().expect("traced baseline").summary();
+    let os = other.trace.as_ref().expect("traced run").summary();
+    prop_assert_eq!(os.tasks, bs.tasks, "{}: task counts diverge", label);
+    prop_assert_eq!(os.ops, bs.ops, "{}: total ops diverge", label);
+    prop_assert_eq!(
+        os.cow_copies,
+        bs.cow_copies,
+        "{}: CoW copy counts diverge",
+        label
+    );
+    prop_assert_eq!(os.cow_bytes, bs.cow_bytes, "{}: CoW bytes diverge", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn work_stealing_dispatch_is_byte_identical_to_inline(
+        seed in 0u64..300,
+        layers in 2usize..4,
+        width in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        let (design, lib) = build_design(seed, layers, width);
+        let n = design.graph.task_count();
+        let base = run_exec(&design, &lib, 1, DEFAULT_INLINE_BELOW);
+        for inline_below in [DEFAULT_INLINE_BELOW, 0.0] {
+            let ws = run_exec(&design, &lib, workers, inline_below);
+            assert_matches_baseline(
+                &format!("workers={workers} inline_below={inline_below}"),
+                &base,
+                &ws,
+                n,
+            )?;
+        }
+    }
+
+    #[test]
+    fn session_firings_are_byte_identical_to_inline(
+        seed in 0u64..300,
+        layers in 2usize..4,
+        width in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        // Reused worker threads, deques, and slab store across firings
+        // must not change what the CoW layer observes.
+        let (design, lib) = build_design(seed, layers, width);
+        let n = design.graph.task_count();
+        let base = run_exec(&design, &lib, 1, DEFAULT_INLINE_BELOW);
+        for inline_below in [DEFAULT_INLINE_BELOW, 0.0] {
+            let mut session = Session::new(
+                &design,
+                &lib,
+                &ExecOptions {
+                    mode: ExecMode::Greedy { workers },
+                    inline_below,
+                    trace: true,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            for firing in 0..3 {
+                let report = session.run(&BTreeMap::new()).unwrap();
+                assert_matches_baseline(
+                    &format!("firing {firing} workers={workers} inline_below={inline_below}"),
+                    &base,
+                    &report,
+                    n,
+                )?;
+            }
+        }
+    }
+}

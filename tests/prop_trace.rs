@@ -8,7 +8,7 @@
 //! worker, and summary counters that reconcile with the report.
 
 use banger_calc::ProgramLibrary;
-use banger_exec::{execute, ExecMode, ExecOptions, ExecReport};
+use banger_exec::{execute, ExecMode, ExecOptions, ExecReport, Session, DEFAULT_INLINE_BELOW};
 use banger_machine::{Machine, MachineParams, Topology};
 use banger_taskgraph::hierarchy::{Flattened, HierGraph};
 use proptest::prelude::*;
@@ -79,13 +79,20 @@ fn build(seed: u64, layers: usize, width: usize) -> (Flattened, ProgramLibrary) 
     (h.flatten().unwrap(), lib)
 }
 
-fn run(design: &Flattened, lib: &ProgramLibrary, mode: ExecMode, trace: bool) -> ExecReport {
+fn run(
+    design: &Flattened,
+    lib: &ProgramLibrary,
+    mode: ExecMode,
+    inline_below: f64,
+    trace: bool,
+) -> ExecReport {
     execute(
         design,
         lib,
         &BTreeMap::new(),
         &ExecOptions {
             mode,
+            inline_below,
             trace,
             ..ExecOptions::default()
         },
@@ -93,11 +100,19 @@ fn run(design: &Flattened, lib: &ProgramLibrary, mode: ExecMode, trace: bool) ->
     .expect("run succeeds")
 }
 
-fn modes(design: &Flattened, workers: usize) -> Vec<ExecMode> {
+/// Dispatch variants: greedy with the default inline threshold (these
+/// weight-1.0 tasks all run on the private inline stack), greedy with
+/// inlining disabled (every task travels the stealable deque path), and
+/// the pinned schedule (which ignores the threshold).
+fn modes(design: &Flattened, workers: usize) -> Vec<(ExecMode, f64)> {
     let m = Machine::new(Topology::fully_connected(workers), MachineParams::default());
     vec![
-        ExecMode::Greedy { workers },
-        ExecMode::pinned(banger_sched::list::etf(&design.graph, &m)),
+        (ExecMode::Greedy { workers }, DEFAULT_INLINE_BELOW),
+        (ExecMode::Greedy { workers }, 0.0),
+        (
+            ExecMode::pinned(banger_sched::list::etf(&design.graph, &m)),
+            DEFAULT_INLINE_BELOW,
+        ),
     ]
 }
 
@@ -113,9 +128,9 @@ proptest! {
     ) {
         let (design, lib) = build(seed, layers, width);
         let n = design.graph.task_count();
-        for mode in modes(&design, workers) {
-            let plain = run(&design, &lib, mode.clone(), false);
-            let traced = run(&design, &lib, mode.clone(), true);
+        for (mode, inline_below) in modes(&design, workers) {
+            let plain = run(&design, &lib, mode.clone(), inline_below, false);
+            let traced = run(&design, &lib, mode.clone(), inline_below, true);
 
             // The observable contract: byte-identical outputs, prints,
             // and measured weights.
@@ -142,9 +157,71 @@ proptest! {
                 summary.ops,
                 traced.runs.iter().map(|r| r.ops).sum::<u64>()
             );
+            // Dispatch counters reconcile with the threshold: with
+            // inlining disabled every task is deque-dispatched; with the
+            // default threshold these weight-1.0 tasks never leave the
+            // private inline stacks, so nothing is there to steal.
+            // (`workers: 1` takes the sequential fast path, which has no
+            // deques and records no dispatch counters at all.)
+            if matches!(mode, ExecMode::Greedy { .. }) && workers >= 2 {
+                if inline_below == 0.0 {
+                    prop_assert_eq!(summary.inline_tasks, 0);
+                } else {
+                    prop_assert_eq!(summary.inline_tasks as usize, summary.tasks);
+                    prop_assert_eq!(summary.steals, 0);
+                }
+            }
+            prop_assert!((summary.inline_tasks as usize) <= summary.tasks);
             // The observed schedule replays every span onto its worker.
             let observed = trace.observed_schedule(n);
             prop_assert_eq!(observed.placements().len(), spans.len());
+        }
+    }
+
+    #[test]
+    fn traced_session_firings_are_observationally_identical(
+        seed in 0u64..200,
+        layers in 2usize..4,
+        width in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        // Tracing must stay observationally free under the persistent
+        // executor too, where worker threads, deques, and the slab store
+        // survive across firings.
+        let (design, lib) = build(seed, layers, width);
+        let n = design.graph.task_count();
+        for inline_below in [DEFAULT_INLINE_BELOW, 0.0] {
+            let opts = |trace| ExecOptions {
+                mode: ExecMode::Greedy { workers },
+                inline_below,
+                trace,
+                ..ExecOptions::default()
+            };
+            let mut plain = Session::new(&design, &lib, &opts(false)).unwrap();
+            let mut traced = Session::new(&design, &lib, &opts(true)).unwrap();
+            for _ in 0..3 {
+                let p = plain.run(&BTreeMap::new()).unwrap();
+                let t = traced.run(&BTreeMap::new()).unwrap();
+                prop_assert_eq!(format!("{:?}", p.outputs), format!("{:?}", t.outputs));
+                prop_assert_eq!(&p.prints, &t.prints);
+                prop_assert_eq!(p.measured_weights(n), t.measured_weights(n));
+                prop_assert!(p.trace.is_none());
+
+                let trace = t.trace.as_ref().expect("traced firing records events");
+                let spans = trace.spans();
+                prop_assert_eq!(spans.len(), t.runs.len());
+                for sp in &spans {
+                    prop_assert!(sp.worker < trace.workers);
+                }
+                let summary = trace.summary();
+                prop_assert_eq!(summary.tasks, t.runs.len());
+                prop_assert_eq!(summary.errors, 0);
+                if inline_below == 0.0 {
+                    prop_assert_eq!(summary.inline_tasks, 0);
+                } else {
+                    prop_assert_eq!(summary.inline_tasks as usize, summary.tasks);
+                }
+            }
         }
     }
 }
