@@ -28,7 +28,8 @@ impl fmt::Display for Severity {
 
 /// Stable diagnostic codes. The numeric ranges group the passes:
 /// `B00x` races, `B01x` PITL/PITS interface checks, `B02x` compound port
-/// bindings, `B03x` graph hygiene.
+/// bindings, `B03x` graph hygiene, `B04x` abstract interpretation of
+/// task program bodies (value-range safety).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// Two tasks write the same storage item with no precedence path
@@ -65,6 +66,22 @@ pub enum Code {
     B032,
     /// A storage item has no arcs at all (dead storage).
     B033,
+    /// A variable is read before it is assigned (error when on every
+    /// path, warning when only on some).
+    B040,
+    /// An array index provably outside the declared or flowed bounds
+    /// (error when definite against flowed bounds, warning when possible
+    /// or against declared sizes).
+    B041,
+    /// A definite arithmetic domain escape: division by a constant zero,
+    /// `sqrt` of a wholly negative interval, `log` of a non-positive one.
+    /// Always a warning — the calculator completes with IEEE NaN/inf.
+    B042,
+    /// A `while` loop none of whose condition variables is assigned in
+    /// the body — no decreasing variant, step-limit risk.
+    B043,
+    /// Dead assignment, or an `out` variable not written on some path.
+    B044,
 }
 
 impl Code {
@@ -86,6 +103,11 @@ impl Code {
             Code::B031 => "B031",
             Code::B032 => "B032",
             Code::B033 => "B033",
+            Code::B040 => "B040",
+            Code::B041 => "B041",
+            Code::B042 => "B042",
+            Code::B043 => "B043",
+            Code::B044 => "B044",
         }
     }
 
@@ -107,6 +129,11 @@ impl Code {
             Code::B031 => "task connected to nothing",
             Code::B032 => "bad task weight or storage size",
             Code::B033 => "storage item with no arcs",
+            Code::B040 => "variable read before assignment",
+            Code::B041 => "array index out of bounds",
+            Code::B042 => "definite arithmetic domain error",
+            Code::B043 => "`while` loop with no decreasing variant",
+            Code::B044 => "dead assignment or `out` variable unset on some path",
         }
     }
 }
@@ -357,6 +384,11 @@ mod tests {
         assert_eq!(Code::B001.as_str(), "B001");
         assert_eq!(Code::B033.to_string(), "B033");
         assert!(!Code::B016.summary().is_empty());
+        assert_eq!(Code::B040.as_str(), "B040");
+        assert_eq!(Code::B044.to_string(), "B044");
+        for c in [Code::B040, Code::B041, Code::B042, Code::B043, Code::B044] {
+            assert!(!c.summary().is_empty());
+        }
     }
 
     #[test]

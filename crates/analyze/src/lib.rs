@@ -20,6 +20,11 @@
 //!   implicit locals) with calc-parser spans (`B01x`).
 //! * **Graph hygiene** — unbound compound ports, cycles with a named
 //!   path, isolated tasks, bad weights and dead storage (`B02x`/`B03x`).
+//! * **Body safety** — interval-domain abstract interpretation of every
+//!   task program: reads of unassigned variables, provably out-of-bounds
+//!   indices, definite domain errors, variantless `while` loops and dead
+//!   assignments (`B04x`), with storage declarations seeding array
+//!   lengths.
 //!
 //! Findings are [`Diagnostic`] values with a stable [`Code`], a
 //! [`Severity`] and a [`Location`]; render them with [`render_report`]
@@ -43,10 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod access;
 pub mod diag;
 pub mod passes;
 
+pub use absint::program_diagnostics;
 pub use diag::{
     has_errors, render_json, render_report, render_text, sort_diagnostics, Code, Diagnostic,
     Location, Severity,

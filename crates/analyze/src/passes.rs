@@ -15,6 +15,7 @@ pub fn diagnose(design: &HierGraph, library: &ProgramLibrary) -> Vec<Diagnostic>
     let mut diags = view.diags.clone();
     races(&view, &mut diags);
     interfaces(&view, library, &mut diags);
+    crate::absint::body_safety(&view, library, &mut diags);
     hygiene(design, &view, &mut diags);
     sort_diagnostics(&mut diags);
     diags
@@ -481,7 +482,10 @@ fn weights_walk(g: &HierGraph, prefix: &str, diags: &mut Vec<Diagnostic>) {
                             Location::node(name),
                             "task weight is zero; the scheduler treats it as free".to_string(),
                         )
-                        .with_help("give the task a positive weight or calibrate from a trial run"),
+                        .with_help(
+                            "give the task a positive weight, take the static estimate from \
+                             `banger check --weights`, or calibrate from a trial run",
+                        ),
                     );
                 }
             }

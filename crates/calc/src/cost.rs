@@ -2,75 +2,36 @@
 //! its program text, without running it.
 //!
 //! When a scientist has not yet pressed "trial run", Banger still needs a
-//! weight for the scheduler. The static estimator walks the AST counting
-//! operator and builtin costs; loop bodies are multiplied by an assumed
-//! trip count (`LOOP_FACTOR` for `while`, the literal bounds for a
-//! `for` loop with constant bounds). Trial-run measurement
+//! weight for the scheduler. Estimation is backed by the interval-domain
+//! abstract interpreter ([`crate::absint`]): loop trip counts are
+//! *inferred* — `for` bounds that are constant, or affine in enclosing
+//! constants, produce exact operation counts matching the interpreter
+//! tick for tick — and only genuinely unbounded loops fall back to the
+//! [`LOOP_FACTOR`] guess. Trial-run measurement
 //! ([`crate::interp::Outcome::ops`]) supersedes the estimate when
 //! available.
 
-use crate::ast::{Expr, Program, Stmt};
-use crate::builtins;
+use crate::absint::{self, StaticCost};
+use crate::ast::Program;
 
-/// Assumed trip count of loops whose bounds are not literal constants.
+/// Assumed trip count of loops whose bounds cannot be inferred
+/// statically (`while` loops without a concrete model, `for` loops over
+/// genuinely unknown ranges).
 pub const LOOP_FACTOR: f64 = 10.0;
 
 /// Estimates the cost of a whole program in abstract operations.
+///
+/// This is the point estimate of [`static_cost`]; use that when the
+/// bounds (and the `exact` flag) matter.
 pub fn estimate_program(p: &Program) -> f64 {
-    block_cost(&p.body)
+    static_cost(p).est
 }
 
-fn block_cost(stmts: &[Stmt]) -> f64 {
-    stmts.iter().map(stmt_cost).sum()
-}
-
-fn stmt_cost(s: &Stmt) -> f64 {
-    match s {
-        Stmt::Assign { expr, .. } => 1.0 + expr_cost(expr),
-        Stmt::AssignIndex { index, expr, .. } => 2.0 + expr_cost(index) + expr_cost(expr),
-        Stmt::If {
-            cond,
-            then_body,
-            else_body,
-        } => {
-            // Branch prediction for estimators: average both arms.
-            expr_cost(cond) + 0.5 * (block_cost(then_body) + block_cost(else_body)) + 1.0
-        }
-        Stmt::While { cond, body } => LOOP_FACTOR * (expr_cost(cond) + block_cost(body) + 1.0),
-        Stmt::For {
-            var: _,
-            from,
-            to,
-            body,
-        } => {
-            let trips = match (literal(from), literal(to)) {
-                (Some(a), Some(b)) => (b - a + 1.0).max(0.0),
-                _ => LOOP_FACTOR,
-            };
-            expr_cost(from) + expr_cost(to) + trips * (block_cost(body) + 1.0)
-        }
-        Stmt::Print(e) => 1.0 + expr_cost(e),
-    }
-}
-
-fn literal(e: &Expr) -> Option<f64> {
-    match e {
-        Expr::Num(v) => Some(*v),
-        _ => None,
-    }
-}
-
-fn expr_cost(e: &Expr) -> f64 {
-    match e {
-        Expr::Num(_) | Expr::Var(_) => 0.0,
-        Expr::Index(_, idx) => 1.0 + expr_cost(idx),
-        Expr::Call(name, args) => {
-            let base = builtins::lookup(name).map(|b| b.cost as f64).unwrap_or(4.0);
-            base + args.iter().map(expr_cost).sum::<f64>()
-        }
-        Expr::Bin(_, l, r) => 1.0 + expr_cost(l) + expr_cost(r),
-        Expr::Un(_, inner) => 1.0 + expr_cost(inner),
-    }
+/// Full static operation-count bounds for a program: lower/upper bounds
+/// on a clean trial run's `ops`, the scheduler-facing point estimate,
+/// and whether the bounds are exact.
+pub fn static_cost(p: &Program) -> StaticCost {
+    absint::analyze(p).cost
 }
 
 #[cfg(test)]
@@ -81,8 +42,9 @@ mod tests {
     #[test]
     fn straight_line_cost() {
         let p = parse_program("task T in a out x begin x := a + 1 end").unwrap();
-        // 1 stmt + 1 op
+        // 1 stmt tick + 1 op
         assert_eq!(estimate_program(&p), 2.0);
+        assert!(static_cost(&p).exact);
     }
 
     #[test]
@@ -90,16 +52,22 @@ mod tests {
         let p = parse_program("task T in a out x begin x := sqrt(a) end").unwrap();
         // stmt 1 + sqrt 6
         assert_eq!(estimate_program(&p), 7.0);
+        assert!(static_cost(&p).exact);
     }
 
     #[test]
-    fn for_with_literal_bounds_uses_trip_count() {
+    fn for_with_literal_bounds_is_exact() {
         let p = parse_program(
             "task T out s local i begin s := 0 for i := 1 to 100 do s := s + i end end",
         )
         .unwrap();
-        // s := 0 -> 1; loop: 100 * (body(2) + 1) = 300 => 301
-        assert_eq!(estimate_program(&p), 301.0);
+        // s := 0 -> 1; for stmt tick 1; 100 * (body 2 + iter tick 1) = 300
+        let c = static_cost(&p);
+        assert_eq!(c.est, 302.0);
+        assert!(c.exact, "literal bounds must give exact cost: {c:?}");
+        // ... and "exact" means it: matches a real trial run.
+        let out = crate::interp::run(&p, &Default::default()).unwrap();
+        assert_eq!(out.ops as f64, c.est);
     }
 
     #[test]
@@ -108,23 +76,62 @@ mod tests {
             "task T in n out s local i begin s := 0 for i := 1 to n do s := s + i end end",
         )
         .unwrap();
-        assert_eq!(estimate_program(&p), 1.0 + LOOP_FACTOR * 3.0);
+        // s := 0 -> 1; for stmt 1; LOOP_FACTOR * (body 2 + 1) = 30
+        let c = static_cost(&p);
+        assert_eq!(c.est, 2.0 + LOOP_FACTOR * 3.0);
+        assert!(!c.exact);
+        assert!(c.ops_hi.is_infinite());
+    }
+
+    #[test]
+    fn for_with_affine_constant_bounds_is_exact() {
+        // Non-literal bounds that are affine in enclosing constants used
+        // to collapse to LOOP_FACTOR; trip-count inference handles them.
+        let p = parse_program(
+            "task T out s local i, n begin \
+             n := 50 s := 0 for i := 1 to 2 * n + 1 do s := s + i end end",
+        )
+        .unwrap();
+        let c = static_cost(&p);
+        assert!(c.exact, "affine constant bounds must be exact: {c:?}");
+        let out = crate::interp::run(&p, &Default::default()).unwrap();
+        assert_eq!(out.ops as f64, c.est);
     }
 
     #[test]
     fn while_uses_loop_factor() {
         let p = parse_program("task T in a out x begin x := a while x > 1 do x := x / 2 end end")
             .unwrap();
-        // x := a -> 1; while: 10 * (cond 1 + body 2 + 1) = 40 => 41
-        assert_eq!(estimate_program(&p), 41.0);
+        // x := a -> 1; while stmt 1; (LF+1) cond evals (1 each) + LF * (body 2 + 1)
+        let c = static_cost(&p);
+        assert_eq!(c.est, 1.0 + 1.0 + (LOOP_FACTOR + 1.0) + LOOP_FACTOR * 3.0);
+        assert!(!c.exact);
+    }
+
+    #[test]
+    fn while_with_concrete_inputs_is_data_dependent() {
+        // With no free inputs the Newton loop runs concretely in the
+        // abstract domain and the count is exact.
+        let p = parse_program(
+            "task T out x local g begin \
+             g := 32 while g > 1 do g := g / 2 end x := g end",
+        )
+        .unwrap();
+        let c = static_cost(&p);
+        assert!(c.exact, "concrete while must be exact: {c:?}");
+        let out = crate::interp::run(&p, &Default::default()).unwrap();
+        assert_eq!(out.ops as f64, c.est);
     }
 
     #[test]
     fn if_averages_branches() {
         let p = parse_program("task T in a out x begin if a > 0 then x := 1 else x := 2 end end")
             .unwrap();
-        // cond 1 + 0.5 * (1 + 1) + 1 = 3
-        assert_eq!(estimate_program(&p), 3.0);
+        // stmt 1 + cond 1 + join(1, 1) = 3 — and since both arms cost the
+        // same, the bounds collapse and the estimate is exact.
+        let c = static_cost(&p);
+        assert_eq!(c.est, 3.0);
+        assert!(c.exact);
     }
 
     #[test]
@@ -135,5 +142,15 @@ mod tests {
         )
         .unwrap();
         assert!(estimate_program(&large) > 100.0 * estimate_program(&small));
+    }
+
+    #[test]
+    fn bounds_bracket_the_estimate() {
+        let p = parse_program(
+            "task T in n out s local i begin s := 0 for i := 1 to n do s := s + i end end",
+        )
+        .unwrap();
+        let c = static_cost(&p);
+        assert!(c.ops_lo <= c.est && c.est <= c.ops_hi);
     }
 }

@@ -13,7 +13,10 @@
 //! * [`interp`] — trial runs of single tasks with inputs, outputs, prints
 //!   and an operation count (a measured task weight for the scheduler);
 //! * [`builtins`] — the scientific function and constant buttons;
-//! * [`cost`] — static weight estimation for unexercised tasks;
+//! * [`absint`] — interval-domain abstract interpretation: value-range
+//!   safety findings and static operation-count bounds;
+//! * [`cost`] — static weight estimation for unexercised tasks (backed
+//!   by [`absint`]'s trip-count inference);
 //! * [`pretty`] — canonical program text (round-trips with the parser);
 //! * [`panel`] — the calculator panel itself: button presses, immediate
 //!   `=` evaluation, `STO` registers, and task recording;
@@ -50,6 +53,7 @@
 //! assert!((x - 2.0_f64.sqrt()).abs() < 1e-9);
 //! ```
 
+pub mod absint;
 pub mod ast;
 pub mod builtins;
 pub mod compile;
@@ -65,6 +69,7 @@ pub mod transform;
 pub mod value;
 pub mod vm;
 
+pub use absint::{analyze, analyze_with, AbsVal, Analysis, AnalysisOptions, StaticCost};
 pub use ast::Program;
 pub use compile::{compile, CompiledProgram, Op};
 pub use error::{ParseError, Pos, RunError};

@@ -98,6 +98,13 @@ impl ProgramLibrary {
     pub fn estimate_weight(&self, name: &str) -> Option<f64> {
         self.get(name).map(cost::estimate_program)
     }
+
+    /// Full static cost bounds for a named program: lower/upper bounds on
+    /// a clean trial run's operation count plus the point estimate (see
+    /// [`crate::cost::static_cost`]). `None` when the name is unknown.
+    pub fn static_cost(&self, name: &str) -> Option<crate::absint::StaticCost> {
+        self.get(name).map(cost::static_cost)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +124,10 @@ mod tests {
         assert!(lib.get("Nope").is_none());
         assert_eq!(lib.estimate_weight("Double"), Some(2.0));
         assert_eq!(lib.estimate_weight("Nope"), None);
+        let sc = lib.static_cost("Double").unwrap();
+        assert!(sc.exact);
+        assert_eq!(sc.ops_lo, 2.0);
+        assert!(lib.static_cost("Nope").is_none());
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //!
 //! ```text
 //! banger check <file> [--format text|json] static analysis (B0xx diagnostics)
+//!              [--weights [-i var=value]...] add the per-task weight report:
+//!                                         static estimate vs drawn weight
+//!                                         (vs measured ops when inputs are
+//!                                         given and the design is clean)
 //! banger show <file>                      design statistics + DOT
 //! banger gantt <file> [-H <heuristic>]    schedule + ASCII Gantt chart
 //! banger compare <file>                   all heuristics, sorted
@@ -44,7 +48,7 @@ use std::process::exit;
 const COMMANDS: &[(&str, &str)] = &[
     (
         "check",
-        "static analysis: races, interface mismatches, hygiene (B0xx codes)",
+        "static analysis: races, interfaces, hygiene, body safety (B0xx); --weights for cost bounds",
     ),
     ("show", "design statistics + DOT rendering"),
     ("gantt", "schedule + ASCII Gantt chart"),
@@ -143,6 +147,10 @@ fn usage_text() -> String {
          \x20 -s <path>        verify: saved schedule file\n\
          \x20 -o <path>        svg/save-schedule: output location\n\
          \x20 --format <fmt>   check: text (default) or json\n\
+         \x20 --weights        check: per-task weight report — drawn weight vs the\n\
+         \x20                  abstract interpreter's static cost bounds; with -i\n\
+         \x20                  inputs and a clean design, also runs it and shows\n\
+         \x20                  measured ops per task\n\
          \x20 --reference      trial: use the tree-walking reference interpreter\n\
          \x20 --repeat <n>     run: fire the design n times through one persistent\n\
          \x20                  session (warm worker pool; prints per-firing stats)\n\
@@ -212,15 +220,48 @@ fn parse_value(text: &str) -> Result<Value, String> {
 }
 
 fn cmd_check(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger check <file> [--format text|json] [--weights [-i var=value]...]
+    // Plain check prints diagnostics (JSON: a bare array, schema unchanged).
+    // --weights appends the per-task weight report; when inputs are given
+    // and the design is error-free, the design also runs once so the
+    // report can show measured ops next to the static bounds (JSON: one
+    // object with "diagnostics" and "weights" keys).
     let format = rest
         .windows(2)
         .find(|w| w[0] == "--format")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "text".to_string());
     let diags = project.diagnose().to_vec();
+    let weights = if rest.iter().any(|a| a == "--weights") {
+        let inputs = opt_inputs(rest)?;
+        let measured = if !inputs.is_empty() && !banger::analyze::has_errors(&diags) {
+            Some(project.run(&inputs).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
+        Some(
+            project
+                .weight_report(measured.as_ref())
+                .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
     match format.as_str() {
-        "text" => println!("{}", banger::analyze::render_report(&diags)),
-        "json" => println!("{}", banger::analyze::render_json(&diags)),
+        "text" => {
+            println!("{}", banger::analyze::render_report(&diags));
+            if let Some(rows) = &weights {
+                println!("{}", banger::render_weight_table(rows));
+            }
+        }
+        "json" => match &weights {
+            None => println!("{}", banger::analyze::render_json(&diags)),
+            Some(rows) => println!(
+                "{{\"diagnostics\": {},\n\"weights\": {}}}",
+                banger::analyze::render_json(&diags),
+                banger::weight_rows_json(rows)
+            ),
+        },
         other => {
             return Err(format!(
                 "unknown check format {other:?} (want text or json)"

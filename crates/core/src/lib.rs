@@ -56,4 +56,4 @@ pub use banger_trace as trace;
 pub use chart::{bar_chart, speedup_chart, SpeedupPoint};
 pub use document::{parse_project, print_project, DocError};
 pub use gantt::GanttOptions;
-pub use project::{Project, ProjectError};
+pub use project::{render_weight_table, weight_rows_json, Project, ProjectError, WeightRow};

@@ -89,6 +89,110 @@ impl From<CodegenError> for ProjectError {
     }
 }
 
+/// One row of [`Project::weight_report`]: how a task's drawn scheduling
+/// weight compares with the static estimate of its attached program and,
+/// when a run report is supplied, with the measured operation count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightRow {
+    /// Qualified task name in the flattened graph (e.g. `Factor.fan1`).
+    pub task: String,
+    /// Name of the attached PITS program, when the node has one.
+    pub program: Option<String>,
+    /// The weight drawn on the design node.
+    pub drawn: f64,
+    /// Static cost bounds inferred for the program by the abstract
+    /// interpreter; `None` when the task has no program or the name is
+    /// not in the library.
+    pub cost: Option<banger_calc::absint::StaticCost>,
+    /// Operation count measured by a real execution, when one was given.
+    pub measured: Option<f64>,
+}
+
+/// Renders weight rows as the aligned text table behind
+/// `banger check --weights`.
+pub fn render_weight_table(rows: &[WeightRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<12} {:>10} {:>12} {:>22} {:>10}\n",
+        "task", "program", "drawn", "static est", "static bounds", "measured"
+    ));
+    for r in rows {
+        let (est, bounds) = match &r.cost {
+            Some(c) => {
+                let hi = if c.ops_hi.is_finite() {
+                    format!("{}", c.ops_hi)
+                } else {
+                    "inf".to_string()
+                };
+                let mark = if c.exact { " (exact)" } else { "" };
+                (format!("{}", c.est), format!("[{}, {hi}]{mark}", c.ops_lo))
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let measured = match r.measured {
+            Some(m) => format!("{m}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<24} {:<12} {:>10} {:>12} {:>22} {:>10}\n",
+            r.task,
+            r.program.as_deref().unwrap_or("-"),
+            r.drawn,
+            est,
+            bounds,
+            measured
+        ));
+    }
+    out
+}
+
+/// Renders weight rows as a JSON array under the stable schema used by
+/// `banger check --weights --format json`: one object per task with
+/// `task`, `program`, `drawn`, `static` (`est`/`ops_lo`/`ops_hi`/`exact`,
+/// `ops_hi` null when unbounded) and `measured`; absent pieces are null.
+pub fn weight_rows_json(rows: &[WeightRow]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"task\": \"{}\", ", esc(&r.task)));
+        match &r.program {
+            Some(p) => out.push_str(&format!("\"program\": \"{}\", ", esc(p))),
+            None => out.push_str("\"program\": null, "),
+        }
+        out.push_str(&format!("\"drawn\": {}, ", num(r.drawn)));
+        match &r.cost {
+            Some(c) => out.push_str(&format!(
+                "\"static\": {{\"est\": {}, \"ops_lo\": {}, \"ops_hi\": {}, \"exact\": {}}}, ",
+                num(c.est),
+                num(c.ops_lo),
+                num(c.ops_hi),
+                c.exact
+            )),
+            None => out.push_str("\"static\": null, "),
+        }
+        match r.measured {
+            Some(m) => out.push_str(&format!("\"measured\": {}", num(m))),
+            None => out.push_str("\"measured\": null"),
+        }
+        out.push('}');
+    }
+    out.push_str(if rows.is_empty() { "]" } else { "\n]" });
+    out
+}
+
 /// A Banger project.
 #[derive(Debug, Clone)]
 pub struct Project {
@@ -293,6 +397,32 @@ impl Project {
         self.flattened = None;
         self.invalidate_diagnostics();
         Ok(updated)
+    }
+
+    /// One [`WeightRow`] per task in the flattened design, comparing the
+    /// drawn weight with the abstract interpreter's static cost of the
+    /// attached program and, when `measured` is supplied, with the
+    /// operation counts of that execution (max over task copies). This is
+    /// the data behind `banger check --weights`.
+    pub fn weight_report(
+        &mut self,
+        measured: Option<&ExecReport>,
+    ) -> Result<Vec<WeightRow>, ProjectError> {
+        self.flatten()?;
+        let g = &self.flattened.as_ref().unwrap().graph;
+        let meas = measured.map(|r| r.measured_weights(g.task_count()));
+        Ok(g.tasks()
+            .map(|(t, task)| WeightRow {
+                task: task.name.clone(),
+                program: task.program.clone(),
+                drawn: task.weight,
+                cost: task
+                    .program
+                    .as_deref()
+                    .and_then(|p| self.library.static_cost(p)),
+                measured: meas.as_ref().map(|m| m[t.index()]),
+            })
+            .collect())
     }
 
     /// Simulates a schedule on the machine (trial run of the *entire
@@ -902,6 +1032,82 @@ mod tests {
         assert!(rust.contains("fn main()"));
         let c = p.generate_c(&s, &lu_inputs(&a, &b)).unwrap();
         assert!(c.contains("MPI_Init"));
+    }
+
+    #[test]
+    fn weight_report_compares_static_and_measured() {
+        let mut p = lu_project(3);
+        let (a, b) = test_system(3);
+        let report = p.run(&lu_inputs(&a, &b)).unwrap();
+        let rows = p.weight_report(Some(&report)).unwrap();
+        assert_eq!(rows.len(), p.flatten().unwrap().graph.task_count());
+        for r in &rows {
+            let c = r.cost.as_ref().expect("every LU task has a program");
+            let m = r.measured.expect("every LU task ran");
+            assert!(
+                c.ops_lo <= m && (c.ops_hi.is_infinite() || m <= c.ops_hi),
+                "{}: measured {m} outside [{}, {}]",
+                r.task,
+                c.ops_lo,
+                c.ops_hi
+            );
+            // LU bodies are straight loops over literal bounds: the
+            // abstract interpreter must predict the trial count exactly.
+            assert!(c.exact, "{}: {c:?}", r.task);
+            assert_eq!(c.est, m, "{}: static {} vs measured {m}", r.task, c.est);
+        }
+        // Without a report the measured column is absent.
+        let rows = p.weight_report(None).unwrap();
+        assert!(rows.iter().all(|r| r.measured.is_none()));
+    }
+
+    #[test]
+    fn weight_rendering() {
+        let rows = vec![
+            WeightRow {
+                task: "Factor.fan1".to_string(),
+                program: Some("fan1".to_string()),
+                drawn: 9.0,
+                cost: Some(banger_calc::absint::StaticCost {
+                    ops_lo: 115.0,
+                    ops_hi: 115.0,
+                    est: 115.0,
+                    exact: true,
+                }),
+                measured: Some(115.0),
+            },
+            WeightRow {
+                task: "sink".to_string(),
+                program: None,
+                drawn: 1.0,
+                cost: None,
+                measured: None,
+            },
+        ];
+        let text = render_weight_table(&rows);
+        assert!(text.contains("Factor.fan1"), "{text}");
+        assert!(text.contains("(exact)"), "{text}");
+        let json = weight_rows_json(&rows);
+        assert!(json.contains("\"task\": \"Factor.fan1\""), "{json}");
+        assert!(json.contains("\"exact\": true"), "{json}");
+        assert!(json.contains("\"static\": null"), "{json}");
+        assert!(json.contains("\"measured\": null"), "{json}");
+        // Unbounded upper bounds serialize as null, not inf.
+        let unbounded = vec![WeightRow {
+            task: "t".to_string(),
+            program: Some("p".to_string()),
+            drawn: 1.0,
+            cost: Some(banger_calc::absint::StaticCost {
+                ops_lo: 2.0,
+                ops_hi: f64::INFINITY,
+                est: 32.0,
+                exact: false,
+            }),
+            measured: None,
+        }];
+        let json = weight_rows_json(&unbounded);
+        assert!(json.contains("\"ops_hi\": null"), "{json}");
+        assert_eq!(weight_rows_json(&[]), "[]");
     }
 
     #[test]

@@ -677,7 +677,146 @@ fn check_json_round_trips_without_serde() {
         "{names:?}"
     );
 
-    // A clean design yields an empty array, also valid JSON.
-    let clean = run_ok(&["check", project_path(), "--format", "json"]);
+    // A diagnostic-free design yields an empty array, also valid JSON.
+    let clean = run_ok(&["check", "examples/projects/matmul.bang", "--format", "json"]);
     assert_eq!(parse_json(clean.trim()), Ok(Json::Arr(vec![])));
+}
+
+#[test]
+fn check_weights_prints_static_cost_table() {
+    let out = run_ok(&["check", "examples/projects/lu3.bang", "--weights"]);
+    assert!(out.contains("static bounds"), "{out}");
+    assert!(out.contains("Factor.fan1"), "{out}");
+    // Every LU body is literal-bound loops: the bounds collapse.
+    assert!(out.contains("(exact)"), "{out}");
+}
+
+#[test]
+fn check_weights_json_with_measured_run() {
+    // Without inputs: an object with diagnostics + weights, measured null.
+    let out = run_ok(&["check", project_path(), "--weights", "--format", "json"]);
+    let json = parse_json(out.trim()).expect("valid JSON");
+    let Some(Json::Arr(diags)) = json.get("diagnostics") else {
+        panic!("diagnostics array missing: {json:?}");
+    };
+    // heat_probe's relax kernels index with statically-unknown bounds.
+    assert!(diags
+        .iter()
+        .any(|d| d.get("code").and_then(Json::as_str) == Some("B041")));
+    let Some(Json::Arr(rows)) = json.get("weights") else {
+        panic!("weights array missing: {json:?}");
+    };
+    assert_eq!(rows.len(), 5, "{json:?}");
+    for row in rows {
+        assert!(row.get("task").and_then(Json::as_str).is_some());
+        assert!(matches!(row.get("drawn"), Some(Json::Num(_))));
+        assert_eq!(row.get("measured"), Some(&Json::Null));
+    }
+    // The relax kernels loop over an unknown-length rod: upper bound
+    // unbounded, serialized as null (never `inf`).
+    let lower = rows
+        .iter()
+        .find(|r| r.get("task").and_then(Json::as_str) == Some("Relax.lower"))
+        .expect("Relax.lower row");
+    let stat = lower.get("static").expect("static object");
+    assert_eq!(stat.get("ops_hi"), Some(&Json::Null), "{stat:?}");
+    assert_eq!(stat.get("exact"), Some(&Json::Bool(false)));
+
+    // With inputs the design runs once and measured ops land in-bounds.
+    let out = run_ok(&[
+        "check",
+        project_path(),
+        "--weights",
+        "--format",
+        "json",
+        "-i",
+        "left=100",
+        "-i",
+        "right=0",
+    ]);
+    let json = parse_json(out.trim()).expect("valid JSON");
+    let Some(Json::Arr(rows)) = json.get("weights") else {
+        panic!("weights array missing: {json:?}");
+    };
+    for row in rows {
+        let Some(Json::Num(m)) = row.get("measured") else {
+            panic!("measured missing after a run: {row:?}");
+        };
+        let stat = row.get("static").expect("static object");
+        let Some(Json::Num(lo)) = stat.get("ops_lo") else {
+            panic!("ops_lo missing: {stat:?}");
+        };
+        assert!(lo <= m, "{row:?}");
+        if let Some(Json::Num(hi)) = stat.get("ops_hi") {
+            assert!(m <= hi, "{row:?}");
+        }
+    }
+}
+
+#[test]
+fn check_reports_body_safety_errors_and_exits_nonzero() {
+    // A design whose only defect is a PITS body bug: a definite read of
+    // an unassigned variable. B040 must gate exactly like graph errors.
+    let path = std::env::temp_dir().join("banger_cli_test_badread.bang");
+    std::fs::write(
+        &path,
+        "project badread\n\
+         \n\
+         machine full:2\n\
+         \x20 speed 1\n\
+         \x20 process-startup 0.1\n\
+         \x20 msg-startup 0.5\n\
+         \x20 rate 8\n\
+         end\n\
+         \n\
+         design\n\
+         \x20 storage src 1\n\
+         \x20 task t 10 prog Bad\n\
+         \x20 storage dst 1\n\
+         \x20 arc src -> t\n\
+         \x20 arc t -> dst\n\
+         end\n\
+         \n\
+         begin-program\n\
+         task Bad\n\
+         \x20 in src\n\
+         \x20 out dst\n\
+         \x20 local q\n\
+         begin\n\
+         \x20 dst := q + src\n\
+         end\n\
+         end-program\n",
+    )
+    .unwrap();
+    let out = banger()
+        .args(["check", path.to_str().unwrap(), "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed = parse_json(text.trim()).expect("valid JSON");
+    let Json::Arr(items) = &parsed else {
+        panic!("expected a bare array without --weights, got {parsed:?}");
+    };
+    let b040 = items
+        .iter()
+        .find(|i| i.get("code").and_then(Json::as_str) == Some("B040"))
+        .expect("B040 present");
+    assert_eq!(
+        b040.get("severity").and_then(Json::as_str),
+        Some("error"),
+        "{b040:?}"
+    );
+    // Execution refuses the same design with the same code.
+    let run = banger()
+        .args(["run", path.to_str().unwrap(), "-i", "src=1"])
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&run.stderr).contains("B040"),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    std::fs::remove_file(&path).ok();
 }
