@@ -128,7 +128,7 @@ fn assigned_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
                 out.insert(var.clone());
                 assigned_vars(body, out);
             }
-            Stmt::Print(_) => {}
+            Stmt::Print { .. } => {}
         }
     }
 }
@@ -174,12 +174,13 @@ fn read_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 expr_vars(cond, out);
                 read_vars(then_body, out);
                 read_vars(else_body, out);
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 expr_vars(cond, out);
                 read_vars(body, out);
             }
@@ -188,7 +189,7 @@ fn read_vars(body: &[Stmt], out: &mut BTreeSet<String>) {
                 expr_vars(to, out);
                 read_vars(body, out);
             }
-            Stmt::Print(e) => expr_vars(e, out),
+            Stmt::Print { expr: e, .. } => expr_vars(e, out),
         }
     }
 }

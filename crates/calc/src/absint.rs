@@ -780,8 +780,9 @@ impl Walker {
                 cond,
                 then_body,
                 else_body,
+                pos,
             } => {
-                ctx.pos = None;
+                ctx.pos = Some(*pos);
                 let (cv, cc) = self.eval(cond, env, ctx);
                 cost = cost.add(cc);
                 match cv.num_or_top().truth() {
@@ -804,8 +805,8 @@ impl Walker {
                     }
                 }
             }
-            Stmt::While { cond, body } => {
-                ctx.pos = None;
+            Stmt::While { cond, body, pos } => {
+                ctx.pos = Some(*pos);
                 let mut trial_env = env.clone();
                 let mut trial_ctx = *ctx;
                 let fsnap = self.findings.len();
@@ -826,15 +827,16 @@ impl Walker {
                 from,
                 to,
                 body,
+                pos,
             } => {
-                ctx.pos = None;
+                ctx.pos = Some(*pos);
                 let (fv, fc) = self.eval(from, env, ctx);
                 let (tv, tc) = self.eval(to, env, ctx);
                 cost = cost.add(fc).add(tc);
                 cost = cost.add(self.exec_for(var, &fv, &tv, body, env, ctx));
             }
-            Stmt::Print(e) => {
-                ctx.pos = None;
+            Stmt::Print { expr: e, pos } => {
+                ctx.pos = Some(*pos);
                 let (_, c) = self.eval(e, env, ctx);
                 cost = cost.add(c);
             }
@@ -857,6 +859,9 @@ impl Walker {
         let t = tv.num_or_top().round();
         let max_trips = (t.hi - f.lo + 1.0).max(0.0);
         let min_trips = (t.lo - f.hi + 1.0).max(0.0);
+        // Set when the unroll proves the concrete loop never terminates
+        // (the `i += 1.0` increment stalls): every run ends in StepLimit.
+        let mut diverges = false;
 
         if f.is_point() && t.is_point() {
             let trips = max_trips;
@@ -864,9 +869,22 @@ impl Walker {
             if trips * per_iter <= (self.budget.saturating_sub(self.steps)) as f64 {
                 // UNROLL: concrete iteration, exact cost, per-iteration
                 // singleton loop variable (triangular nests stay exact).
+                // Discarded like `concrete_while`'s trial when it cannot
+                // finish: the summarized path re-derives findings.
+                let pre_env = env.clone();
+                let pre_ctx = *ctx;
+                let fsnap = self.findings.len();
                 let mut cost = Cost::ZERO;
                 let mut i = f.lo;
+                let mut finished = true;
                 while i <= t.hi {
+                    // The trip pre-check can under-count (nested loops grow
+                    // inner bounds); re-check so unrolling never outruns the
+                    // budget.
+                    if self.steps > self.budget {
+                        finished = false;
+                        break;
+                    }
                     env.insert(
                         var.to_string(),
                         VarState::assigned(AbsVal::scalar(Interval::point(i))),
@@ -874,9 +892,23 @@ impl Walker {
                     cost = cost
                         .add(self.exec_block(body, env, ctx))
                         .add(Cost::point(1.0));
-                    i += 1.0;
+                    let next = i + 1.0;
+                    if next == i {
+                        // Past 2^53 the float step is a no-op: the
+                        // interpreter re-runs this iteration until its
+                        // step limit, so the loop definitely diverges.
+                        finished = false;
+                        diverges = true;
+                        break;
+                    }
+                    i = next;
                 }
-                return cost;
+                if finished {
+                    return cost;
+                }
+                *env = pre_env;
+                *ctx = pre_ctx;
+                self.findings.truncate(fsnap);
             }
         }
         if max_trips == 0.0 {
@@ -891,17 +923,36 @@ impl Walker {
         let body_cost = self.fix(body, env, ctx, Some((var, range)));
         if min_trips == 0.0 {
             *env = join_env(env, &pre);
+        } else {
+            // The loop definitely executes, so the loop variable and every
+            // name assigned on all paths through the body are initialized
+            // afterwards; `fix` joined with the pre-loop state and demoted
+            // them to `Maybe`.
+            let mut definite = must_assigned_vars(body);
+            definite.insert(var.to_string());
+            for v in definite {
+                if let Some(vs) = env.get_mut(&v) {
+                    vs.init = Init::Yes;
+                }
+            }
         }
         let trips_est = if max_trips.is_finite() {
             0.5 * (min_trips + max_trips)
         } else {
             min_trips.max(LOOP_FACTOR)
         };
-        Cost {
+        let mut cost = Cost {
             lo: min_trips * (body_cost.lo + 1.0),
             hi: max_trips * (body_cost.hi + 1.0),
             est: trips_est * (body_cost.est + 1.0),
+        };
+        if diverges {
+            // No clean run exists: the cost is unbounded (never `exact`)
+            // and nothing after the loop is concretely reached.
+            cost.hi = f64::INFINITY;
+            ctx.reached = false;
         }
+        cost
     }
 
     /// Runs a `while` loop concretely while the condition stays
@@ -1075,7 +1126,13 @@ impl Walker {
         };
         let idx = index.num_or_top().round();
         let definite = idx.hi < 1.0 || idx.lo > len.hi;
-        let possible = idx.lo < 1.0 || idx.hi > len.hi;
+        // "Possibly out" measures against the *minimum* feasible length
+        // (an index of 4 into len ∈ [3,5] can fail at runtime) — but only
+        // when the length range carries real information; a fully unknown
+        // length ([0, ∞], the unseeded-input default) would flag every
+        // access.
+        let informative = len.hi.is_finite() || len.lo > 0.0;
+        let possible = idx.lo < 1.0 || (informative && idx.hi > len.lo);
         if !possible && !definite {
             return;
         }
@@ -1348,6 +1405,7 @@ impl Walker {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 let mut then_live = live.clone();
                 self.live_block(then_body, &mut then_live, report);
@@ -1355,7 +1413,7 @@ impl Walker {
                 live.extend(then_live);
                 collect_expr_vars(cond, live);
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 self.live_loop(body, live, report, cond, None);
             }
             Stmt::For {
@@ -1363,6 +1421,7 @@ impl Walker {
                 from,
                 to,
                 body,
+                ..
             } => {
                 self.live_loop(body, live, report, from, Some(to));
                 // The loop variable is written by the loop itself and
@@ -1370,7 +1429,7 @@ impl Walker {
                 // assignments to it are (conservatively) kept.
                 live.insert(var.clone());
             }
-            Stmt::Print(e) => collect_expr_vars(e, live),
+            Stmt::Print { expr: e, .. } => collect_expr_vars(e, live),
         }
     }
 
@@ -1479,13 +1538,42 @@ fn collect_assigned(stmts: &[Stmt], out: &mut BTreeSet<String>) {
                 out.insert(var.clone());
                 collect_assigned(body, out);
             }
-            Stmt::Print(_) => {}
+            Stmt::Print { .. } => {}
         }
     }
 }
 
 fn syntactically_assigns(stmts: &[Stmt], var: &str) -> bool {
     assigned_vars(stmts).contains(var)
+}
+
+/// Variables assigned on *every* path through one execution of `stmts`
+/// (branches intersect; loops may run zero times and element stores
+/// require the array to already exist, so neither contributes). Used to
+/// promote `Init` through loops that definitely execute.
+fn must_assigned_vars(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign { var, .. } => {
+                out.insert(var.clone());
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let t = must_assigned_vars(then_body);
+                let e = must_assigned_vars(else_body);
+                out.extend(t.intersection(&e).cloned());
+            }
+            Stmt::AssignIndex { .. }
+            | Stmt::While { .. }
+            | Stmt::For { .. }
+            | Stmt::Print { .. } => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1743,6 +1831,87 @@ end";
         let f = findings_of("task T in a out x local q begin x := a and q end");
         assert!(has(&f, "uninit-read", false), "{f:?}");
         assert!(!has(&f, "uninit-read", true), "{f:?}");
+    }
+
+    #[test]
+    fn huge_point_bounds_terminate_without_exact_claim() {
+        // At 1e16 the interpreter's `i += 1.0` is a float no-op, so the
+        // concrete loop spins to its step limit. The analyzer's unroll
+        // must detect the stall (not hang), report unbounded cost, and
+        // treat everything after the loop as unreached.
+        let src = "task T out s local i begin \
+                   s := 0 for i := 1e16 to 1e16 do s := s + 1 end end";
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p);
+        assert!(!a.cost.exact, "{:?}", a.cost);
+        assert!(a.cost.ops_hi.is_infinite(), "{:?}", a.cost);
+
+        // Same stall mid-range: exact steps up to 2^53, then a no-op.
+        let src = "task T out s local i begin \
+                   s := 0 for i := 9007199254740991 to 9007199254740995 do \
+                   s := s + 1 end end";
+        let p = parse_program(src).unwrap();
+        let a = analyze(&p);
+        assert!(!a.cost.exact, "{:?}", a.cost);
+        assert!(a.cost.ops_hi.is_infinite(), "{:?}", a.cost);
+    }
+
+    #[test]
+    fn index_possibly_out_against_joined_lengths() {
+        // len(w) ∈ [3, 5] after the join: index 4 can fail at runtime
+        // (actual length 3), so it must be flagged as possibly out.
+        let f = findings_of(
+            "task T in a out x local w begin \
+             if a > 0 then w := zeros(3) else w := zeros(5) end x := w[4] end",
+        );
+        assert!(has(&f, "index-out", false), "{f:?}");
+        assert!(!has(&f, "index-out", true), "{f:?}");
+        // A fully unknown input length stays quiet (no warning spam).
+        let f = findings_of("task T in v out x begin x := v[4] end");
+        assert!(!f.iter().any(|x| x.kind.tag() == "index-out"), "{f:?}");
+    }
+
+    #[test]
+    fn condition_site_findings_carry_positions_and_stay_distinct() {
+        // Two separate division-by-zero sites inside `if` conditions must
+        // survive dedup as two located findings.
+        let src = "task T in a out x local z begin z := 0 x := 0 \
+                   if 1 / z > 0 then x := 1 end \
+                   if 2 / z > 0 then x := 2 end end";
+        let f = findings_of(src);
+        let dz: Vec<_> = f
+            .iter()
+            .filter(|x| x.kind.tag() == "div-by-zero")
+            .collect();
+        assert_eq!(dz.len(), 2, "{f:?}");
+        assert!(dz.iter().all(|x| x.pos.is_some()), "{f:?}");
+    }
+
+    #[test]
+    fn must_run_summarized_loop_initializes_assignments() {
+        // Too many trips to unroll, but the loop definitely executes:
+        // names assigned on every path through the body (and the loop
+        // variable) are definitely initialized afterwards.
+        let f = findings_of(
+            "task T out x local i begin \
+             for i := 1 to 1000000 do x := i end end",
+        );
+        assert!(
+            !f.iter()
+                .any(|x| matches!(x.kind.tag(), "uninit-read" | "output-unset")),
+            "{f:?}"
+        );
+        let f = findings_of(
+            "task T out x local i, s begin \
+             for i := 1 to 1000000 do s := 1 end x := s end",
+        );
+        assert!(!f.iter().any(|x| x.kind.tag() == "uninit-read"), "{f:?}");
+        // A loop that may run zero times still demotes to Maybe.
+        let f = findings_of(
+            "task T in n out x local i begin \
+             for i := 1 to n do x := i end end",
+        );
+        assert!(has(&f, "output-unset", false), "{f:?}");
     }
 
     #[test]

@@ -117,6 +117,8 @@ pub enum Stmt {
         then_body: Vec<Stmt>,
         /// Else branch (may be empty).
         else_body: Vec<Stmt>,
+        /// Source position of the `if` keyword.
+        pos: Pos,
     },
     /// `while c do ... end`
     While {
@@ -124,6 +126,8 @@ pub enum Stmt {
         cond: Expr,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source position of the `while` keyword.
+        pos: Pos,
     },
     /// `for v := a to b do ... end` (inclusive bounds, step 1)
     For {
@@ -135,9 +139,16 @@ pub enum Stmt {
         to: Expr,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source position of the `for` keyword.
+        pos: Pos,
     },
     /// `print e` — the calculator's result display.
-    Print(Expr),
+    Print {
+        /// The displayed expression.
+        expr: Expr,
+        /// Source position of the `print` keyword.
+        pos: Pos,
+    },
 }
 
 impl PartialEq for Stmt {
@@ -170,31 +181,40 @@ impl PartialEq for Stmt {
                     cond: c1,
                     then_body: t1,
                     else_body: e1,
+                    ..
                 },
                 Stmt::If {
                     cond: c2,
                     then_body: t2,
                     else_body: e2,
+                    ..
                 },
             ) => c1 == c2 && t1 == t2 && e1 == e2,
-            (Stmt::While { cond: c1, body: b1 }, Stmt::While { cond: c2, body: b2 }) => {
-                c1 == c2 && b1 == b2
-            }
+            (
+                Stmt::While {
+                    cond: c1, body: b1, ..
+                },
+                Stmt::While {
+                    cond: c2, body: b2, ..
+                },
+            ) => c1 == c2 && b1 == b2,
             (
                 Stmt::For {
                     var: v1,
                     from: f1,
                     to: t1,
                     body: b1,
+                    ..
                 },
                 Stmt::For {
                     var: v2,
                     from: f2,
                     to: t2,
                     body: b2,
+                    ..
                 },
             ) => v1 == v2 && f1 == f2 && t1 == t2 && b1 == b2,
-            (Stmt::Print(a), Stmt::Print(b)) => a == b,
+            (Stmt::Print { expr: a, .. }, Stmt::Print { expr: b, .. }) => a == b,
             _ => false,
         }
     }

@@ -465,6 +465,7 @@ impl Compiler {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 let mark = self.live_temps;
                 let tc = self.operand_or_temp(cond);
@@ -482,7 +483,7 @@ impl Compiler {
                 let end = self.here();
                 self.patch(out, end);
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 let head = self.here();
                 let mark = self.live_temps;
                 let tc = self.operand_or_temp(cond);
@@ -503,6 +504,7 @@ impl Compiler {
                 from,
                 to,
                 body,
+                ..
             } => {
                 let var_slot = self.slot(var);
                 let mark = self.live_temps;
@@ -537,7 +539,7 @@ impl Compiler {
                 self.patch(test, end);
                 self.release_to(mark);
             }
-            Stmt::Print(e) => {
+            Stmt::Print { expr: e, .. } => {
                 let mark = self.live_temps;
                 let t = self.operand_or_temp(e);
                 self.emit(Op::Print { src: t });

@@ -159,6 +159,7 @@ impl State {
                 cond,
                 then_body,
                 else_body,
+                ..
             } => {
                 if self.eval(cond)?.truthy("if condition")? {
                     self.exec_block(then_body)?;
@@ -166,7 +167,7 @@ impl State {
                     self.exec_block(else_body)?;
                 }
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 while self.eval(cond)?.truthy("while condition")? {
                     self.exec_block(body)?;
                     self.tick(1)?;
@@ -177,6 +178,7 @@ impl State {
                 from,
                 to,
                 body,
+                ..
             } => {
                 let from = self.eval(from)?.as_num("for start")?;
                 let to = self.eval(to)?.as_num("for end")?;
@@ -189,7 +191,7 @@ impl State {
                     i += 1.0;
                 }
             }
-            Stmt::Print(e) => {
+            Stmt::Print { expr: e, .. } => {
                 let v = self.eval(e)?;
                 self.prints.push(v.to_string());
             }

@@ -236,6 +236,7 @@ impl Parser {
                     cond,
                     then_body,
                     else_body,
+                    pos,
                 })
             }
             Tok::While => {
@@ -244,7 +245,7 @@ impl Parser {
                 self.expect(Tok::Do, "`do`")?;
                 let body = self.stmts()?;
                 self.expect(Tok::End, "`end`")?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::While { cond, body, pos })
             }
             Tok::For => {
                 self.bump();
@@ -261,11 +262,15 @@ impl Parser {
                     from,
                     to,
                     body,
+                    pos,
                 })
             }
             Tok::Print => {
                 self.bump();
-                Ok(Stmt::Print(self.expr()?))
+                Ok(Stmt::Print {
+                    expr: self.expr()?,
+                    pos,
+                })
             }
             other => Err(self.err(format!("expected a statement, found {other:?}"))),
         }
@@ -551,7 +556,7 @@ end";
     #[test]
     fn print_statement() {
         let p = parse_program("task T in a begin print a + 1 end").unwrap();
-        assert!(matches!(p.body[0], Stmt::Print(_)));
+        assert!(matches!(p.body[0], Stmt::Print { .. }));
     }
 
     #[test]

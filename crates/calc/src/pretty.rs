@@ -52,6 +52,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             cond,
             then_body,
             else_body,
+            ..
         } => {
             let _ = writeln!(out, "if {} then", print_expr(cond));
             print_block(out, then_body, depth + 1);
@@ -63,7 +64,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("end\n");
         }
-        Stmt::While { cond, body } => {
+        Stmt::While { cond, body, .. } => {
             let _ = writeln!(out, "while {} do", print_expr(cond));
             print_block(out, body, depth + 1);
             indent(out, depth);
@@ -74,6 +75,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             from,
             to,
             body,
+            ..
         } => {
             let _ = writeln!(
                 out,
@@ -85,7 +87,7 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("end\n");
         }
-        Stmt::Print(e) => {
+        Stmt::Print { expr: e, .. } => {
             let _ = writeln!(out, "print {}", print_expr(e));
         }
     }

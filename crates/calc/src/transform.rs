@@ -109,7 +109,7 @@ fn assigns_var(stmts: &[Stmt], v: &str) -> bool {
         } => assigns_var(then_body, v) || assigns_var(else_body, v),
         Stmt::While { body, .. } => assigns_var(body, v),
         Stmt::For { var, body, .. } => var == v || assigns_var(body, v),
-        Stmt::Print(_) => false,
+        Stmt::Print { .. } => false,
     })
 }
 
@@ -122,12 +122,13 @@ fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
             cond,
             then_body,
             else_body,
+            ..
         } => uses_var(cond, v) || stmts_use_var(then_body, v) || stmts_use_var(else_body, v),
-        Stmt::While { cond, body } => uses_var(cond, v) || stmts_use_var(body, v),
+        Stmt::While { cond, body, .. } => uses_var(cond, v) || stmts_use_var(body, v),
         Stmt::For { from, to, body, .. } => {
             uses_var(from, v) || uses_var(to, v) || stmts_use_var(body, v)
         }
-        Stmt::Print(e) => uses_var(e, v),
+        Stmt::Print { expr: e, .. } => uses_var(e, v),
     })
 }
 
@@ -190,6 +191,7 @@ pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit,
                     from,
                     to,
                     body,
+                    ..
                 },
             ) => (
                 init.clone(),
@@ -272,6 +274,7 @@ pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit,
             from: bound(c),
             to: bin(BinOp::Sub, bound(c + 1), num(1.0)),
             body: loop_stmts,
+            pos: pos0(),
         });
         let mut locals: Vec<String> = prog.locals.clone();
         if !locals.contains(&loop_var) {

@@ -109,17 +109,22 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             pos: pos(),
         }
     });
-    let print = arb_expr().prop_map(Stmt::Print);
+    let print = arb_expr().prop_map(|e| Stmt::Print {
+        expr: e,
+        pos: pos(),
+    });
     let ifstmt = (arb_expr(), arb_expr(), arb_expr()).prop_map(|(c, e1, e2)| Stmt::If {
         cond: c,
         then_body: vec![assign("a", e1)],
         else_body: vec![assign("b", e2)],
+        pos: pos(),
     });
     let forstmt = (arb_expr(), (0i32..6), arb_expr()).prop_map(|(from, n, e)| Stmt::For {
         var: "i".to_string(),
         from,
         to: Expr::Num(n as f64),
         body: vec![assign("c", e)],
+        pos: pos(),
     });
     // `t := n; while t > 0 do t := t - 1; <stmt> end` — always terminates
     // (modulo errors in the body).
@@ -139,6 +144,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                 Box::new(Expr::Num(0.0)),
             ),
             body: vec![dec, assign("d", e)],
+            pos: pos(),
         };
         // Wrap in an always-true `if` so one Strategy item carries both
         // the counter seed and the loop.
@@ -146,6 +152,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             cond: Expr::Num(1.0),
             then_body: vec![assign("t", Expr::Num(n as f64)), w],
             else_body: vec![],
+            pos: pos(),
         }
     });
     prop_oneof![

@@ -62,7 +62,10 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         expr: e,
         pos: Pos { line: 1, col: 1 },
     });
-    let print = arb_expr().prop_map(Stmt::Print);
+    let print = arb_expr().prop_map(|e| Stmt::Print {
+        expr: e,
+        pos: Pos { line: 1, col: 1 },
+    });
     let ifstmt = (
         arb_expr(),
         (0usize..VARS.len()),
@@ -82,6 +85,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                 expr: e2,
                 pos: Pos { line: 1, col: 1 },
             }],
+            pos: Pos { line: 1, col: 1 },
         });
     prop_oneof![4 => assign, 1 => print, 1 => ifstmt]
 }

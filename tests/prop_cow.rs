@@ -103,11 +103,15 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
         .prop_map(|(dst, src)| assign(ARRAYS[dst], Expr::Var(ARRAYS[src].to_string())));
     let scalar_assign =
         ((0usize..SCALARS.len()), arb_expr()).prop_map(|(i, e)| assign(SCALARS[i], e));
-    let print = arb_expr().prop_map(Stmt::Print);
+    let print = arb_expr().prop_map(|e| Stmt::Print {
+        expr: e,
+        pos: pos(),
+    });
     let ifstmt = (arb_expr(), arb_expr(), arb_expr()).prop_map(|(c, e1, e2)| Stmt::If {
         cond: c,
         then_body: vec![assign("a", e1)],
         else_body: vec![assign("b", e2)],
+        pos: pos(),
     });
     let forstmt =
         ((0usize..ARRAYS.len()), (1i32..5), arb_expr()).prop_map(|(arr, n, e)| Stmt::For {
@@ -120,6 +124,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                 expr: e,
                 pos: pos(),
             }],
+            pos: pos(),
         });
     prop_oneof![
         5 => index_assign,

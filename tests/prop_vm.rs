@@ -109,17 +109,22 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             pos: pos(),
         }
     });
-    let print = arb_expr().prop_map(Stmt::Print);
+    let print = arb_expr().prop_map(|e| Stmt::Print {
+        expr: e,
+        pos: pos(),
+    });
     let ifstmt = (arb_expr(), arb_expr(), arb_expr()).prop_map(|(c, e1, e2)| Stmt::If {
         cond: c,
         then_body: vec![assign("a", e1)],
         else_body: vec![assign("b", e2)],
+        pos: pos(),
     });
     let forstmt = (arb_expr(), (0i32..6), arb_expr()).prop_map(|(from, n, e)| Stmt::For {
         var: "i".to_string(),
         from,
         to: Expr::Num(n as f64),
         body: vec![assign("c", e)],
+        pos: pos(),
     });
     // `t := n; while t > 0 do t := t - 1; <stmt> end` — always terminates
     // (modulo errors in the body), exercising the while-loop tick path.
@@ -139,6 +144,7 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
                 Box::new(Expr::Num(0.0)),
             ),
             body: vec![dec, assign("d", e)],
+            pos: pos(),
         }
         .precede_with(assign("t", Expr::Num(n as f64)))
     });
@@ -165,6 +171,7 @@ impl Precede for Stmt {
             cond: Expr::Num(1.0),
             then_body: vec![first, self],
             else_body: vec![],
+            pos: pos(),
         }
     }
 }
