@@ -1,0 +1,71 @@
+//! `sched_scale` — Criterion group for the scheduler scale rework: the
+//! optimised heuristics on 1k/10k-task graphs from the scale generators,
+//! with the retained naive references alongside at the sizes where their
+//! quadratic selection is still affordable, so a regression in either
+//! direction (slowdown of the rework, accidental "optimisation" of the
+//! reference) shows up in the trend.
+
+use banger_sched::reference;
+use banger_taskgraph::analysis::GraphAnalysis;
+use banger_taskgraph::generators;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn scale_graphs() -> Vec<(&'static str, banger_taskgraph::TaskGraph)> {
+    vec![
+        (
+            "layered-1k",
+            generators::layered_random(11, 40, 25, 3, (1.0, 20.0), (0.5, 10.0)),
+        ),
+        (
+            "layered-10k",
+            generators::layered_random(12, 100, 100, 3, (1.0, 20.0), (0.5, 10.0)),
+        ),
+        ("tiled-lu-18", generators::tiled_lu(18, 2.0, 1.0)),
+        ("stencil-50x40", generators::stencil(50, 40, 2.0, 1.0)),
+    ]
+}
+
+fn bench_optimised(c: &mut Criterion) {
+    let m = banger_bench::bench_machine();
+    let mut group = c.benchmark_group("sched_scale");
+    for (name, g) in scale_graphs() {
+        let a = GraphAnalysis::analyze(&g);
+        for h in ["HLFET", "MCP", "MH"] {
+            group.bench_with_input(BenchmarkId::new(h, name), &g, |b, g| {
+                b.iter(|| black_box(banger_sched::run_heuristic_with(h, g, &m, &a).unwrap()))
+            });
+        }
+    }
+    // The pair-scan heuristics only at the 1k sizes (they are O(n · P)
+    // per step by definition; the cache removes the in-degree factor).
+    for (name, g) in scale_graphs().into_iter().take(1) {
+        let a = GraphAnalysis::analyze(&g);
+        for h in ["ETF", "DLS"] {
+            group.bench_with_input(BenchmarkId::new(h, name), &g, |b, g| {
+                b.iter(|| black_box(banger_sched::run_heuristic_with(h, g, &m, &a).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let m = banger_bench::bench_machine();
+    let mut group = c.benchmark_group("sched_scale_reference");
+    // 1k only: the references exist to be slow.
+    let (name, g) = (
+        "layered-1k",
+        generators::layered_random(11, 40, 25, 3, (1.0, 20.0), (0.5, 10.0)),
+    );
+    let a = GraphAnalysis::analyze(&g);
+    for h in ["HLFET", "MCP", "ETF", "DLS", "MH"] {
+        group.bench_with_input(BenchmarkId::new(h, name), &g, |b, g| {
+            b.iter(|| black_box(reference::run_reference_with(h, g, &m, &a).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(sched_scale_benches, bench_optimised, bench_reference);
+criterion_main!(sched_scale_benches);

@@ -1,12 +1,17 @@
-//! `bench_sched` — measures the scheduling-sweep layer and writes
-//! `BENCH_sched.json` (mean ns per sweep, sequential vs parallel, plus
-//! engine probe counts) so the perf trajectory is tracked across PRs.
+//! `bench_sched` — measures the scheduling-sweep layer and the scheduler
+//! scale rework, writing `BENCH_sched.json` (mean ns per sweep, sequential
+//! vs parallel, per-run engine probe counts, and `sched_scale` entries
+//! pitting the optimised schedulers against the retained naive references
+//! on large graphs) so the perf trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release -p banger-bench --bin bench_sched
 //! ```
 
 use banger_bench as xb;
+use banger_sched::reference;
+use banger_taskgraph::analysis::GraphAnalysis;
+use banger_taskgraph::generators;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -28,24 +33,30 @@ fn mean_ns<F: FnMut()>(mut f: F) -> f64 {
     }
 }
 
-fn main() {
-    // The sweep sizes itself from `available_parallelism`, which is 1 on
-    // the smallest CI hosts — that used to make this benchmark record
-    // `workers: 1, speedup: null` forever. Force a two-worker sweep
-    // (unless the environment already pins a count) so the parallel path
-    // is actually exercised and measured. On a single-CPU host the
-    // honest result is ~1.0x; `host_cpus` in the record says why.
-    if std::env::var("BANGER_SWEEP_WORKERS").is_err() {
-        std::env::set_var("BANGER_SWEEP_WORKERS", "2");
-    }
+/// Min wall time of `f` in milliseconds over `runs` runs (min, not mean:
+/// large single-shot runs want the least-noise sample).
+fn min_ms<F: FnMut()>(mut f: F, runs: usize) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
-    // LU at n = 7 (46 tasks) makes each sweep item heavy enough that
-    // per-item engine work, not sweep bookkeeping, dominates the
-    // measurement.
-    let g = banger_taskgraph::generators::lu_hierarchical(7)
-        .flatten()
-        .unwrap()
-        .graph;
+fn main() {
+    // Workers are planned honestly: `available_parallelism` capped by the
+    // sweep's item count (BANGER_SWEEP_WORKERS still overrides for
+    // experiments, but this benchmark no longer forces a fake count). On
+    // a single-CPU host the sweep runs sequentially and the record says
+    // so instead of claiming a speedup.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // LU at n = 9 (62 tasks) makes each sweep item heavy enough that
+    // per-item engine work, not sweep bookkeeping, dominates — fan-out
+    // has something to pay for on multi-core hosts.
+    let g = generators::lu_hierarchical(9).flatten().unwrap().graph;
     let machines = xb::hypercube_suite();
 
     // Correctness gate before timing anything.
@@ -62,8 +73,10 @@ fn main() {
     let par_ns = mean_ns(|| {
         black_box(xb::speedup_points_parallel(&g, &machines));
     });
+    let (predict_schedules, predict_stats) =
+        banger_sched::sweep::sweep_machines_stats("MH", &g, &machines).expect("MH is known");
 
-    let cmp_g = banger_taskgraph::generators::gauss_elimination(8, 2.0, 1.0);
+    let cmp_g = generators::gauss_elimination(10, 2.0, 1.0);
     let cmp_m = xb::bench_machine();
     let names: Vec<&str> = banger_sched::HEURISTIC_NAMES
         .iter()
@@ -80,55 +93,146 @@ fn main() {
             &names, &cmp_g, &cmp_m,
         ));
     });
-
-    // Engine probe counts for one parallel predict_speedup sweep.
-    banger_sched::engine::reset_probe_totals();
-    black_box(xb::speedup_points_parallel(&g, &machines));
-    let (arrival_probes, slot_searches) = banger_sched::engine::probe_totals();
-
-    // Each sweep picks its own worker count (available_parallelism capped
-    // by item count); record exactly what ran. A sweep that got only one
-    // worker never left the sequential loop, so a "parallel speedup" for
-    // it would be noise — report null and say why.
-    let predict_workers = banger_sched::sweep::planned_workers(machines.len());
     let cmp_workers = banger_sched::sweep::planned_workers(names.len());
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Engine probe counts for one predict_speedup sweep, summed from the
+    // per-run `SchedStats` each schedule carries (the old process-global
+    // atomics let concurrent sweeps contaminate each other's counts).
+    let (arrival_probes, slot_searches) = predict_schedules
+        .iter()
+        .map(|s| s.stats())
+        .fold((0u64, 0u64), |(a, s), st| {
+            (a + st.arrival_probes, s + st.slot_searches)
+        });
+
+    let scale = sched_scale_json();
+
     let json = format!(
-        "{{\n  \"host_cpus\": {host_cpus},\n  \"predict_speedup_lu7_hypercube_1_64\": {{\n    \
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"predict_speedup_lu9_hypercube_1_64\": {{\n    \
          \"sequential_mean_ns\": {seq_ns:.0},\n    \
          \"parallel_mean_ns\": {par_ns:.0},\n{}  }},\n  \
-         \"compare_heuristics_gauss8\": {{\n    \
+         \"compare_heuristics_gauss10\": {{\n    \
          \"sequential_mean_ns\": {cmp_seq_ns:.0},\n    \
          \"parallel_mean_ns\": {cmp_par_ns:.0},\n{}  }},\n  \
          \"engine_probes_per_predict_sweep\": {{\n    \
          \"arrival_probes\": {arrival_probes},\n    \
-         \"slot_searches\": {slot_searches}\n  }}\n}}\n",
-        speedup_fields(predict_workers, host_cpus, seq_ns / par_ns),
-        speedup_fields(cmp_workers, host_cpus, cmp_seq_ns / cmp_par_ns),
+         \"slot_searches\": {slot_searches}\n  }},\n{scale}}}\n",
+        speedup_fields(
+            predict_stats.planned_workers,
+            predict_stats.engaged_workers,
+            host_cpus,
+            seq_ns / par_ns
+        ),
+        speedup_fields(cmp_workers, cmp_workers, host_cpus, cmp_seq_ns / cmp_par_ns),
     );
     std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
     print!("{json}");
 }
 
+/// The `sched_scale` record: the 100k-task headline (optimised HLFET/MCP
+/// wall time and probes versus the retained linear-selection references),
+/// plus the ETF/DLS pair-scan cache before/after at a size where the
+/// quadratic reference is still affordable.
+fn sched_scale_json() -> String {
+    let m = xb::bench_machine(); // hypercube-3, Figure 3 params
+    let big = generators::layered_random(2026, 200, 500, 3, (1.0, 20.0), (0.5, 10.0));
+    assert_eq!(big.task_count(), 100_000);
+    let a = GraphAnalysis::analyze(&big);
+
+    let mut entries = String::new();
+    for name in ["HLFET", "MCP"] {
+        let opt = banger_sched::run_heuristic_with(name, &big, &m, &a).unwrap();
+        opt.validate(&big, &m).expect("scale schedule valid");
+        let refr = reference::run_reference_with(name, &big, &m, &a).unwrap();
+        assert_eq!(opt, refr, "{name} must stay bit-identical at 100k");
+        let wall = min_ms(
+            || {
+                black_box(banger_sched::run_heuristic_with(name, &big, &m, &a).unwrap());
+            },
+            3,
+        );
+        let ref_wall = min_ms(
+            || {
+                black_box(reference::run_reference_with(name, &big, &m, &a).unwrap());
+            },
+            2,
+        );
+        entries.push_str(&format!(
+            "    \"{name}\": {{\n      \"wall_ms\": {wall:.1},\n      \
+             \"reference_wall_ms\": {ref_wall:.1},\n      \
+             \"arrival_probes\": {},\n      \"reference_arrival_probes\": {},\n      \
+             \"makespan\": {:.1}\n    }},\n",
+            opt.stats().arrival_probes,
+            refr.stats().arrival_probes,
+            opt.makespan(),
+        ));
+    }
+
+    // ETF/DLS before/after: the pair-scan cache's probe reduction, at a
+    // size where the reference's full rescans still terminate promptly.
+    let mid = generators::stencil(40, 50, 2.0, 1.0);
+    let ma = GraphAnalysis::analyze(&mid);
+    let mut pair = String::new();
+    for name in ["ETF", "DLS"] {
+        let opt = banger_sched::run_heuristic_with(name, &mid, &m, &ma).unwrap();
+        let refr = reference::run_reference_with(name, &mid, &m, &ma).unwrap();
+        assert_eq!(opt, refr, "{name} must stay bit-identical");
+        let wall = min_ms(
+            || {
+                black_box(banger_sched::run_heuristic_with(name, &mid, &m, &ma).unwrap());
+            },
+            3,
+        );
+        let ref_wall = min_ms(
+            || {
+                black_box(reference::run_reference_with(name, &mid, &m, &ma).unwrap());
+            },
+            3,
+        );
+        pair.push_str(&format!(
+            "      \"{name}\": {{\n        \"wall_ms\": {wall:.2},\n        \
+             \"reference_wall_ms\": {ref_wall:.2},\n        \
+             \"arrival_probes\": {},\n        \"reference_arrival_probes\": {},\n        \
+             \"slot_searches\": {},\n        \"reference_slot_searches\": {}\n      }},\n",
+            opt.stats().arrival_probes,
+            refr.stats().arrival_probes,
+            opt.stats().slot_searches,
+            refr.stats().slot_searches,
+        ));
+    }
+    let pair = pair.trim_end_matches(",\n").to_string();
+
+    format!(
+        "  \"sched_scale\": {{\n    \"graph\": \"{}\",\n    \"tasks\": {},\n    \
+         \"edges\": {},\n    \"machine\": \"{}\",\n{entries}    \
+         \"pair_scan_cache_stencil_40x50\": {{\n{pair}\n    }}\n  }}\n",
+        big.name(),
+        big.task_count(),
+        big.edge_count(),
+        m.topology().name(),
+    )
+}
+
 /// JSON fragment for one experiment's parallelism claim. With more than
 /// one worker the measured speedup stands on its own (a ~1.0x on a host
 /// with fewer CPUs than workers is the honest reading, not a bug); with
-/// one worker the "parallel" path was the sequential loop, so the
-/// speedup is null and a note records that no parallelism claim is
+/// one planned worker the "parallel" path was the sequential loop, so
+/// the speedup is null and a note records that no parallelism claim is
 /// being made.
-fn speedup_fields(workers: usize, host_cpus: usize, speedup: f64) -> String {
-    if workers > 1 && workers > host_cpus {
+fn speedup_fields(planned: usize, engaged: usize, host_cpus: usize, speedup: f64) -> String {
+    let counts =
+        format!("    \"planned_workers\": {planned},\n    \"engaged_workers\": {engaged},\n");
+    if planned > 1 && planned > host_cpus {
         format!(
-            "    \"workers\": {workers},\n    \"speedup\": {speedup:.2},\n    \
+            "{counts}    \"speedup\": {speedup:.2},\n    \
              \"note\": \"more sweep workers than host CPUs: threads time-share one core, so ~1.0x or below is expected here\"\n",
         )
-    } else if workers > 1 {
-        format!("    \"workers\": {workers},\n    \"speedup\": {speedup:.2}\n",)
+    } else if planned > 1 {
+        format!("{counts}    \"speedup\": {speedup:.2}\n")
     } else {
         format!(
-            "    \"workers\": {workers},\n    \"speedup\": null,\n    \
-             \"note\": \"single worker: sweep ran sequentially, no parallel speedup to claim\"\n",
+            "{counts}    \"speedup\": null,\n    \
+             \"note\": \"host_cpus: {host_cpus} — one planned worker, sweep ran as the sequential loop; no parallel speedup to claim\"\n",
         )
     }
 }

@@ -1879,10 +1879,7 @@ end";
                    if 1 / z > 0 then x := 1 end \
                    if 2 / z > 0 then x := 2 end end";
         let f = findings_of(src);
-        let dz: Vec<_> = f
-            .iter()
-            .filter(|x| x.kind.tag() == "div-by-zero")
-            .collect();
+        let dz: Vec<_> = f.iter().filter(|x| x.kind.tag() == "div-by-zero").collect();
         assert_eq!(dz.len(), 2, "{f:?}");
         assert!(dz.iter().all(|x| x.pos.is_some()), "{f:?}");
     }

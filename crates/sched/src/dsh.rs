@@ -24,6 +24,7 @@
 //! message may be `p`'s own input, which the loop then attacks in turn.
 
 use crate::engine::{CommModel, Engine};
+use crate::ready::ReadyQueue;
 use crate::schedule::Schedule;
 use banger_machine::{Machine, ProcId};
 use banger_taskgraph::analysis::GraphAnalysis;
@@ -43,25 +44,9 @@ pub fn dsh(g: &TaskGraph, m: &Machine) -> Schedule {
 /// machines pay for the (machine-independent) level computation once.
 pub fn dsh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("DSH", g, m, CommModel::Analytic);
+    let mut queue = ReadyQueue::new(g, &a.static_level);
 
-    let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
-    let mut ready: Vec<TaskId> = g
-        .task_ids()
-        .filter(|&t| remaining[t.index()] == 0)
-        .collect();
-
-    while !ready.is_empty() {
-        let (pos, &t) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, x), (_, y)| {
-                a.static_level[x.index()]
-                    .total_cmp(&a.static_level[y.index()])
-                    .then(y.0.cmp(&x.0))
-            })
-            .unwrap();
-        ready.swap_remove(pos);
-
+    while let Some(t) = queue.pop() {
         // Earliest-finish processor, where each candidate's finish time is
         // evaluated *with duplication applied* (Kruatrachue's DSH computes
         // the duplication-improved start during processor selection, not
@@ -80,14 +65,7 @@ pub fn dsh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
 
         duplicate_binding_preds(&mut eng, t, best);
         eng.commit(t, best);
-
-        for s in g.successors(t) {
-            let r = &mut remaining[s.index()];
-            *r -= 1;
-            if *r == 0 {
-                ready.push(s);
-            }
-        }
+        queue.complete(g, t);
     }
     eng.finish()
 }
@@ -97,7 +75,7 @@ pub fn dsh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
 /// message arrival exceeds the predecessor's locally-recomputed finish, use
 /// the duplicated finish instead. A cheap upper-fidelity mirror of the
 /// commit path — it does not mutate engine state.
-fn estimate_start_with_duplication(eng: &Engine<'_>, t: TaskId, p: ProcId) -> f64 {
+pub(crate) fn estimate_start_with_duplication(eng: &Engine<'_>, t: TaskId, p: ProcId) -> f64 {
     let mut ready = 0.0f64;
     // Track the local occupancy consumed by hypothetical copies so two
     // copies do not claim the same idle slot.
@@ -129,7 +107,7 @@ fn estimate_start_with_duplication(eng: &Engine<'_>, t: TaskId, p: ProcId) -> f6
 
 /// Repeatedly copies the predecessor whose message currently bounds `t`'s
 /// ready time onto `p`, while each copy strictly reduces that ready time.
-fn duplicate_binding_preds(eng: &mut Engine<'_>, t: TaskId, p: ProcId) {
+pub(crate) fn duplicate_binding_preds(eng: &mut Engine<'_>, t: TaskId, p: ProcId) {
     for _ in 0..MAX_DUPES_PER_TASK {
         let ready = eng.ready_time(t, p);
         if ready <= crate::schedule::TIME_EPS {

@@ -3,31 +3,9 @@
 //! link-contention models), and the mutable engine state every heuristic
 //! drives.
 
-use crate::schedule::Schedule;
+use crate::schedule::{SchedStats, Schedule};
 use banger_machine::{LinkId, Machine, ProcId, SwitchingMode};
 use banger_taskgraph::{TaskGraph, TaskId};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Workspace-wide probe counters, flushed once per run by [`Engine::finish`]
-/// so the hot loops never touch shared cache lines. The bench harness reads
-/// them to track how much work the engine does per sweep.
-static TOTAL_ARRIVAL_PROBES: AtomicU64 = AtomicU64::new(0);
-static TOTAL_SLOT_SEARCHES: AtomicU64 = AtomicU64::new(0);
-
-/// Snapshot of the cumulative engine probe counters:
-/// `(edge-arrival probes, timeline slot searches)`.
-pub fn probe_totals() -> (u64, u64) {
-    (
-        TOTAL_ARRIVAL_PROBES.load(Ordering::Relaxed),
-        TOTAL_SLOT_SEARCHES.load(Ordering::Relaxed),
-    )
-}
-
-/// Resets the cumulative probe counters (bench harness bookkeeping).
-pub fn reset_probe_totals() {
-    TOTAL_ARRIVAL_PROBES.store(0, Ordering::Relaxed);
-    TOTAL_SLOT_SEARCHES.store(0, Ordering::Relaxed);
-}
 
 /// Busy intervals of one processor, kept sorted by start time.
 #[derive(Debug, Clone, Default)]
@@ -229,7 +207,10 @@ pub struct Engine<'a> {
     /// Reusable buffer for commit-path link reservations, so probing and
     /// committing allocate nothing per `(task, proc)` evaluation.
     scratch: Vec<LinkReservation>,
-    /// Per-run probe counters (flushed to the crate totals on `finish`).
+    /// Per-run probe counters, embedded into the schedule by
+    /// [`Engine::finish`] as [`SchedStats`]. Strictly per-run: concurrent
+    /// sweep workers never share a counter, so every schedule reports
+    /// exactly the probes its own run performed.
     arrival_probes: std::cell::Cell<u64>,
     slot_searches: std::cell::Cell<u64>,
 }
@@ -402,12 +383,15 @@ impl<'a> Engine<'a> {
         !self.copies[t.index()].is_empty()
     }
 
-    /// Consumes the engine, returning the accumulated schedule and flushing
-    /// this run's probe counters into the crate-wide totals.
+    /// Consumes the engine, returning the accumulated schedule with this
+    /// run's probe counters embedded as [`SchedStats`].
     pub fn finish(self) -> Schedule {
-        TOTAL_ARRIVAL_PROBES.fetch_add(self.arrival_probes.get(), Ordering::Relaxed);
-        TOTAL_SLOT_SEARCHES.fetch_add(self.slot_searches.get(), Ordering::Relaxed);
-        self.schedule
+        let mut schedule = self.schedule;
+        schedule.set_stats(SchedStats {
+            arrival_probes: self.arrival_probes.get(),
+            slot_searches: self.slot_searches.get(),
+        });
+        schedule
     }
 
     /// Selects the processor minimising the earliest start of `t`

@@ -17,7 +17,10 @@
 //!   fine-grain designs before scheduling;
 //! * [`schedule`] — the validated [`Schedule`] representation shared by
 //!   all of the above;
-//! * [`bounds`] — lower bounds for reporting heuristic quality.
+//! * [`bounds`] — lower bounds for reporting heuristic quality;
+//! * [`reference`] — the retained naive implementations pinning the
+//!   optimised selection/caching paths to bit-identical output
+//!   (see DESIGN.md §14 for the complexity contract).
 //!
 //! ## Example
 //!
@@ -39,11 +42,13 @@ pub mod engine;
 pub mod grain;
 pub mod list;
 pub mod mh;
+mod ready;
+pub mod reference;
 pub mod schedule;
 pub mod sweep;
 pub mod textfmt;
 
-pub use schedule::{Placement, Schedule, ScheduleError, ScheduleSummary};
+pub use schedule::{Placement, SchedStats, Schedule, ScheduleError, ScheduleSummary};
 
 use banger_machine::Machine;
 use banger_taskgraph::analysis::GraphAnalysis;

@@ -17,74 +17,150 @@
 //!   maximising the *dynamic level* `static_level - earliest_start`.
 
 use crate::engine::{CommModel, Engine};
+use crate::ready::ReadyQueue;
 use crate::schedule::Schedule;
-use banger_machine::Machine;
+use banger_machine::{Machine, ProcId};
 use banger_taskgraph::analysis::GraphAnalysis;
 use banger_taskgraph::{TaskGraph, TaskId};
 
-/// Tracks readiness (all predecessors placed) during a list-scheduling run.
-struct ReadyTracker {
-    remaining_preds: Vec<usize>,
-    ready: Vec<TaskId>,
+/// Task-first list scheduling: repeatedly take the ready task with the
+/// highest `priority` (greater = earlier; ties toward lower task id) via
+/// the [`ReadyQueue`] heap, then commit it to the processor giving the
+/// earliest start. Selection is `O(log n)` per step; the legacy linear
+/// scan lives on in [`crate::reference`] as the differential oracle.
+fn task_first(name: &str, g: &TaskGraph, m: &Machine, priority: &[f64]) -> Schedule {
+    let mut eng = Engine::new(name, g, m, CommModel::Analytic);
+    let mut queue = ReadyQueue::new(g, priority);
+    while let Some(t) = queue.pop() {
+        let p = eng.best_processor(t);
+        eng.commit(t, p);
+        queue.complete(g, t);
+    }
+    eng.finish()
 }
 
-impl ReadyTracker {
-    fn new(g: &TaskGraph) -> Self {
-        let remaining_preds: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
-        let ready = g
-            .task_ids()
-            .filter(|&t| remaining_preds[t.index()] == 0)
-            .collect();
-        ReadyTracker {
-            remaining_preds,
-            ready,
+/// Per-`(task, processor)` earliest-start cache for the pair-scan
+/// heuristics (ETF/DLS), with epoch-based selective invalidation.
+///
+/// The legacy pair scan recomputed `ready_time(t, p)` — a walk over every
+/// in-edge — for every ready×processor pair at every step, i.e.
+/// `O(steps · |ready| · P · in_degree)` arrival probes. Two facts make
+/// that work cacheable without changing a single selected pair:
+///
+/// * Under [`CommModel::Analytic`] with no duplication, `ready_time(t, p)`
+///   is **immutable once `t` is ready**: every predecessor has exactly one
+///   committed copy and the closed-form `comm_time` never changes. So it
+///   is computed exactly once per pair, when `t` is promoted — `O(E · P)`
+///   arrival probes for the whole run.
+/// * The earliest start additionally depends only on processor `p`'s
+///   timeline, which changes exactly when something commits on `p`. A
+///   per-processor epoch counter is bumped on commit and each cache entry
+///   remembers the epoch it was computed at; the selection scan lazily
+///   recomputes just the stale entries (one slot search each).
+///
+/// Recomputing a stale entry runs the same `slot` search a fresh
+/// evaluation would, so every candidate key in the scan is bit-identical
+/// to the legacy full recomputation, and keys embed `(task, proc)` so the
+/// strict total order makes scan order irrelevant.
+struct PairCache {
+    procs: usize,
+    /// `ready_time[t * procs + p]`, filled once when `t` becomes ready.
+    ready_time: Vec<f64>,
+    /// Execution time of `t` on `p`, filled alongside `ready_time`.
+    dur: Vec<f64>,
+    /// Cached earliest start per pair (`ready_time` + slot search).
+    est: Vec<f64>,
+    /// Epoch at which `est` was computed; stale when != `proc_epoch[p]`.
+    entry_epoch: Vec<u64>,
+    /// Bumped on every commit to the processor. Starts at 1 so a zeroed
+    /// `entry_epoch` always reads as stale.
+    proc_epoch: Vec<u64>,
+}
+
+impl PairCache {
+    fn new(tasks: usize, procs: usize) -> Self {
+        PairCache {
+            procs,
+            ready_time: vec![0.0; tasks * procs],
+            dur: vec![0.0; tasks * procs],
+            est: vec![0.0; tasks * procs],
+            entry_epoch: vec![0; tasks * procs],
+            proc_epoch: vec![1; procs],
         }
     }
 
-    /// Removes `t` from the ready set and promotes any successors whose
-    /// last dependency it was.
-    fn complete(&mut self, g: &TaskGraph, t: TaskId) {
-        let pos = self
-            .ready
-            .iter()
-            .position(|&x| x == t)
-            .expect("completed task must be ready");
-        self.ready.swap_remove(pos);
-        for s in g.successors(t) {
+    /// Fills the ready-time/duration row of a newly ready task. Costs
+    /// `in_degree(t)` arrival probes per processor, paid exactly once.
+    fn promote(&mut self, eng: &Engine<'_>, t: TaskId) {
+        let row = t.index() * self.procs;
+        let weight = eng.g.task(t).weight;
+        for p in eng.m.proc_ids() {
+            self.ready_time[row + p.index()] = eng.ready_time(t, p);
+            self.dur[row + p.index()] = eng.m.exec_time(weight, p);
+        }
+    }
+
+    /// Earliest start of ready task `t` on `p`, recomputing the slot
+    /// search only if `p`'s timeline changed since the entry was cached.
+    fn earliest_start(&mut self, eng: &Engine<'_>, t: TaskId, p: ProcId) -> f64 {
+        let i = t.index() * self.procs + p.index();
+        let epoch = self.proc_epoch[p.index()];
+        if self.entry_epoch[i] != epoch {
+            self.est[i] = eng.slot(p, self.ready_time[i], self.dur[i]);
+            self.entry_epoch[i] = epoch;
+        }
+        self.est[i]
+    }
+
+    /// Invalidates every entry on `p` (called after committing there).
+    fn commit_to(&mut self, p: ProcId) {
+        self.proc_epoch[p.index()] += 1;
+    }
+}
+
+/// Ready-set bookkeeping for the pair-scan heuristics: a plain `Vec` ready
+/// set (the scan visits every ready task anyway) plus [`PairCache`] rows
+/// filled on promotion.
+struct PairScan {
+    remaining_preds: Vec<usize>,
+    ready: Vec<TaskId>,
+    cache: PairCache,
+}
+
+impl PairScan {
+    fn new(eng: &Engine<'_>) -> Self {
+        let g = eng.g;
+        let remaining_preds: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
+        let ready: Vec<TaskId> = g
+            .task_ids()
+            .filter(|&t| remaining_preds[t.index()] == 0)
+            .collect();
+        let mut cache = PairCache::new(g.task_count(), eng.m.processors());
+        for &t in &ready {
+            cache.promote(eng, t);
+        }
+        PairScan {
+            remaining_preds,
+            ready,
+            cache,
+        }
+    }
+
+    /// Commits the chosen pair (found at `pos` in the ready vec) and
+    /// promotes any newly ready successors.
+    fn commit(&mut self, eng: &mut Engine<'_>, pos: usize, p: ProcId) {
+        let t = self.ready.swap_remove(pos);
+        eng.commit(t, p);
+        self.cache.commit_to(p);
+        for s in eng.g.successors(t) {
             let r = &mut self.remaining_preds[s.index()];
             *r -= 1;
             if *r == 0 {
+                self.cache.promote(eng, s);
                 self.ready.push(s);
             }
         }
     }
-
-    fn is_done(&self) -> bool {
-        self.ready.is_empty()
-    }
-}
-
-/// Task-first list scheduling: repeatedly take the ready task with the
-/// highest `priority` (greater = earlier; ties toward lower task id), then
-/// commit it to the processor giving the earliest start.
-fn task_first(name: &str, g: &TaskGraph, m: &Machine, priority: &[f64]) -> Schedule {
-    let mut eng = Engine::new(name, g, m, CommModel::Analytic);
-    let mut tracker = ReadyTracker::new(g);
-    while !tracker.is_done() {
-        let &t = tracker
-            .ready
-            .iter()
-            .max_by(|a, b| {
-                priority[a.index()]
-                    .total_cmp(&priority[b.index()])
-                    .then(b.0.cmp(&a.0))
-            })
-            .unwrap();
-        let p = eng.best_processor(t);
-        eng.commit(t, p);
-        tracker.complete(g, t);
-    }
-    eng.finish()
 }
 
 /// HLFET: static-level priority, earliest-start processor.
@@ -122,13 +198,14 @@ pub fn etf(g: &TaskGraph, m: &Machine) -> Schedule {
 /// [`etf`] with a precomputed [`GraphAnalysis`].
 pub fn etf_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("ETF", g, m, CommModel::Analytic);
-    let mut tracker = ReadyTracker::new(g);
-    while !tracker.is_done() {
+    let mut scan = PairScan::new(&eng);
+    while !scan.ready.is_empty() {
         // Key: (start, -static_level, task id, proc id), lexicographic min.
-        let mut best: Option<(f64, f64, TaskId, banger_machine::ProcId)> = None;
-        for &t in &tracker.ready {
+        let mut best: Option<(f64, f64, TaskId, ProcId, usize)> = None;
+        for pos in 0..scan.ready.len() {
+            let t = scan.ready[pos];
             for p in m.proc_ids() {
-                let s = eng.earliest_start(t, p);
+                let s = scan.cache.earliest_start(&eng, t, p);
                 let cand = (s, -a.static_level[t.index()], t, p);
                 let better = match &best {
                     None => true,
@@ -141,13 +218,12 @@ pub fn etf_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
                         .is_lt(),
                 };
                 if better {
-                    best = Some(cand);
+                    best = Some((cand.0, cand.1, cand.2, cand.3, pos));
                 }
             }
         }
-        let (_, _, t, p) = best.unwrap();
-        eng.commit(t, p);
-        tracker.complete(g, t);
+        let (_, _, _, p, pos) = best.unwrap();
+        scan.commit(&mut eng, pos, p);
     }
     eng.finish()
 }
@@ -161,13 +237,14 @@ pub fn dls(g: &TaskGraph, m: &Machine) -> Schedule {
 /// [`dls`] with a precomputed [`GraphAnalysis`].
 pub fn dls_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("DLS", g, m, CommModel::Analytic);
-    let mut tracker = ReadyTracker::new(g);
-    while !tracker.is_done() {
+    let mut scan = PairScan::new(&eng);
+    while !scan.ready.is_empty() {
         // Key: (-dynamic_level, task id, proc id), lexicographic min.
-        let mut best: Option<(f64, TaskId, banger_machine::ProcId)> = None;
-        for &t in &tracker.ready {
+        let mut best: Option<(f64, TaskId, ProcId, usize)> = None;
+        for pos in 0..scan.ready.len() {
+            let t = scan.ready[pos];
             for p in m.proc_ids() {
-                let dl = a.static_level[t.index()] - eng.earliest_start(t, p);
+                let dl = a.static_level[t.index()] - scan.cache.earliest_start(&eng, t, p);
                 let cand = (-dl, t, p);
                 let better = match &best {
                     None => true,
@@ -179,13 +256,12 @@ pub fn dls_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
                         .is_lt(),
                 };
                 if better {
-                    best = Some(cand);
+                    best = Some((cand.0, cand.1, cand.2, pos));
                 }
             }
         }
-        let (_, t, p) = best.unwrap();
-        eng.commit(t, p);
-        tracker.complete(g, t);
+        let (_, _, p, pos) = best.unwrap();
+        scan.commit(&mut eng, pos, p);
     }
     eng.finish()
 }
@@ -201,17 +277,8 @@ pub fn naive_no_comm(g: &TaskGraph, m: &Machine) -> Schedule {
 /// [`naive_no_comm`] with a precomputed [`GraphAnalysis`].
 pub fn naive_no_comm_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("naive-no-comm", g, m, CommModel::Analytic);
-    let mut tracker = ReadyTracker::new(g);
-    while !tracker.is_done() {
-        let &t = tracker
-            .ready
-            .iter()
-            .max_by(|x, y| {
-                a.static_level[x.index()]
-                    .total_cmp(&a.static_level[y.index()])
-                    .then(y.0.cmp(&x.0))
-            })
-            .unwrap();
+    let mut queue = ReadyQueue::new(g, &a.static_level);
+    while let Some(t) = queue.pop() {
         // Pick the processor that is free soonest, blind to where the
         // task's inputs live.
         let p = m
@@ -224,7 +291,7 @@ pub fn naive_no_comm_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Sche
             })
             .unwrap();
         eng.commit(t, p);
-        tracker.complete(g, t);
+        queue.complete(g, t);
     }
     eng.finish()
 }

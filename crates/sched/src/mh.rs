@@ -14,10 +14,11 @@
 //! for machine-aware scheduling of machine-independent designs.
 
 use crate::engine::{CommModel, Engine};
+use crate::ready::ReadyQueue;
 use crate::schedule::Schedule;
 use banger_machine::Machine;
 use banger_taskgraph::analysis::GraphAnalysis;
-use banger_taskgraph::{TaskGraph, TaskId};
+use banger_taskgraph::TaskGraph;
 
 /// Runs the Mapping Heuristic. See module docs.
 pub fn mh(g: &TaskGraph, m: &Machine) -> Schedule {
@@ -29,26 +30,13 @@ pub fn mh(g: &TaskGraph, m: &Machine) -> Schedule {
 /// pay for the (machine-independent) level computation once.
 pub fn mh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
     let mut eng = Engine::new("MH", g, m, CommModel::Contention);
+    // Highest b-level first; ties toward lower task id. Note MH's per-proc
+    // finish loop below probes each (task, proc) pair exactly once per
+    // selected task, so only the *selection* needed the heap — there is no
+    // repeated pair rescan to cache away (unlike ETF/DLS).
+    let mut queue = ReadyQueue::new(g, &a.b_level);
 
-    let mut remaining: Vec<usize> = g.task_ids().map(|t| g.in_degree(t)).collect();
-    let mut ready: Vec<TaskId> = g
-        .task_ids()
-        .filter(|&t| remaining[t.index()] == 0)
-        .collect();
-
-    while !ready.is_empty() {
-        // Highest b-level first; ties toward lower task id.
-        let (pos, &t) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, x), (_, y)| {
-                a.b_level[x.index()]
-                    .total_cmp(&a.b_level[y.index()])
-                    .then(y.0.cmp(&x.0))
-            })
-            .unwrap();
-        ready.swap_remove(pos);
-
+    while let Some(t) = queue.pop() {
         // Choose the processor with the earliest finish under link-accurate
         // arrival times; ties toward lower processor id.
         let mut best = m.proc_ids().next().unwrap();
@@ -64,14 +52,7 @@ pub fn mh_with(g: &TaskGraph, m: &Machine, a: &GraphAnalysis) -> Schedule {
             }
         }
         eng.commit(t, best);
-
-        for s in g.successors(t) {
-            let r = &mut remaining[s.index()];
-            *r -= 1;
-            if *r == 0 {
-                ready.push(s);
-            }
-        }
+        queue.complete(g, t);
     }
     eng.finish()
 }

@@ -112,12 +112,38 @@ impl std::error::Error for ScheduleError {}
 /// Tolerance used when comparing times during validation.
 pub const TIME_EPS: f64 = 1e-6;
 
+/// Per-run engine work counters, produced by one scheduling run and
+/// attached to its [`Schedule`]. These replace the old process-global
+/// atomics: concurrent `sweep::parallel_map` runs each get their own
+/// counts instead of interleaving into one shared total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Number of [`crate::engine::Engine::edge_arrival`] probes issued.
+    pub arrival_probes: u64,
+    /// Number of timeline slot searches issued via
+    /// [`crate::engine::Engine::slot`].
+    pub slot_searches: u64,
+}
+
 /// A complete schedule produced by one heuristic.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Schedule {
     heuristic: String,
     n_tasks: usize,
     placements: Vec<Placement>,
+    stats: SchedStats,
+}
+
+/// Equality deliberately ignores [`Schedule::stats`]: the differential
+/// suites compare optimized heuristics against their retained naive
+/// references, whose *schedules* must be bit-identical while their probe
+/// counts legitimately differ (fewer probes is the whole point).
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.heuristic == other.heuristic
+            && self.n_tasks == other.n_tasks
+            && self.placements == other.placements
+    }
 }
 
 impl Schedule {
@@ -127,12 +153,24 @@ impl Schedule {
             heuristic: heuristic.into(),
             n_tasks,
             placements: Vec::with_capacity(n_tasks),
+            stats: SchedStats::default(),
         }
     }
 
     /// Name of the heuristic that produced this schedule.
     pub fn heuristic(&self) -> &str {
         &self.heuristic
+    }
+
+    /// Engine work counters of the run that produced this schedule
+    /// (zero for schedules built by hand or replayed from a simulator).
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Attaches the producing run's counters ([`crate::engine::Engine::finish`]).
+    pub(crate) fn set_stats(&mut self, stats: SchedStats) {
+        self.stats = stats;
     }
 
     /// Number of tasks the schedule covers.
@@ -235,14 +273,22 @@ impl Schedule {
     }
 
     /// [`Schedule::validate`] with control over the duration check.
+    ///
+    /// Runs in `O(P + |placements| log |placements| + Σ_edges copies(src))`
+    /// — one shared per-task index is built up front instead of rescanning
+    /// the placement list per task ([`Schedule::placements_of`] is `O(n)`
+    /// per call, which made the old validator quadratic and unusable on
+    /// the 100k-task graphs the scale generators produce).
     pub fn validate_opts(
         &self,
         g: &TaskGraph,
         m: &Machine,
         check_duration: bool,
     ) -> Result<(), ScheduleError> {
-        // Basic sanity per placement.
-        for p in &self.placements {
+        // Basic sanity per placement, plus the per-task index used by the
+        // coverage and precedence passes below.
+        let mut by_task: Vec<Vec<usize>> = vec![Vec::new(); g.task_count()];
+        for (i, p) in self.placements.iter().enumerate() {
             if p.proc.index() >= m.processors() {
                 return Err(ScheduleError::UnknownProcessor(p.proc));
             }
@@ -263,31 +309,41 @@ impl Schedule {
                     });
                 }
             }
+            if p.task.index() < by_task.len() {
+                by_task[p.task.index()].push(i);
+            }
         }
 
         // Coverage and primary uniqueness.
         for t in g.task_ids() {
-            let copies = self.placements_of(t);
+            let copies = &by_task[t.index()];
             if copies.is_empty() {
                 return Err(ScheduleError::Unplaced(t));
             }
-            let primaries = copies.iter().filter(|p| p.primary).count();
+            let primaries = copies
+                .iter()
+                .filter(|&&i| self.placements[i].primary)
+                .count();
             if primaries != 1 {
                 return Err(ScheduleError::BadPrimary(t));
             }
         }
 
-        // Processor exclusivity.
-        for proc in m.proc_ids() {
-            let timeline = self.on_processor(proc);
-            for w in timeline.windows(2) {
-                if w[0].finish > w[1].start + TIME_EPS {
-                    return Err(ScheduleError::Overlap {
-                        proc,
-                        a: w[0].task,
-                        b: w[1].task,
-                    });
-                }
+        // Processor exclusivity: one sort of all placements by (proc,
+        // start) replaces the per-processor rescans.
+        let mut order: Vec<usize> = (0..self.placements.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (pa, pb) = (&self.placements[a], &self.placements[b]);
+            pa.proc.cmp(&pb.proc).then(pa.start.total_cmp(&pb.start))
+        });
+        for w in order.windows(2) {
+            let (a, b) = (&self.placements[w[0]], &self.placements[w[1]]);
+            if a.proc == b.proc && a.finish > b.start + TIME_EPS {
+                return Err(ScheduleError::Overlap {
+                    proc: a.proc,
+                    a: a.task,
+                    b: b.task,
+                });
             }
         }
 
@@ -296,10 +352,12 @@ impl Schedule {
         for p in &self.placements {
             for &e in g.in_edges(p.task) {
                 let edge = g.edge(e);
-                let earliest = self
-                    .placements_of(edge.src)
+                let earliest = by_task[edge.src.index()]
                     .iter()
-                    .map(|src| src.finish + m.comm_time(src.proc, p.proc, edge.volume))
+                    .map(|&i| {
+                        let src = &self.placements[i];
+                        src.finish + m.comm_time(src.proc, p.proc, edge.volume)
+                    })
                     .fold(f64::INFINITY, f64::min);
                 if p.start + TIME_EPS < earliest {
                     return Err(ScheduleError::PrecedenceViolated {

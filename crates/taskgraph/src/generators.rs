@@ -476,6 +476,145 @@ pub fn random_layered<R: Rng>(rng: &mut R, spec: &RandomSpec) -> TaskGraph {
     g
 }
 
+/// A seeded random layered DAG with **bounded in-degree**, built in
+/// `O(n · deg)` — the scale companion to [`random_layered`], whose
+/// coin-flip-per-pair construction is `O(layers · width²)` and
+/// impractical at the 10k–100k tasks the scheduler benchmarks need.
+///
+/// Every task in layer `l > 0` receives exactly `min(deg, width)`
+/// predecessors sampled (with replacement, distinct labels) from layer
+/// `l - 1`, so depth equals `layers` and the edge count is
+/// `≈ n · deg`. Weights and volumes are drawn from the inclusive ranges.
+/// Deterministic for a given `(seed, layers, width, deg)` — benchmark and
+/// CI graphs are repeatable by construction.
+pub fn layered_random(
+    seed: u64,
+    layers: usize,
+    width: usize,
+    deg: usize,
+    weight: (f64, f64),
+    volume: (f64, f64),
+) -> TaskGraph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    assert!(layers >= 1 && width >= 1 && deg >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new(format!("layered-{layers}x{width}d{deg}"));
+    let mut prev: Vec<TaskId> = Vec::new();
+    for l in 0..layers {
+        let cur: Vec<TaskId> = (0..width)
+            .map(|i| {
+                let w = rng.gen_range(weight.0..=weight.1);
+                g.add_task(format!("r{l}_{i}"), w)
+            })
+            .collect();
+        if l > 0 {
+            let fan = deg.min(prev.len());
+            for (i, &t) in cur.iter().enumerate() {
+                for k in 0..fan {
+                    let j = rng.gen_range(0..prev.len());
+                    let v = rng.gen_range(volume.0..=volume.1);
+                    g.add_edge(prev[j], t, v, format!("e{l}_{i}_{k}")).unwrap();
+                }
+            }
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// The right-looking **tiled LU** task graph over a `tiles × tiles` tile
+/// grid — the dense-linear-algebra DAG that optimizer-expanded designs
+/// hand the scheduler at scale (`≈ tiles³/3` tasks; `tiles = 67` is just
+/// over 100k). Per elimination step `k`:
+///
+/// * `getrf{k}` factors the diagonal tile;
+/// * `trsm{k}_r{j}` / `trsm{k}_c{i}` solve the remaining row/column
+///   panels (`j, i > k`), each depending on `getrf{k}`;
+/// * `gemm{k}_{i}_{j}` updates trailing tile `(i, j)`, depending on
+///   `trsm{k}_c{i}` and `trsm{k}_r{j}`.
+///
+/// Each step-`k` task on tile `(i, j)` also depends on the step-`k-1`
+/// update of the same tile, giving the classic shrinking-wavefront
+/// structure. Weights model the per-tile kernel costs (`getrf` heaviest),
+/// scaled by `unit_w`; every message carries one tile (`unit_v`).
+pub fn tiled_lu(tiles: usize, unit_w: f64, unit_v: f64) -> TaskGraph {
+    assert!(tiles >= 2, "tiled LU needs at least a 2x2 tile grid");
+    let mut g = TaskGraph::new(format!("tiled-lu-{tiles}"));
+    // prev[i][j] = the step-(k-1) task that last wrote tile (i, j),
+    // indexed relative to the trailing submatrix.
+    let mut prev: Vec<Vec<Option<TaskId>>> = vec![vec![None; tiles]; tiles];
+    for k in 0..tiles {
+        let getrf = g.add_task(format!("getrf{k}"), 3.0 * unit_w);
+        if let Some(p) = prev[k][k] {
+            g.add_edge(p, getrf, unit_v, format!("a{k}_{k}_{k}"))
+                .unwrap();
+        }
+        prev[k][k] = Some(getrf);
+        // Row and column panels. (`prev` is indexed both `[k][j]` and
+        // `[j][k]` here, so the iterator form clippy suggests can't apply.)
+        #[allow(clippy::needless_range_loop)]
+        for j in k + 1..tiles {
+            let r = g.add_task(format!("trsm{k}_r{j}"), 2.0 * unit_w);
+            g.add_edge(getrf, r, unit_v, format!("u{k}_r{j}")).unwrap();
+            if let Some(p) = prev[k][j] {
+                g.add_edge(p, r, unit_v, format!("a{k}_{k}_{j}")).unwrap();
+            }
+            prev[k][j] = Some(r);
+
+            let c = g.add_task(format!("trsm{k}_c{j}"), 2.0 * unit_w);
+            g.add_edge(getrf, c, unit_v, format!("l{k}_c{j}")).unwrap();
+            if let Some(p) = prev[j][k] {
+                g.add_edge(p, c, unit_v, format!("a{k}_{j}_{k}")).unwrap();
+            }
+            prev[j][k] = Some(c);
+        }
+        // Trailing updates.
+        for i in k + 1..tiles {
+            for j in k + 1..tiles {
+                let u = g.add_task(format!("gemm{k}_{i}_{j}"), unit_w);
+                let col = prev[i][k].expect("column panel placed above");
+                let row = prev[k][j].expect("row panel placed above");
+                g.add_edge(col, u, unit_v, format!("l{k}_{i}_{j}")).unwrap();
+                g.add_edge(row, u, unit_v, format!("u{k}_{i}_{j}")).unwrap();
+                if let Some(p) = prev[i][j] {
+                    g.add_edge(p, u, unit_v, format!("a{k}_{i}_{j}")).unwrap();
+                }
+                prev[i][j] = Some(u);
+            }
+        }
+    }
+    g
+}
+
+/// A time-stepped 1-D three-point **stencil** sweep: task `(t, i)` at time
+/// step `t` depends on `(t-1, i-1)`, `(t-1, i)` and `(t-1, i+1)` (clamped
+/// at the boundaries). `steps × points` tasks, `≈ 3 n` edges, constant
+/// width `points` — the iterative-solver shape whose ready set stays wide
+/// for the whole run, the worst case for linear ready-set scans.
+pub fn stencil(steps: usize, points: usize, w: f64, v: f64) -> TaskGraph {
+    assert!(steps >= 1 && points >= 1);
+    let mut g = TaskGraph::new(format!("stencil-{steps}x{points}"));
+    let mut prev: Vec<TaskId> = Vec::new();
+    for t in 0..steps {
+        let cur: Vec<TaskId> = (0..points)
+            .map(|i| g.add_task(format!("s{t}_{i}"), w))
+            .collect();
+        if t > 0 {
+            for (i, &task) in cur.iter().enumerate() {
+                let lo = i.saturating_sub(1);
+                let hi = (i + 1).min(points - 1);
+                for (k, j) in (lo..=hi).enumerate() {
+                    g.add_edge(prev[j], task, v, format!("n{t}_{i}_{k}"))
+                        .unwrap();
+                }
+            }
+        }
+        prev = cur;
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,5 +823,58 @@ mod tests {
         let g1 = random_layered(&mut StdRng::seed_from_u64(1), &spec);
         let g2 = random_layered(&mut StdRng::seed_from_u64(2), &spec);
         assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn layered_random_bounded_degree() {
+        let g = layered_random(7, 20, 50, 3, (1.0, 10.0), (1.0, 5.0));
+        assert_eq!(g.task_count(), 1000);
+        assert!(g.is_dag());
+        assert_eq!(analysis::depth(&g), 20);
+        // Exactly 3 in-edges per non-entry task (labels distinct, sources
+        // may repeat), so edge count is linear in n — not width².
+        assert_eq!(g.edge_count(), 19 * 50 * 3);
+        for t in g.task_ids().skip(50) {
+            assert_eq!(g.in_degree(t), 3);
+        }
+        // Deterministic per seed.
+        assert_eq!(g, layered_random(7, 20, 50, 3, (1.0, 10.0), (1.0, 5.0)));
+        assert_ne!(g, layered_random(8, 20, 50, 3, (1.0, 10.0), (1.0, 5.0)));
+    }
+
+    #[test]
+    fn tiled_lu_shape() {
+        let g = tiled_lu(4, 1.0, 1.0);
+        // Per step k over T=4: 1 getrf + 2(T-1-k) trsm + (T-1-k)² gemm.
+        let expect: usize = (0..4).map(|k| 1 + 2 * (3 - k) + (3 - k) * (3 - k)).sum();
+        assert_eq!(g.task_count(), expect);
+        assert!(g.is_dag());
+        // Single entry (getrf0), single exit (getrf at the last step).
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+        // The final getrf depends on the step-(T-2) gemm of its own tile.
+        let last = g.find_task("getrf3").unwrap();
+        let gemm = g.find_task("gemm2_3_3").unwrap();
+        assert!(g.predecessors(last).any(|p| p == gemm));
+        // getrf dominates trsm dominates gemm in weight.
+        let w = |name: &str| g.task(g.find_task(name).unwrap()).weight;
+        assert!(w("getrf0") > w("trsm0_r1"));
+        assert!(w("trsm0_r1") > w("gemm0_1_1"));
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let g = stencil(5, 8, 2.0, 1.0);
+        assert_eq!(g.task_count(), 40);
+        assert!(g.is_dag());
+        assert_eq!(analysis::depth(&g), 5);
+        assert_eq!(analysis::width(&g), 8);
+        // Interior tasks have 3 predecessors, boundary tasks 2.
+        let mid = g.find_task("s3_4").unwrap();
+        assert_eq!(g.in_degree(mid), 3);
+        let edge = g.find_task("s3_0").unwrap();
+        assert_eq!(g.in_degree(edge), 2);
+        // 4 transitions × (2 boundary·2 + 6 interior·3) = 4 × 22 edges.
+        assert_eq!(g.edge_count(), 4 * 22);
     }
 }

@@ -1,0 +1,219 @@
+//! Differential pinning of the scheduler scale rework.
+//!
+//! The heap-based ready queues and the ETF/DLS earliest-start cache must
+//! produce **bit-identical** schedules — same commit order, same
+//! placements, same start/finish times — to the retained naive
+//! implementations in `banger_sched::reference` (the pre-rework linear
+//! scans and full pair rescans). `Schedule`'s `PartialEq` compares the
+//! heuristic name, the task count and the ordered placement list with
+//! exact float equality, so equality here *is* the bit-identical
+//! contract; per-run probe stats are deliberately excluded from it and
+//! asserted separately (the asymptotic win must show up in the counters,
+//! not just the wall clock).
+
+use banger_machine::{Machine, MachineParams, SwitchingMode, Topology};
+use banger_sched::reference;
+use banger_taskgraph::analysis::GraphAnalysis;
+use banger_taskgraph::{generators, TaskGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every heuristic under differential test (serial is shared code, but
+/// keeping it here keeps the dispatchers honest).
+const NAMES: [&str; 8] = ["serial", "naive", "HLFET", "MCP", "ETF", "DLS", "MH", "DSH"];
+
+fn assert_identical(g: &TaskGraph, m: &Machine, names: &[&str]) {
+    let a = GraphAnalysis::analyze(g);
+    for name in names {
+        let opt = banger_sched::run_heuristic_with(name, g, m, &a)
+            .unwrap_or_else(|| panic!("{name} unknown to production dispatcher"));
+        let naive = reference::run_reference_with(name, g, m, &a)
+            .unwrap_or_else(|| panic!("{name} unknown to reference dispatcher"));
+        assert_eq!(
+            opt,
+            naive,
+            "{name} diverged from reference on {} / {}",
+            g.name(),
+            m.topology().name()
+        );
+    }
+}
+
+fn random_graph() -> impl Strategy<Value = TaskGraph> {
+    (any::<u64>(), 1usize..5, 1usize..6, 0.1f64..0.8).prop_map(
+        |(seed, layers, width, edge_prob)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generators::random_layered(
+                &mut rng,
+                &generators::RandomSpec {
+                    layers,
+                    width,
+                    edge_prob,
+                    weight: (1.0, 30.0),
+                    volume: (0.0, 20.0),
+                },
+            )
+        },
+    )
+}
+
+fn random_machine() -> impl Strategy<Value = Machine> {
+    let topo = prop_oneof![
+        (0u32..3).prop_map(Topology::hypercube),
+        (1usize..3, 1usize..4).prop_map(|(r, c)| Topology::mesh(r, c)),
+        (2usize..6).prop_map(Topology::star),
+        (2usize..6).prop_map(Topology::ring),
+        (1usize..6).prop_map(Topology::fully_connected),
+    ];
+    (
+        topo,
+        0.5f64..4.0,     // processor speed
+        0.0f64..2.0,     // process startup
+        0.0f64..3.0,     // msg startup
+        0.5f64..8.0,     // transmission rate
+        prop::bool::ANY, // cut-through?
+    )
+        .prop_map(|(t, speed, pstart, mstart, rate, cut)| {
+            Machine::new(
+                t,
+                MachineParams {
+                    processor_speed: speed,
+                    process_startup: pstart,
+                    msg_startup: mstart,
+                    transmission_rate: rate,
+                    switching: if cut {
+                        SwitchingMode::CutThrough { hop_latency: 0.2 }
+                    } else {
+                        SwitchingMode::StoreAndForward
+                    },
+                },
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The heart of the contract: on arbitrary graphs and machines, every
+    /// optimised heuristic equals its retained reference, placement for
+    /// placement.
+    #[test]
+    fn optimised_matches_reference(
+        g in random_graph(),
+        m in random_machine(),
+    ) {
+        assert_identical(&g, &m, &NAMES);
+    }
+
+    /// Priority ties are where heap order could silently diverge from the
+    /// linear scan (same level, different pop order). Uniform weights and
+    /// volumes make almost every priority a tie.
+    #[test]
+    fn tie_heavy_graphs_match(
+        seed in any::<u64>(),
+        layers in 1usize..6,
+        width in 2usize..8,
+        procs in 1usize..5,
+    ) {
+        let g = generators::layered_random(seed, layers, width, 2, (4.0, 4.0), (3.0, 3.0));
+        let m = Machine::new(Topology::fully_connected(procs), MachineParams::default());
+        assert_identical(&g, &m, &NAMES);
+    }
+}
+
+/// Sampled sizes of the new scale generators through every heuristic.
+/// Sizes are chosen so the quadratic references stay affordable in debug
+/// builds; CI additionally runs this whole suite in release.
+#[test]
+fn scale_generators_match_reference() {
+    let m4 = Machine::new(
+        Topology::hypercube(2),
+        MachineParams {
+            msg_startup: 0.5,
+            ..MachineParams::default()
+        },
+    );
+    let m3 = Machine::new(Topology::star(3), MachineParams::default());
+
+    let layered = generators::layered_random(11, 40, 25, 3, (1.0, 20.0), (0.5, 10.0));
+    assert_eq!(layered.task_count(), 1000);
+    assert_identical(&layered, &m4, &NAMES);
+    assert_identical(&layered, &m3, &NAMES);
+
+    let lu = generators::tiled_lu(10, 2.0, 1.0);
+    assert_identical(&lu, &m4, &NAMES);
+
+    let st = generators::stencil(25, 20, 3.0, 1.0);
+    assert_identical(&st, &m4, &NAMES);
+}
+
+/// A wide, shallow graph keeps the ready set large for the whole run —
+/// the worst case for the legacy scans and the best case for the rework.
+/// The selection heuristics (HLFET/MCP) must probe *exactly* as often as
+/// the reference (only selection time changed), while the pair-scan
+/// heuristics (ETF/DLS) must show the cache's asymptotic probe reduction.
+#[test]
+fn probe_counters_prove_the_asymptotic_win() {
+    let g = generators::stencil(30, 40, 2.0, 1.0);
+    let m = Machine::new(Topology::fully_connected(4), MachineParams::default());
+    let a = GraphAnalysis::analyze(&g);
+
+    for name in ["HLFET", "MCP", "naive", "MH"] {
+        let opt = banger_sched::run_heuristic_with(name, &g, &m, &a).unwrap();
+        let naive = reference::run_reference_with(name, &g, &m, &a).unwrap();
+        assert_eq!(opt, naive, "{name}");
+        assert_eq!(
+            opt.stats(),
+            naive.stats(),
+            "{name}: selection-only rework must not change probe counts"
+        );
+    }
+
+    for name in ["ETF", "DLS"] {
+        let opt = banger_sched::run_heuristic_with(name, &g, &m, &a).unwrap();
+        let naive = reference::run_reference_with(name, &g, &m, &a).unwrap();
+        assert_eq!(opt, naive, "{name}");
+        let (o, r) = (opt.stats(), naive.stats());
+        assert!(
+            o.arrival_probes * 5 < r.arrival_probes,
+            "{name}: cache should cut arrival probes ≥5x: {} vs {}",
+            o.arrival_probes,
+            r.arrival_probes
+        );
+        assert!(
+            o.slot_searches < r.slot_searches,
+            "{name}: stale-only recomputation should cut slot searches: {} vs {}",
+            o.slot_searches,
+            r.slot_searches
+        );
+    }
+}
+
+/// Stats ride the schedule, per run — two concurrent sweeps must each see
+/// exactly their own counters (the old process-global atomics interleaved
+/// them).
+#[test]
+fn probe_stats_are_per_run() {
+    let g = generators::gauss_elimination(8, 2.0, 1.0);
+    let m = Machine::new(Topology::hypercube(2), MachineParams::default());
+    let solo = banger_sched::mh::mh(&g, &m).stats();
+    assert!(solo.arrival_probes > 0 && solo.slot_searches > 0);
+
+    std::env::set_var("BANGER_SWEEP_WORKERS", "4");
+    let machines: Vec<Machine> = (0..8)
+        .map(|_| Machine::new(Topology::hypercube(2), MachineParams::default()))
+        .collect();
+    let (schedules, stats) =
+        banger_sched::sweep::sweep_machines_stats("MH", &g, &machines).unwrap();
+    std::env::remove_var("BANGER_SWEEP_WORKERS");
+
+    assert_eq!(stats.planned_workers, 4);
+    for s in &schedules {
+        assert_eq!(
+            s.stats(),
+            solo,
+            "concurrent identical runs must report identical per-run stats"
+        );
+    }
+}
