@@ -158,6 +158,133 @@ fn main() {
         );
     }
 
+    // Fused LU: the same LU design after the graph-rewrite optimizer
+    // (dead-arc elimination + task fusion). The baseline column is the
+    // *unfused* old-style replica, the same yardstick as the `lu_n*`
+    // row, so the two rows compare directly: the gap between their
+    // speedups is what fusion reclaims in per-task dispatch overhead.
+    {
+        let unfused = dataflow::lu(lu_n);
+        let fused = dataflow::lu_fused(lu_n);
+        let base = execute(
+            &unfused.design,
+            &unfused.lib,
+            &unfused.external,
+            &one_worker,
+        )
+        .unwrap();
+        let got = execute(&fused.design, &fused.lib, &fused.external, &one_worker).unwrap();
+        assert_eq!(
+            format!("{:?}", base.outputs),
+            format!("{:?}", got.outputs),
+            "fused LU outputs must be byte-identical to the original"
+        );
+        assert_eq!(
+            base.total_ops(),
+            got.total_ops(),
+            "fusion must preserve the total operation count"
+        );
+
+        let old_ns = best_ns(budget_ms, || {
+            black_box(dataflow::run_oldstyle(black_box(&unfused), cfg));
+        });
+        let cold_ns = best_ns(budget_ms, || {
+            black_box(execute(&fused.design, &fused.lib, &fused.external, &one_worker).unwrap());
+        });
+        let mut session = Session::new(&fused.design, &fused.lib, &one_worker).unwrap();
+        let warm_ns = best_ns(budget_ms, || {
+            black_box(session.run(&fused.external).unwrap());
+        });
+        let _ = write!(
+            json,
+            "  \"lu_n{lu_n}_fused\": {{\n    \
+             \"tasks_before\": {},\n    \
+             \"tasks\": {},\n    \
+             \"total_ops\": {},\n    \
+             \"oldstyle_unfused_best_ns\": {old_ns:.0},\n    \
+             \"cold_exec_best_ns\": {cold_ns:.0},\n    \
+             \"warm_session_best_ns\": {warm_ns:.0},\n    \
+             \"speedup\": {:.2},\n    \
+             \"cold_speedup\": {:.2}\n  }},\n",
+            unfused.design.graph.task_count(),
+            fused.design.graph.task_count(),
+            got.total_ops(),
+            old_ns / warm_ns,
+            old_ns / cold_ns,
+        );
+    }
+
+    // Map-expanded tiled LU: one dense template node expanded to
+    // thousands of tasks, then driven schedule -> pinned traced
+    // execution end to end. The correctness gate demands bit-identical
+    // factors against the single-task dense template.
+    {
+        use banger_machine::{Machine, MachineParams, Topology};
+        let (tn, tiles) = if quick { (64, 4) } else { (256, 16) };
+        let w = dataflow::tiled_lu(tn, tiles);
+        // The dense template is one task doing ~2/3 n^3 operations; give
+        // the interpreter headroom beyond its default step budget.
+        let big_steps = ExecOptions {
+            mode: ExecMode::Greedy { workers: 1 },
+            interp: InterpConfig {
+                max_steps: 500_000_000,
+                ..InterpConfig::default()
+            },
+            ..ExecOptions::default()
+        };
+        let dense = dataflow::dense_lu(tn);
+        let want = execute(&dense.design, &dense.lib, &dense.external, &big_steps).unwrap();
+        let got = execute(&w.design, &w.lib, &w.external, &one_worker).unwrap();
+        assert_eq!(
+            format!("{:?}", want.outputs),
+            format!("{:?}", got.outputs),
+            "tiled LU factor must be bit-identical to the dense template"
+        );
+
+        let machine = Machine::new(Topology::hypercube(2), MachineParams::default());
+        let schedule = banger_sched::run_heuristic("ETF", &w.design.graph, &machine)
+            .expect("ETF heuristic exists");
+        let pinned = ExecOptions {
+            mode: ExecMode::pinned(schedule.clone()),
+            trace: true,
+            ..ExecOptions::default()
+        };
+        let report = execute(&w.design, &w.lib, &w.external, &pinned).unwrap();
+        let s = report.trace.as_ref().expect("traced run").summary();
+
+        let mut session = Session::new(&w.design, &w.lib, &one_worker).unwrap();
+        let warm_ns = best_ns(budget_ms, || {
+            black_box(session.run(&w.external).unwrap());
+        });
+        let _ = write!(
+            json,
+            "  \"tiled_lu_n{tn}\": {{\n    \
+             \"tiles\": {tiles},\n    \
+             \"tasks\": {},\n    \
+             \"arcs\": {},\n    \
+             \"total_ops\": {},\n    \
+             \"etf_makespan\": {:.0},\n    \
+             \"pinned_traced_wall_ns\": {},\n    \
+             \"warm_session_best_ns\": {warm_ns:.0},\n    \
+             \"trace\": {{\n      \
+             \"workers\": {},\n      \
+             \"tasks_per_sec\": {:.0},\n      \
+             \"utilization\": {:.3},\n      \
+             \"cow_copies\": {},\n      \
+             \"cow_bytes\": {}\n    }}\n  }},\n",
+            w.design.graph.task_count(),
+            w.design.graph.edge_count(),
+            report.total_ops(),
+            schedule.makespan(),
+            report.wall.as_nanos(),
+            s.workers,
+            s.tasks_per_sec(),
+            s.utilization(),
+            s.cow_copies,
+            s.cow_bytes,
+        );
+    }
+
     // Repeated-firing workload: the same small-grain design fired
     // thousands of times. Cold pays routing-table build, store
     // allocation, and worker spawn on every call; a warm `Session`

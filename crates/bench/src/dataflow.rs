@@ -115,6 +115,67 @@ pub fn lu(n: usize) -> Workload {
     }
 }
 
+/// The paper's LU design after the graph-rewrite optimizer: dead-arc
+/// elimination followed by task fusion along `grain::pack`'s clusters.
+/// Outcome-preserving by the optimizer's contract — same output values,
+/// same total operation count — so any timing gap against [`lu`] is
+/// pure per-task dispatch overhead reclaimed.
+pub fn lu_fused(n: usize) -> Workload {
+    let w = lu(n);
+    let (dced, dlib, _) = banger_opt::eliminate_dead(&w.design, &w.lib).unwrap();
+    let (fused, flib, _) = banger_opt::fuse(&dced, &dlib).unwrap();
+    Workload {
+        name: "lu_fused",
+        design: fused,
+        lib: flib,
+        external: w.external,
+    }
+}
+
+/// A single dense-LU template task over an `n`-by-`n` diagonally
+/// dominant system — the overhead-free (and parallelism-free) baseline
+/// for [`tiled_lu`].
+pub fn dense_lu(n: usize) -> Workload {
+    let mut h = HierGraph::new("dense_lu");
+    let s_in = h.add_storage("a", (n * n) as f64);
+    let t = h.add_task_with_program("fact", (n * n * n) as f64, "DenseLU");
+    let s_out = h.add_storage("lu", (n * n) as f64);
+    h.add_flow(s_in, t).unwrap();
+    h.add_flow(t, s_out).unwrap();
+    let mut lib = ProgramLibrary::new();
+    lib.add(banger_opt::dense_lu_program("DenseLU", "a", "lu", n));
+    let (a, _) = banger::lu::test_system(n);
+    Workload {
+        name: "dense_lu",
+        design: h.flatten().unwrap(),
+        lib,
+        external: [("a".to_string(), Value::array(a))].into_iter().collect(),
+    }
+}
+
+/// [`dense_lu`] after map expansion into a `tiles`-by-`tiles` block-LU
+/// (scatter / gemm-chain / kernel / relabel / gather tasks). Values are
+/// bit-identical to the dense template; the task count grows from 1 to
+/// thousands, so this is the executor-at-scale workload.
+pub fn tiled_lu(n: usize, tiles: usize) -> Workload {
+    let mut h = HierGraph::new("tiled_lu");
+    let s_in = h.add_storage("a", (n * n) as f64);
+    let t = h.add_task_with_program("fact", (n * n * n) as f64, "DenseLU");
+    let s_out = h.add_storage("lu", (n * n) as f64);
+    h.add_flow(s_in, t).unwrap();
+    h.add_flow(t, s_out).unwrap();
+    let mut lib = ProgramLibrary::new();
+    lib.add(banger_opt::dense_lu_program("DenseLU", "a", "lu", n));
+    banger_opt::expand_dense_lu(&mut h, "fact", &mut lib, tiles).unwrap();
+    let (a, _) = banger::lu::test_system(n);
+    Workload {
+        name: "tiled_lu",
+        design: h.flatten().unwrap(),
+        lib,
+        external: [("a".to_string(), Value::array(a))].into_iter().collect(),
+    }
+}
+
 /// A structurally independent deep copy — the movement cost the old
 /// runtime paid implicitly on every consumer edge.
 fn deep(v: &Value) -> Value {

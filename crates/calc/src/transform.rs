@@ -30,6 +30,7 @@
 
 use crate::ast::{BinOp, Expr, Program, Stmt};
 use crate::error::Pos;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why a program could not be parallelized.
@@ -99,7 +100,7 @@ fn uses_var(expr: &Expr, v: &str) -> bool {
 }
 
 /// True when any statement in `stmts` assigns variable `v`.
-fn assigns_var(stmts: &[Stmt], v: &str) -> bool {
+pub fn assigns_var(stmts: &[Stmt], v: &str) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Assign { var, .. } | Stmt::AssignIndex { var, .. } => var == v,
         Stmt::If {
@@ -114,7 +115,7 @@ fn assigns_var(stmts: &[Stmt], v: &str) -> bool {
 }
 
 /// True when any statement mentions `v` in an expression.
-fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
+pub fn stmts_use_var(stmts: &[Stmt], v: &str) -> bool {
     stmts.iter().any(|s| match s {
         Stmt::Assign { expr, .. } => uses_var(expr, v),
         Stmt::AssignIndex { index, expr, .. } => uses_var(index, v) || uses_var(expr, v),
@@ -329,6 +330,147 @@ pub fn parallelize_reduction(prog: &Program, k: usize) -> Result<ReductionSplit,
     })
 }
 
+fn rename(name: &str, map: &BTreeMap<String, String>) -> String {
+    map.get(name).cloned().unwrap_or_else(|| name.to_string())
+}
+
+fn rename_expr(expr: &Expr, map: &BTreeMap<String, String>) -> Expr {
+    match expr {
+        Expr::Num(v) => Expr::Num(*v),
+        Expr::Var(n) => Expr::Var(rename(n, map)),
+        Expr::Index(n, i) => Expr::Index(rename(n, map), Box::new(rename_expr(i, map))),
+        // Call names live in the builtin namespace, not the variable one.
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter().map(|a| rename_expr(a, map)).collect(),
+        ),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(rename_expr(l, map)),
+            Box::new(rename_expr(r, map)),
+        ),
+        Expr::Un(op, inner) => Expr::Un(*op, Box::new(rename_expr(inner, map))),
+    }
+}
+
+/// Renames variables in a statement list according to `map`; names not in
+/// the map pass through unchanged.
+pub fn rename_stmts(stmts: &[Stmt], map: &BTreeMap<String, String>) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign { var, expr, pos } => Stmt::Assign {
+                var: rename(var, map),
+                expr: rename_expr(expr, map),
+                pos: *pos,
+            },
+            Stmt::AssignIndex {
+                var,
+                index,
+                expr,
+                pos,
+            } => Stmt::AssignIndex {
+                var: rename(var, map),
+                index: rename_expr(index, map),
+                expr: rename_expr(expr, map),
+                pos: *pos,
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            } => Stmt::If {
+                cond: rename_expr(cond, map),
+                then_body: rename_stmts(then_body, map),
+                else_body: rename_stmts(else_body, map),
+                pos: *pos,
+            },
+            Stmt::While { cond, body, pos } => Stmt::While {
+                cond: rename_expr(cond, map),
+                body: rename_stmts(body, map),
+                pos: *pos,
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                pos,
+            } => Stmt::For {
+                var: rename(var, map),
+                from: rename_expr(from, map),
+                to: rename_expr(to, map),
+                body: rename_stmts(body, map),
+                pos: *pos,
+            },
+            Stmt::Print { expr, pos } => Stmt::Print {
+                expr: rename_expr(expr, map),
+                pos: *pos,
+            },
+        })
+        .collect()
+}
+
+/// Applies a variable renaming to an entire program — declarations and
+/// body. Names absent from `map` are unchanged. The renaming is pure
+/// (statement-for-statement), so the renamed program performs exactly the
+/// same operation count on the same inputs (modulo the new names).
+pub fn rename_vars(prog: &Program, map: &BTreeMap<String, String>) -> Program {
+    Program {
+        name: prog.name.clone(),
+        inputs: prog.inputs.iter().map(|v| rename(v, map)).collect(),
+        outputs: prog.outputs.iter().map(|v| rename(v, map)).collect(),
+        locals: prog.locals.iter().map(|v| rename(v, map)).collect(),
+        body: rename_stmts(&prog.body, map),
+        decl_pos: prog
+            .decl_pos
+            .iter()
+            .map(|(v, p)| (rename(v, map), *p))
+            .collect(),
+    }
+}
+
+/// Concatenates pre-renamed program bodies into one program with the given
+/// interface. The caller is responsible for having renamed the parts so
+/// that dataflow is by shared names (a producer's output variable and its
+/// consumer's input variable unified to one name) and that no unintended
+/// capture occurs — see `banger-opt`'s fusion pass for the planning side.
+///
+/// Ops preservation: the interpreter charges per executed statement (plus
+/// expression costs) and nothing for input binding or output collection,
+/// so the spliced program's operation count on equal values is exactly the
+/// sum of the parts' counts.
+pub fn splice_programs(
+    name: impl Into<String>,
+    parts: &[&Program],
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+) -> Program {
+    let mut body = Vec::new();
+    let mut declared: Vec<String> = Vec::new();
+    for p in parts {
+        body.extend_from_slice(&p.body);
+        for v in p.inputs.iter().chain(&p.outputs).chain(&p.locals) {
+            if !declared.contains(v) {
+                declared.push(v.clone());
+            }
+        }
+    }
+    let locals: Vec<String> = declared
+        .into_iter()
+        .filter(|v| !inputs.contains(v) && !outputs.contains(v))
+        .collect();
+    Program {
+        name: name.into(),
+        inputs,
+        outputs,
+        locals,
+        body,
+        decl_pos: Default::default(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,5 +629,75 @@ end";
                 parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}\n{printed}", p.name));
             assert_eq!(&reparsed, p);
         }
+    }
+
+    #[test]
+    fn rename_vars_is_total_and_pure() {
+        let prog = parse_program(
+            "task T in a out b local i begin \
+               b := 0 for i := 1 to a do b := b + i * i end \
+               if b > 10 then b := b - a else b := b + a end \
+             end",
+        )
+        .unwrap();
+        let map: BTreeMap<String, String> = [("a", "x"), ("b", "y"), ("i", "k")]
+            .into_iter()
+            .map(|(f, t)| (f.to_string(), t.to_string()))
+            .collect();
+        let renamed = rename_vars(&prog, &map);
+        assert_eq!(renamed.inputs, vec!["x"]);
+        assert_eq!(renamed.outputs, vec!["y"]);
+        assert_eq!(renamed.locals, vec!["k"]);
+        let ins_a = inputs(&[("a", Value::Num(6.0))]);
+        let ins_x = inputs(&[("x", Value::Num(6.0))]);
+        let orig = run(&prog, &ins_a).unwrap();
+        let new = run(&renamed, &ins_x).unwrap();
+        assert_eq!(orig.outputs["b"], new.outputs["y"]);
+        assert_eq!(orig.ops, new.ops, "renaming must not change the op count");
+    }
+
+    #[test]
+    fn splice_ops_equal_sum_of_parts() {
+        // producer: m := n * 2 (+ a loop); consumer reads m.
+        let producer = parse_program(
+            "task P in n out m local i begin m := 0 for i := 1 to n do m := m + 2 end end",
+        )
+        .unwrap();
+        let consumer = parse_program("task C in m out r begin r := m + 1 end").unwrap();
+        let fused = splice_programs(
+            "F",
+            &[&producer, &consumer],
+            vec!["n".to_string()],
+            vec!["r".to_string()],
+        );
+        assert_eq!(fused.inputs, vec!["n"]);
+        assert_eq!(fused.outputs, vec!["r"]);
+        assert!(fused.locals.contains(&"m".to_string()));
+        assert!(fused.locals.contains(&"i".to_string()));
+        let ins = inputs(&[("n", Value::Num(10.0))]);
+        let p_out = run(&producer, &ins).unwrap();
+        let c_out = run(&consumer, &inputs(&[("m", p_out.outputs["m"].clone())])).unwrap();
+        let f_out = run(&fused, &ins).unwrap();
+        assert_eq!(f_out.outputs["r"], c_out.outputs["r"]);
+        assert_eq!(
+            f_out.ops,
+            p_out.ops + c_out.ops,
+            "splice must preserve total ops exactly"
+        );
+    }
+
+    #[test]
+    fn spliced_program_round_trips_through_printer() {
+        let producer = parse_program("task P in n out m begin m := n * 2 end").unwrap();
+        let consumer = parse_program("task C in m out r begin r := m + 1 end").unwrap();
+        let fused = splice_programs(
+            "F",
+            &[&producer, &consumer],
+            vec!["n".to_string()],
+            vec!["r".to_string()],
+        );
+        let printed = crate::pretty::print_program(&fused);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(reparsed, fused);
     }
 }

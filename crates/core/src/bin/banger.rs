@@ -28,8 +28,21 @@
 //! banger speedup <file> -t spec,spec,...  speedup prediction sweep
 //! banger codegen <file> rust|c [-i ...]   emit generated code to stdout
 //! banger parallelize <file> <task> <n>    split a reduction task n ways
+//! banger optimize <file> [--expand task:tiles] [--fuse] [--emit out.bang]
+//!                                         graph-rewrite optimizer: dead-arc
+//!                                         elimination, optional map expansion
+//!                                         of a dense-LU template task and
+//!                                         task fusion; --emit writes the
+//!                                         rewritten document
+//! banger graph <file> [--optimized] [--dot]
+//!                                         flattened task-graph statistics,
+//!                                         optionally after optimization;
+//!                                         --dot prints Graphviz DOT
 //! banger help                             this list
 //! ```
+//!
+//! `run` and `gantt` also accept `--optimize` to apply dead-arc
+//! elimination + fusion before scheduling/executing.
 //!
 //! Input values: scalars (`-i a=2.5`) or arrays (`-i v=[1,2,3]`).
 //!
@@ -76,6 +89,14 @@ const COMMANDS: &[(&str, &str)] = &[
     (
         "parallelize",
         "split a reduction task n ways and rewrite the document",
+    ),
+    (
+        "optimize",
+        "graph-rewrite optimizer: dead arcs, map expansion (--expand), fusion (--fuse)",
+    ),
+    (
+        "graph",
+        "flattened task-graph statistics (--optimized first; --dot for Graphviz)",
     ),
     ("help", "show this list"),
 ];
@@ -125,6 +146,8 @@ fn main() {
         "speedup" => cmd_speedup(&mut project, rest),
         "codegen" => cmd_codegen(&mut project, rest),
         "parallelize" => cmd_parallelize(&mut project, rest),
+        "optimize" => cmd_optimize(&mut project, rest),
+        "graph" => cmd_graph(&mut project, rest),
         _ => unreachable!("command validated above"),
     };
     if let Err(e) = result {
@@ -157,6 +180,14 @@ fn usage_text() -> String {
          \x20 --trace <path>   run: execute pinned to the -H schedule with tracing,\n\
          \x20                  write Chrome trace JSON (chrome://tracing, Perfetto)\n\
          \x20                  and print the observed-vs-predicted drift report\n\
+         \x20 --optimize       run/gantt: apply dead-arc elimination + task fusion\n\
+         \x20                  to the design first (Outcome-preserving)\n\
+         \x20 --fuse           optimize: fuse grain-packed clusters into single tasks\n\
+         \x20 --expand t:n     optimize: expand dense-LU template task t into an\n\
+         \x20                  n x n tiled block-LU (bit-identical results)\n\
+         \x20 --emit <path>    optimize: write the rewritten document ('-' = stdout)\n\
+         \x20 --optimized      graph: optimize (with fusion) before reporting\n\
+         \x20 --dot            graph: print Graphviz DOT of the flattened graph\n\
          \nexit codes:\n\
          \x20 0  success (warnings allowed)\n\
          \x20 1  operational failure, or `check` found error-severity diagnostics\n\
@@ -316,6 +347,7 @@ fn cmd_show(project: &mut Project) -> Result<(), String> {
 }
 
 fn cmd_gantt(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    maybe_optimize(project, rest)?;
     let h = opt_heuristic(rest);
     let s = project.schedule(&h).map_err(|e| e.to_string())?;
     println!("{}", project.gantt(&s).map_err(|e| e.to_string())?);
@@ -506,7 +538,8 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
     // MH) with event tracing on: the Chrome trace JSON goes to out.json,
     // and the predicted vs observed Gantt charts, the per-task drift
     // report, and the aggregate trace counters print alongside the
-    // outputs.
+    // outputs. --optimize rewrites the design first (dead arcs + fusion).
+    maybe_optimize(project, rest)?;
     let inputs = opt_inputs(rest)?;
     let trace_path = rest
         .windows(2)
@@ -681,6 +714,123 @@ fn cmd_parallelize(project: &mut Project, rest: &[String]) -> Result<(), String>
         .map_err(|e| e.to_string())?;
     eprintln!("expanded {task:?} into {} chunks: {names:?}", names.len());
     print!("{}", banger::document::print_project(project));
+    Ok(())
+}
+
+/// Renders an [`banger::project::OptimizeStats`] as one or two lines.
+fn render_opt_stats(stats: &banger::project::OptimizeStats) -> String {
+    let mut out = format!(
+        "dce: removed {} arcs, {} input decls, {} locals, {} ports; dropped {} programs",
+        stats.dce.arcs_removed,
+        stats.dce.inputs_trimmed,
+        stats.dce.locals_trimmed,
+        stats.dce.ports_removed,
+        stats.dce.programs_dropped,
+    );
+    if let Some(f) = &stats.fuse {
+        out.push_str(&format!(
+            "\nfuse: {} -> {} tasks ({} clusters fused, {} rejected), est. parallel time {:.1} -> {:.1}",
+            f.tasks_before,
+            f.tasks_after,
+            f.clusters_fused,
+            f.clusters_rejected,
+            f.estimated_pt_before,
+            f.estimated_pt_after,
+        ));
+    }
+    out
+}
+
+/// Applies the optimizer first when `--optimize` is among the options
+/// (used by `run` and `gantt`).
+fn maybe_optimize(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    if rest.iter().any(|a| a == "--optimize") {
+        let stats = project.optimize(true).map_err(|e| e.to_string())?;
+        eprintln!("{}", render_opt_stats(&stats));
+    }
+    Ok(())
+}
+
+fn cmd_optimize(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger optimize <file> [--expand task:tiles] [--fuse] [--emit out.bang]
+    // Map expansion runs first (it creates the task-parallel structure),
+    // then dead-arc elimination and — with --fuse — task fusion. The
+    // rewritten document goes to --emit's path ('-' for stdout).
+    if rest.iter().any(|a| a == "--expand") {
+        let spec = rest
+            .windows(2)
+            .find(|w| w[0] == "--expand")
+            .map(|w| w[1].clone())
+            .ok_or_else(|| "--expand needs task:tiles (e.g. --expand fact:16)".to_string())?;
+        let (task, tiles) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad --expand {spec:?} (want task:tiles)"))?;
+        let tiles: usize = tiles
+            .parse()
+            .map_err(|_| format!("bad tile count {tiles:?}"))?;
+        let st = project
+            .expand_task(task, tiles)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "expanded {task:?} into {0}x{0} tiles of {1}x{1} ({2} tasks, {3} programs added)",
+            st.tiles, st.block, st.tasks_added, st.programs_added
+        );
+    }
+    let fuse = rest.iter().any(|a| a == "--fuse");
+    let stats = project.optimize(fuse).map_err(|e| e.to_string())?;
+    eprintln!("{}", render_opt_stats(&stats));
+    let f = project.flatten().map_err(|e| e.to_string())?;
+    eprintln!(
+        "optimized design: {} tasks, {} arcs",
+        f.graph.task_count(),
+        f.graph.edge_count()
+    );
+    if let Some(path) = rest
+        .windows(2)
+        .find(|w| w[0] == "--emit")
+        .map(|w| w[1].clone())
+    {
+        let doc = banger::document::print_project(project);
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+    } else if rest.iter().any(|a| a == "--emit") {
+        return Err("--emit needs an output path ('-' for stdout)".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_graph(project: &mut Project, rest: &[String]) -> Result<(), String> {
+    // banger graph <file> [--optimized] [--dot]
+    // Reports the *flattened* task graph (what the scheduler and router
+    // actually see), unlike `show`, which renders the hierarchy.
+    if rest.iter().any(|a| a == "--optimized") {
+        let stats = project.optimize(true).map_err(|e| e.to_string())?;
+        eprintln!("{}", render_opt_stats(&stats));
+    }
+    let f = project.flatten().map_err(|e| e.to_string())?;
+    if rest.iter().any(|a| a == "--dot") {
+        println!("{}", banger_taskgraph::dot::taskgraph_to_dot(&f.graph));
+        return Ok(());
+    }
+    let stats = banger_taskgraph::analysis::stats(&f.graph);
+    println!(
+        "flattened: {} tasks, {} arcs, width {}, depth {}, cp {:.2}, avg parallelism {:.2}",
+        stats.tasks,
+        stats.edges,
+        stats.width,
+        stats.depth,
+        stats.cp_length,
+        stats.average_parallelism
+    );
+    println!(
+        "inputs: {:?}  outputs: {:?}",
+        f.inputs.iter().map(|p| p.var.as_str()).collect::<Vec<_>>(),
+        f.outputs.iter().map(|p| p.var.as_str()).collect::<Vec<_>>()
+    );
     Ok(())
 }
 

@@ -45,6 +45,9 @@ pub enum ProjectError {
     /// (see [`Project::diagnose`]); carries every finding, warnings
     /// included.
     Invalid(Vec<Diagnostic>),
+    /// A graph-rewrite pass failed (see [`Project::optimize`] and
+    /// [`Project::expand_task`]).
+    Opt(banger_opt::OptError),
 }
 
 impl fmt::Display for ProjectError {
@@ -62,6 +65,7 @@ impl fmt::Display for ProjectError {
                 writeln!(f, "the design failed static analysis:")?;
                 write!(f, "{}", banger_analyze::render_report(diags))
             }
+            ProjectError::Opt(e) => write!(f, "optimizer error: {e}"),
         }
     }
 }
@@ -87,6 +91,20 @@ impl From<CodegenError> for ProjectError {
     fn from(e: CodegenError) -> Self {
         ProjectError::Codegen(e)
     }
+}
+impl From<banger_opt::OptError> for ProjectError {
+    fn from(e: banger_opt::OptError) -> Self {
+        ProjectError::Opt(e)
+    }
+}
+
+/// What [`Project::optimize`] changed, pass by pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeStats {
+    /// Dead-arc / dead-port elimination counts.
+    pub dce: banger_opt::DceStats,
+    /// Fusion counts, when fusion was requested.
+    pub fuse: Option<banger_opt::FuseStats>,
 }
 
 /// One row of [`Project::weight_report`]: how a task's drawn scheduling
@@ -676,6 +694,75 @@ impl Project {
         Ok(chunk_names)
     }
 
+    /// Runs the graph-rewrite optimizer over the design: dead-arc /
+    /// dead-port elimination always, task fusion when `fuse` is set.
+    ///
+    /// The design must pass [`diagnose`](Self::diagnose) with no errors
+    /// first — the rewrites assume the router bindings the analyzer
+    /// checks for. On success the project's design is *replaced* by the
+    /// optimised, flattened-out equivalent (storage sizes carried over
+    /// from the original) and the library by the rewritten programs.
+    /// Both passes preserve Outcomes exactly: output values, print
+    /// output and total interpreter operation counts are unchanged.
+    pub fn optimize(&mut self, fuse: bool) -> Result<OptimizeStats, ProjectError> {
+        self.gate()?;
+        self.flatten()?;
+        let flat = self.flattened.as_ref().unwrap();
+
+        let (after_dce, lib, dce) = banger_opt::eliminate_dead(flat, &self.library)?;
+        let (flat, lib, fuse_stats) = if fuse {
+            let (f, l, s) = banger_opt::fuse(&after_dce, &lib)?;
+            (f, l, Some(s))
+        } else {
+            (after_dce, lib, None)
+        };
+
+        // Carry the drawn storage sizes over to the rebuilt design so
+        // the scheduler's communication model is unchanged.
+        fn storage_sizes(g: &HierGraph, out: &mut BTreeMap<String, f64>) {
+            use banger_taskgraph::NodeKind;
+            for (_, node) in g.nodes() {
+                match &node.kind {
+                    NodeKind::Storage { size } => {
+                        out.entry(node.name.clone()).or_insert(*size);
+                    }
+                    NodeKind::Compound { expansion, .. } => storage_sizes(expansion, out),
+                    NodeKind::Task { .. } => {}
+                }
+            }
+        }
+        let mut sizes = BTreeMap::new();
+        storage_sizes(&self.design, &mut sizes);
+
+        self.design = banger_opt::flat_to_design(&self.name, &flat, &sizes)?;
+        self.library = lib;
+        self.flattened = None;
+        self.invalidate_diagnostics();
+        // The rewritten design must re-pass the analyzer; a failure here
+        // is an optimizer bug and is surfaced loudly rather than hidden.
+        self.gate()?;
+        Ok(OptimizeStats {
+            dce,
+            fuse: fuse_stats,
+        })
+    }
+
+    /// Expands a dense-LU template task into a tiled block-LU compound
+    /// with `tiles`×`tiles` blocks (see
+    /// [`banger_opt::expand_dense_lu`]). The replacement is
+    /// value-preserving: every floating-point operation runs in the same
+    /// order on the same operands, so the factor is bit-identical.
+    pub fn expand_task(
+        &mut self,
+        task: &str,
+        tiles: usize,
+    ) -> Result<banger_opt::ExpandStats, ProjectError> {
+        let stats = banger_opt::expand_dense_lu(&mut self.design, task, &mut self.library, tiles)?;
+        self.flattened = None;
+        self.invalidate_diagnostics();
+        Ok(stats)
+    }
+
     /// Generates a self-contained Rust message-passing program for the
     /// scheduled design with concrete inputs.
     pub fn generate_rust(
@@ -882,6 +969,77 @@ mod tests {
         }
         // A parallel machine must beat the single processor for LU-4.
         assert!(rows[0].processors > 1, "{rows:?}");
+    }
+
+    #[test]
+    fn optimize_preserves_lu_outcomes_exactly() {
+        let (a, b) = test_system(4);
+        let inputs = lu_inputs(&a, &b);
+        let mut base = lu_project(4);
+        let want = base.run(&inputs).unwrap();
+
+        let mut fused = lu_project(4);
+        let stats = fused.optimize(true).unwrap();
+        assert!(stats.fuse.is_some());
+        let got = fused.run(&inputs).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(
+            want.total_ops(),
+            got.total_ops(),
+            "fusion must preserve operation counts exactly"
+        );
+
+        // The optimised design still schedules and pins.
+        let s = fused.schedule("ETF").unwrap();
+        let pinned = fused.run_scheduled(&s, &inputs).unwrap();
+        assert_eq!(want.outputs, pinned.outputs);
+    }
+
+    /// A single dense-LU template task: storage `a` -> task -> storage `lu`.
+    fn dense_lu_project(n: usize) -> Project {
+        let mut design = HierGraph::new("dense");
+        let s_in = design.add_storage("a", (n * n) as f64);
+        let t = design.add_task_with_program("fact", (n * n * n) as f64, "DenseLU");
+        let s_out = design.add_storage("lu", (n * n) as f64);
+        design.add_flow(s_in, t).unwrap();
+        design.add_flow(t, s_out).unwrap();
+        let mut p = Project::new("dense", design);
+        p.library_mut()
+            .add(banger_opt::dense_lu_program("DenseLU", "a", "lu", n));
+        p.set_machine(Machine::new(
+            Topology::hypercube(2),
+            MachineParams::default(),
+        ));
+        p
+    }
+
+    #[test]
+    fn expand_task_is_bit_identical_end_to_end() {
+        let n = 8;
+        let (a, _) = test_system(n);
+        let inputs: BTreeMap<String, Value> =
+            [("a".to_string(), Value::array(a))].into_iter().collect();
+
+        let mut dense = dense_lu_project(n);
+        let want = dense.run(&inputs).unwrap();
+
+        let mut tiled = dense_lu_project(n);
+        let stats = tiled.expand_task("fact", 2).unwrap();
+        assert_eq!(stats.tiles, 2);
+        tiled.optimize(false).unwrap();
+        assert!(tiled.flatten().unwrap().graph.task_count() > 10);
+        let got = tiled.run(&inputs).unwrap();
+
+        let w = want.outputs["lu"].as_array("lu").unwrap();
+        let g = got.outputs["lu"].as_array("lu").unwrap();
+        assert_eq!(w.len(), g.len());
+        for (x, y) in w.iter().zip(g.iter()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "tiled factor must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -170,6 +170,14 @@ pub struct ExecReport {
 }
 
 impl ExecReport {
+    /// Total interpreter operations across every task run — the "ops"
+    /// half of an execution's observable outcome. Graph rewrites that
+    /// claim semantic transparency (see `banger-opt`) must leave this
+    /// exactly unchanged alongside [`ExecReport::outputs`].
+    pub fn total_ops(&self) -> u64 {
+        self.runs.iter().map(|r| r.ops).sum()
+    }
+
     /// Measured operation count per task (max over copies), usable as
     /// calibrated weights for re-scheduling.
     pub fn measured_weights(&self, n_tasks: usize) -> Vec<f64> {

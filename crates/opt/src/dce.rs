@@ -1,0 +1,323 @@
+//! Dead-arc and dead-port elimination.
+//!
+//! Three kinds of dead structure accumulate in hand-drawn designs and in
+//! the output of other rewrites:
+//!
+//! 1. **Dead arcs** — an arc whose label matches no input of the
+//!    consumer's program. The router never reads it; it only inflates
+//!    the scheduler's communication model.
+//! 2. **Shadowed arcs** — a second arc into the same task with the same
+//!    label. The router binds each input from the *first* matching
+//!    in-edge, so later duplicates are unreachable.
+//! 3. **Dead declarations** — program inputs and locals that no
+//!    statement references. Input binding is free at run time, so
+//!    removing them changes neither values nor operation counts, but it
+//!    shrinks the design's external surface and the scheduler's edge
+//!    set.
+//!
+//! All removals are Outcome-preserving: output values, print output and
+//! the total interpreter operation count are exactly unchanged.
+
+use std::collections::BTreeMap;
+
+use banger_calc::ast::Program;
+use banger_calc::library::ProgramLibrary;
+use banger_calc::transform::{assigns_var, stmts_use_var};
+use banger_taskgraph::hierarchy::{ExternalPort, Flattened};
+use banger_taskgraph::TaskGraph;
+
+use crate::OptError;
+
+/// What [`eliminate_dead`] removed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DceStats {
+    /// Arcs dropped (dead label or shadowed duplicate).
+    pub arcs_removed: usize,
+    /// Input declarations removed from programs.
+    pub inputs_trimmed: usize,
+    /// Local declarations removed from programs.
+    pub locals_trimmed: usize,
+    /// External input ports that lost all their readers.
+    pub ports_removed: usize,
+    /// Library programs no task references (not carried over).
+    pub programs_dropped: usize,
+}
+
+impl DceStats {
+    /// True when the pass found nothing to remove.
+    pub fn is_noop(&self) -> bool {
+        *self == DceStats::default()
+    }
+}
+
+/// Removes a variable from a declaration list, counting the removal.
+fn trim_decls(decls: &mut Vec<String>, dead: &[String], count: &mut usize) {
+    decls.retain(|v| {
+        let keep = !dead.iter().any(|d| d == v);
+        if !keep {
+            *count += 1;
+        }
+        keep
+    });
+}
+
+/// Returns `prog` with never-referenced inputs and locals removed.
+/// A declaration survives if any statement reads *or* assigns it, or if
+/// it is also an output. Removal is free: unreferenced variables cost no
+/// operations to bind and hold value `0` forever.
+fn trim_program(prog: &Program, stats: &mut DceStats) -> Program {
+    let dead_inputs: Vec<String> = prog
+        .inputs
+        .iter()
+        .filter(|v| {
+            !stmts_use_var(&prog.body, v)
+                && !assigns_var(&prog.body, v)
+                && !prog.outputs.contains(v)
+        })
+        .cloned()
+        .collect();
+    let dead_locals: Vec<String> = prog
+        .locals
+        .iter()
+        .filter(|v| !stmts_use_var(&prog.body, v) && !assigns_var(&prog.body, v))
+        .cloned()
+        .collect();
+    let mut out = prog.clone();
+    trim_decls(&mut out.inputs, &dead_inputs, &mut stats.inputs_trimmed);
+    trim_decls(&mut out.locals, &dead_locals, &mut stats.locals_trimmed);
+    for v in dead_inputs.iter().chain(&dead_locals) {
+        out.decl_pos.remove(v);
+    }
+    out
+}
+
+/// Runs dead-arc/dead-port elimination over a flattened design.
+///
+/// Returns the rewritten design, a fresh library holding (only) the
+/// trimmed programs the design still references, and removal statistics.
+/// Task ids, task order and the relative order of surviving arcs are
+/// preserved, so downstream passes and the router see the same
+/// first-edge-wins binding decisions.
+pub fn eliminate_dead(
+    flat: &Flattened,
+    lib: &ProgramLibrary,
+) -> Result<(Flattened, ProgramLibrary, DceStats), OptError> {
+    let g = &flat.graph;
+    let mut stats = DceStats::default();
+
+    // Trim each referenced program once (programs may be shared by many
+    // tasks; the trim is a function of the body alone, so it is uniform
+    // across all users).
+    let mut trimmed: BTreeMap<String, Program> = BTreeMap::new();
+    for (_, task) in g.tasks() {
+        if let Some(name) = task.program.as_deref() {
+            if !trimmed.contains_key(name) {
+                let prog = lib
+                    .get(name)
+                    .ok_or_else(|| OptError::UnknownProgram(name.to_string()))?;
+                trimmed.insert(name.to_string(), trim_program(prog, &mut stats));
+            }
+        }
+    }
+    stats.programs_dropped = lib.len() - trimmed.len();
+
+    // Decide the fate of every edge. An edge survives when its consumer
+    // has no program (nothing known about its reads — keep), or when its
+    // label is a (still-declared) input of the consumer's program and no
+    // earlier in-edge already supplies that label.
+    let mut keep = vec![false; g.edge_count()];
+    for t in g.task_ids() {
+        let prog = g.task(t).program.as_deref().map(|n| &trimmed[n]);
+        let mut seen: Vec<&str> = Vec::new();
+        for &e in g.in_edges(t) {
+            let label = g.edge(e).label.as_str();
+            let alive = match prog {
+                None => true,
+                Some(p) => p.inputs.iter().any(|v| v == label) && !seen.contains(&label),
+            };
+            if alive {
+                seen.push(label);
+                keep[e.index()] = true;
+            } else {
+                stats.arcs_removed += 1;
+            }
+        }
+    }
+
+    // Rebuild the graph: same tasks in the same order (ids are stable),
+    // surviving edges in their original order.
+    let mut out = TaskGraph::new(g.name());
+    for (_, task) in g.tasks() {
+        let t = out.add_task(task.name.clone(), task.weight);
+        if let Some(p) = &task.program {
+            out.set_program(t, p.clone()).map_err(OptError::Graph)?;
+        }
+    }
+    for (e, edge) in g.edges() {
+        if keep[e.index()] {
+            out.add_edge(edge.src, edge.dst, edge.volume, edge.label.clone())
+                .map_err(OptError::Graph)?;
+        }
+    }
+
+    // Input ports keep only readers whose program still declares the
+    // variable and still receives it externally (no surviving arc feeds
+    // it). Ports with no readers left disappear.
+    let mut inputs: Vec<ExternalPort> = Vec::new();
+    for port in &flat.inputs {
+        let readers: Vec<_> = port
+            .tasks
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let Some(p) = g.task(t).program.as_deref().map(|n| &trimmed[n]) else {
+                    return true;
+                };
+                p.inputs.contains(&port.var)
+                    && !out
+                        .in_edges(t)
+                        .iter()
+                        .any(|&e| out.edge(e).label == port.var)
+            })
+            .collect();
+        if readers.is_empty() {
+            stats.ports_removed += 1;
+        } else {
+            inputs.push(ExternalPort {
+                var: port.var.clone(),
+                tasks: readers,
+            });
+        }
+    }
+
+    let mut new_lib = ProgramLibrary::new();
+    for prog in trimmed.into_values() {
+        new_lib.add(prog);
+    }
+
+    Ok((
+        Flattened {
+            graph: out,
+            inputs,
+            outputs: flat.outputs.clone(),
+        },
+        new_lib,
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banger_calc::parser::parse_program;
+
+    fn lib_of(sources: &[&str]) -> ProgramLibrary {
+        let mut lib = ProgramLibrary::new();
+        for s in sources {
+            lib.add(parse_program(s).unwrap());
+        }
+        lib
+    }
+
+    /// p --(x)--> c with an extra dead arc labelled `junk` and a shadowed
+    /// duplicate of `x`.
+    fn fixture() -> (Flattened, ProgramLibrary) {
+        let lib = lib_of(&[
+            "task P in a out x, junk begin x := a + 1 junk := 0 end",
+            "task C in x out y begin y := x * 2 end",
+        ]);
+        let mut g = TaskGraph::new("d");
+        let p = g.add_task("p", 1.0);
+        let c = g.add_task("c", 1.0);
+        let q = g.add_task("q", 1.0);
+        g.set_program(p, "P").unwrap();
+        g.set_program(c, "C").unwrap();
+        g.set_program(q, "P").unwrap();
+        g.add_edge(p, c, 1.0, "x").unwrap();
+        g.add_edge(p, c, 1.0, "junk").unwrap();
+        g.add_edge(q, c, 1.0, "x").unwrap();
+        let flat = Flattened {
+            graph: g,
+            inputs: vec![ExternalPort {
+                var: "a".into(),
+                tasks: vec![p, q],
+            }],
+            outputs: vec![ExternalPort {
+                var: "y".into(),
+                tasks: vec![c],
+            }],
+        };
+        (flat, lib)
+    }
+
+    #[test]
+    fn dead_and_shadowed_arcs_are_removed() {
+        let (flat, lib) = fixture();
+        let (out, _, stats) = eliminate_dead(&flat, &lib).unwrap();
+        assert_eq!(stats.arcs_removed, 2);
+        assert_eq!(out.graph.edge_count(), 1);
+        let (_, e) = out.graph.edges().next().unwrap();
+        assert_eq!(e.label, "x");
+        // Output port untouched.
+        assert_eq!(out.outputs, flat.outputs);
+    }
+
+    #[test]
+    fn unreferenced_input_decl_is_trimmed_and_port_dropped() {
+        let lib = lib_of(&["task T in a, unused out y begin y := a end"]);
+        let mut g = TaskGraph::new("d");
+        let t = g.add_task("t", 1.0);
+        g.set_program(t, "T").unwrap();
+        let flat = Flattened {
+            graph: g,
+            inputs: vec![
+                ExternalPort {
+                    var: "a".into(),
+                    tasks: vec![t],
+                },
+                ExternalPort {
+                    var: "unused".into(),
+                    tasks: vec![t],
+                },
+            ],
+            outputs: vec![ExternalPort {
+                var: "y".into(),
+                tasks: vec![t],
+            }],
+        };
+        let (out, new_lib, stats) = eliminate_dead(&flat, &lib).unwrap();
+        assert_eq!(stats.inputs_trimmed, 1);
+        assert_eq!(stats.ports_removed, 1);
+        assert_eq!(out.inputs.len(), 1);
+        assert_eq!(out.inputs[0].var, "a");
+        assert_eq!(new_lib.get("T").unwrap().inputs, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn clean_design_is_a_noop() {
+        let lib = lib_of(&[
+            "task P in a out x begin x := a + 1 end",
+            "task C in x out y begin y := x * 2 end",
+        ]);
+        let mut g = TaskGraph::new("d");
+        let p = g.add_task("p", 1.0);
+        let c = g.add_task("c", 1.0);
+        g.set_program(p, "P").unwrap();
+        g.set_program(c, "C").unwrap();
+        g.add_edge(p, c, 1.0, "x").unwrap();
+        let flat = Flattened {
+            graph: g.clone(),
+            inputs: vec![ExternalPort {
+                var: "a".into(),
+                tasks: vec![p],
+            }],
+            outputs: vec![ExternalPort {
+                var: "y".into(),
+                tasks: vec![c],
+            }],
+        };
+        let (out, _, stats) = eliminate_dead(&flat, &lib).unwrap();
+        assert!(stats.is_noop(), "{stats:?}");
+        assert_eq!(out.graph, g);
+    }
+}

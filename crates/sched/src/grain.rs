@@ -29,13 +29,20 @@ pub struct Packing {
 /// Estimates parallel time of a clustering on unboundedly many processors:
 /// each cluster executes its tasks sequentially in topological order;
 /// inter-cluster arcs cost their volume, intra-cluster arcs cost zero.
-pub fn estimate_pt(g: &TaskGraph, cluster_of: &[usize]) -> f64 {
-    let order = g.topo_order().expect("packing requires a DAG");
+/// Cyclic graphs return `Err(GraphError::Cycle)` instead of panicking.
+pub fn estimate_pt(g: &TaskGraph, cluster_of: &[usize]) -> Result<f64, GraphError> {
+    let order = g.topo_order()?;
+    Ok(estimate_pt_ordered(g, &order, cluster_of))
+}
+
+/// [`estimate_pt`] with a precomputed topological order, so packing's
+/// inner loop (one estimate per candidate edge) never re-sorts the graph.
+fn estimate_pt_ordered(g: &TaskGraph, order: &[TaskId], cluster_of: &[usize]) -> f64 {
     let nclusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
     let mut cluster_free = vec![0.0f64; nclusters];
     let mut finish = vec![0.0f64; g.task_count()];
     let mut pt = 0.0f64;
-    for t in order {
+    for &t in order {
         let c = cluster_of[t.index()];
         let mut ready = cluster_free[c];
         for &e in g.in_edges(t) {
@@ -70,6 +77,9 @@ pub fn estimate_pt(g: &TaskGraph, cluster_of: &[usize]) -> f64 {
 /// ```
 pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
     let n = g.task_count();
+    // One topological sort up front: it both rejects cyclic inputs with a
+    // proper error and feeds every PT estimate below.
+    let order = g.topo_order()?;
     let mut cluster_of: Vec<usize> = (0..n).collect();
     if n > 0 {
         let mut edge_ids: Vec<_> = g.edge_ids().collect();
@@ -79,7 +89,7 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
                 .total_cmp(&g.edge(a).volume)
                 .then(a.cmp(&b))
         });
-        let mut current_pt = estimate_pt(g, &cluster_of);
+        let mut current_pt = estimate_pt_ordered(g, &order, &cluster_of);
         for e in edge_ids {
             let edge = g.edge(e);
             let (cs, cd) = (cluster_of[edge.src.index()], cluster_of[edge.dst.index()]);
@@ -92,7 +102,7 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
                 .map(|&c| if c == cd { cs } else { c })
                 .collect();
             if clustering_is_acyclic(g, &trial) {
-                let pt = estimate_pt(g, &trial);
+                let pt = estimate_pt_ordered(g, &order, &trial);
                 if pt <= current_pt {
                     cluster_of = trial;
                     current_pt = pt;
@@ -102,7 +112,6 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
     }
 
     // Renumber clusters densely in topological order of first appearance.
-    let order = g.topo_order()?;
     let mut dense: Vec<Option<usize>> = vec![None; n];
     let mut next = 0usize;
     for &t in &order {
@@ -146,7 +155,7 @@ pub fn pack(g: &TaskGraph) -> Result<Packing, GraphError> {
             format!("pk{cs}_{cd}"),
         )?;
     }
-    let estimated_pt = estimate_pt(g, &cluster_of);
+    let estimated_pt = estimate_pt_ordered(g, &order, &cluster_of);
     Ok(Packing {
         cluster_of,
         packed,
@@ -223,7 +232,7 @@ pub fn linear_cluster(g: &TaskGraph) -> Result<LinearClusters, GraphError> {
     }
 
     let cluster_of: Vec<usize> = cluster_of.into_iter().map(|c| c.unwrap_or(0)).collect();
-    let estimated_pt = estimate_pt(g, &cluster_of);
+    let estimated_pt = estimate_pt_ordered(g, &order, &cluster_of);
     Ok(LinearClusters {
         count: next_cluster.max(usize::from(n > 0)),
         cluster_of,
@@ -311,9 +320,24 @@ mod tests {
         let g = generators::chain(3, 2.0, 5.0);
         let each_own: Vec<usize> = (0..3).collect();
         // 2 + 5 + 2 + 5 + 2 = 16
-        assert_eq!(estimate_pt(&g, &each_own), 16.0);
+        assert_eq!(estimate_pt(&g, &each_own).unwrap(), 16.0);
         let all_one = vec![0usize; 3];
-        assert_eq!(estimate_pt(&g, &all_one), 6.0);
+        assert_eq!(estimate_pt(&g, &all_one).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn cyclic_graph_is_an_error_not_a_panic() {
+        let mut g = TaskGraph::new("cyc");
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_edge(a, b, 1.0, "x").unwrap();
+        g.add_edge(b, a, 1.0, "y").unwrap();
+        assert!(matches!(
+            estimate_pt(&g, &[0, 1]),
+            Err(GraphError::Cycle(_))
+        ));
+        assert!(matches!(pack(&g), Err(GraphError::Cycle(_))));
+        assert!(matches!(linear_cluster(&g), Err(GraphError::Cycle(_))));
     }
 
     #[test]
@@ -353,7 +377,7 @@ mod tests {
         );
         // PT never increases relative to the unclustered estimate.
         let trivial: Vec<usize> = (0..g.task_count()).collect();
-        assert!(p.estimated_pt <= estimate_pt(&g, &trivial));
+        assert!(p.estimated_pt <= estimate_pt(&g, &trivial).unwrap());
     }
 
     #[test]
@@ -365,7 +389,7 @@ mod tests {
             generators::outtree(3, 2, 1.0, 9.0),
         ] {
             let trivial: Vec<usize> = (0..g.task_count()).collect();
-            let before = estimate_pt(&g, &trivial);
+            let before = estimate_pt(&g, &trivial).unwrap();
             let p = pack(&g).unwrap();
             assert!(
                 p.estimated_pt <= before + 1e-9,

@@ -1,0 +1,331 @@
+//! Differential property tests for the graph-rewrite optimizer.
+//!
+//! The soundness contract (crates/opt): dead-arc elimination and task
+//! fusion preserve Outcomes *exactly* — output values, print output and
+//! total interpreter operation counts — on both execution engines. Map
+//! expansion preserves values bit-for-bit. These tests check the
+//! contract against randomly generated flattened designs seeded with
+//! dead arcs, shadowed duplicates and unused declarations.
+
+use std::collections::BTreeMap;
+
+use banger_calc::{InterpConfig, ProgramLibrary, Value};
+use banger_exec::{execute, ExecOptions, ExecReport};
+use banger_opt::{eliminate_dead, fuse, fuse_with};
+use banger_taskgraph::hierarchy::{ExternalPort, Flattened};
+use banger_taskgraph::{TaskGraph, TaskId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random layered flat design: every task computes a scalar from a mix
+/// of external inputs and upstream outputs, with occasional prints,
+/// loops, dead arcs, shadowed duplicate arcs and unused declarations.
+fn random_flat(seed: u64) -> (Flattened, ProgramLibrary, BTreeMap<String, Value>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let layers = rng.gen_range(1usize..=4);
+    let width = rng.gen_range(1usize..=4);
+
+    let mut g = TaskGraph::new("rand");
+    let mut lib = ProgramLibrary::new();
+    let mut externals: BTreeMap<String, Value> = BTreeMap::new();
+    let mut ext_readers: BTreeMap<String, Vec<TaskId>> = BTreeMap::new();
+    // (producer, var) pairs available to later layers.
+    let mut produced: Vec<(TaskId, String)> = Vec::new();
+    let mut consumed: Vec<String> = Vec::new();
+    let mut idx = 0usize;
+
+    for _ in 0..layers {
+        let prev = produced.clone();
+        for _ in 0..width {
+            let out_var = format!("t{idx}_o");
+            let t = g.add_task(format!("t{idx}"), rng.gen_range(1.0f64..20.0));
+
+            // Pick 1..=3 distinct inputs: upstream vars or externals.
+            let mut ins: Vec<(String, Option<TaskId>)> = Vec::new();
+            for _ in 0..rng.gen_range(1usize..=3) {
+                if !prev.is_empty() && rng.gen_bool(0.6) {
+                    let (p, var) = prev[rng.gen_range(0..prev.len())].clone();
+                    if !ins.iter().any(|(v, _)| *v == var) {
+                        ins.push((var, Some(p)));
+                    }
+                } else {
+                    let ev = format!("x{}", rng.gen_range(0usize..5));
+                    if !ins.iter().any(|(v, _)| *v == ev) {
+                        externals
+                            .entry(ev.clone())
+                            .or_insert_with(|| Value::Num(rng.gen_range(1.0f64..9.0)));
+                        ins.push((ev, None));
+                    }
+                }
+            }
+            // Sometimes declare an input no statement will reference
+            // (DCE should trim it and drop its arc/port).
+            let unused = rng.gen_bool(0.3).then(|| {
+                if !prev.is_empty() && rng.gen_bool(0.5) {
+                    let (p, var) = prev[rng.gen_range(0..prev.len())].clone();
+                    if ins.iter().any(|(v, _)| *v == var) {
+                        None
+                    } else {
+                        Some((var, Some(p)))
+                    }
+                } else {
+                    let ev = "xu".to_string();
+                    if ins.iter().any(|(v, _)| *v == ev) {
+                        None
+                    } else {
+                        externals.entry(ev.clone()).or_insert(Value::Num(4.25));
+                        Some((ev, None))
+                    }
+                }
+            });
+            let unused = unused.flatten();
+
+            // Program body: a referenced mix of the live inputs.
+            let mut decls: Vec<&str> = ins.iter().map(|(v, _)| v.as_str()).collect();
+            if let Some((v, _)) = &unused {
+                decls.push(v.as_str());
+            }
+            let mut src = format!(
+                "task T{idx}\n  in {}\n  out {out_var}\n  local s, i\nbegin\n",
+                decls.join(", ")
+            );
+            src.push_str(&format!("  s := {}\n", ins[0].0));
+            for (v, _) in ins.iter().skip(1) {
+                src.push_str(&format!("  s := s * 3 + {v}\n"));
+            }
+            if rng.gen_bool(0.4) {
+                let k = rng.gen_range(2usize..=5);
+                src.push_str(&format!(
+                    "  for i := 1 to {k} do\n    s := s + i * {}\n  end\n",
+                    ins[0].0
+                ));
+            }
+            if rng.gen_bool(0.2) {
+                src.push_str("  print s\n");
+            }
+            src.push_str(&format!("  {out_var} := s\nend\n"));
+            let name = lib.add_source(&src).expect("generated program parses");
+            g.set_program(t, name).unwrap();
+
+            // Arcs for internally fed inputs (including the unused one).
+            for (v, p) in ins.iter().chain(unused.iter()) {
+                match p {
+                    Some(p) => {
+                        g.add_edge(*p, t, rng.gen_range(1.0f64..9.0), v.clone())
+                            .unwrap();
+                    }
+                    None => ext_readers.entry(v.clone()).or_default().push(t),
+                }
+            }
+            // Dead arc: a label the program never declares.
+            if !prev.is_empty() && rng.gen_bool(0.3) {
+                let (p, _) = prev[rng.gen_range(0..prev.len())];
+                g.add_edge(p, t, 1.0, format!("junk{idx}")).unwrap();
+            }
+            // Shadowed duplicate of an internally fed input, from some
+            // other upstream task (the graph rejects exact duplicates).
+            // The router never reads it: the first arc with the label wins.
+            if rng.gen_bool(0.3) {
+                if let Some((v, Some(p))) = ins.iter().find(|(_, p)| p.is_some()) {
+                    if let Some((q, _)) = prev.iter().find(|(q, _)| q != p) {
+                        g.add_edge(*q, t, 1.0, v.clone()).unwrap();
+                    }
+                }
+            }
+            for (v, _) in &ins {
+                consumed.push(v.clone());
+            }
+            produced.push((t, out_var));
+            idx += 1;
+        }
+    }
+
+    let inputs = ext_readers
+        .into_iter()
+        .map(|(var, tasks)| ExternalPort { var, tasks })
+        .collect();
+    // Every never-consumed product is an observed output, so the
+    // differential check sees every live task's value.
+    let outputs = produced
+        .iter()
+        .filter(|(_, v)| !consumed.contains(v))
+        .map(|(t, v)| ExternalPort {
+            var: v.clone(),
+            tasks: vec![*t],
+        })
+        .collect();
+    (
+        Flattened {
+            graph: g,
+            inputs,
+            outputs,
+        },
+        lib,
+        externals,
+    )
+}
+
+fn run(
+    flat: &Flattened,
+    lib: &ProgramLibrary,
+    ext: &BTreeMap<String, Value>,
+    reference: bool,
+) -> ExecReport {
+    let options = ExecOptions {
+        interp: InterpConfig {
+            reference,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    execute(flat, lib, ext, &options).expect("design executes")
+}
+
+/// Print lines as a sorted multiset. Task ids shift under rewrites and
+/// parallel workers may interleave, so only the lines are compared.
+fn print_multiset(r: &ExecReport) -> Vec<String> {
+    let mut v: Vec<String> = r.prints.iter().map(|(_, line)| line.clone()).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DCE + fusion preserve output values, print output and total
+    /// operation counts exactly, on both engines, for random designs.
+    #[test]
+    fn optimizer_preserves_outcomes(seed in any::<u64>()) {
+        let (flat, lib, ext) = random_flat(seed);
+        let base = run(&flat, &lib, &ext, false);
+
+        let (dced, dlib, _) = eliminate_dead(&flat, &lib).unwrap();
+        let (fused, flib, stats) = fuse(&dced, &dlib).unwrap();
+        prop_assert!(fused.graph.is_dag());
+        prop_assert_eq!(stats.tasks_after, fused.graph.task_count());
+
+        for (name, design, library) in [("dce", &dced, &dlib), ("fuse", &fused, &flib)] {
+            let vm = run(design, library, &ext, false);
+            prop_assert_eq!(&base.outputs, &vm.outputs, "{} vm outputs", name);
+            prop_assert_eq!(base.total_ops(), vm.total_ops(), "{} vm ops", name);
+            prop_assert_eq!(print_multiset(&base), print_multiset(&vm), "{} vm prints", name);
+
+            let tree = run(design, library, &ext, true);
+            prop_assert_eq!(&base.outputs, &tree.outputs, "{} reference outputs", name);
+            prop_assert_eq!(base.total_ops(), tree.total_ops(), "{} reference ops", name);
+        }
+    }
+
+    /// Total graph weight is conserved by fusion: fused tasks weigh the
+    /// sum of their members, singletons are untouched.
+    #[test]
+    fn fusion_conserves_total_weight(seed in any::<u64>()) {
+        let (flat, lib, _) = random_flat(seed);
+        let (dced, dlib, _) = eliminate_dead(&flat, &lib).unwrap();
+        let before = dced.graph.total_weight();
+        let (fused, _, _) = fuse(&dced, &dlib).unwrap();
+        prop_assert!((fused.graph.total_weight() - before).abs() < 1e-9);
+    }
+}
+
+/// Explicit clustering: fusing a 3-chain produces one task whose weight
+/// is the exact member sum and whose execution matches the original.
+#[test]
+fn explicit_chain_fusion_weight_and_outcome() {
+    let mut lib = ProgramLibrary::new();
+    lib.add_source("task A in a out p begin p := a + 1 end")
+        .unwrap();
+    lib.add_source("task B in p out q begin q := p * 2 end")
+        .unwrap();
+    lib.add_source("task C in q out r begin r := q - 3 end")
+        .unwrap();
+    let mut g = TaskGraph::new("chain");
+    let a = g.add_task("a", 2.5);
+    let b = g.add_task("b", 3.25);
+    let c = g.add_task("c", 4.0);
+    g.set_program(a, "A").unwrap();
+    g.set_program(b, "B").unwrap();
+    g.set_program(c, "C").unwrap();
+    g.add_edge(a, b, 1.0, "p").unwrap();
+    g.add_edge(b, c, 1.0, "q").unwrap();
+    let flat = Flattened {
+        graph: g,
+        inputs: vec![ExternalPort {
+            var: "a".into(),
+            tasks: vec![a],
+        }],
+        outputs: vec![ExternalPort {
+            var: "r".into(),
+            tasks: vec![c],
+        }],
+    };
+    let ext: BTreeMap<String, Value> = [("a".to_string(), Value::Num(10.0))].into();
+
+    let base = run(&flat, &lib, &ext, false);
+    let (fused, flib, stats) = fuse_with(&flat, &lib, &[0, 0, 0]).unwrap();
+    assert_eq!(stats.clusters_fused, 1);
+    assert_eq!(fused.graph.task_count(), 1);
+    let (_, only) = fused.graph.tasks().next().unwrap();
+    assert!((only.weight - 9.75).abs() < 1e-12, "weight {}", only.weight);
+
+    let got = run(&fused, &flib, &ext, false);
+    assert_eq!(base.outputs, got.outputs);
+    assert_eq!(base.total_ops(), got.total_ops());
+    assert_eq!(got.outputs["r"], Value::Num(19.0));
+}
+
+/// Map expansion at an odd tiling (3x3 over n = 12) stays bit-identical
+/// to the dense template end to end, complementing the 2x2 case in the
+/// core crate's tests.
+#[test]
+fn expansion_n12_tiles3_bit_identical() {
+    use banger::project::Project;
+    use banger_machine::{Machine, MachineParams, Topology};
+    use banger_taskgraph::HierGraph;
+
+    let n = 12;
+    let build = || {
+        let mut design = HierGraph::new("dense");
+        let s_in = design.add_storage("a", (n * n) as f64);
+        let t = design.add_task_with_program("fact", 1000.0, "DenseLU");
+        let s_out = design.add_storage("lu", (n * n) as f64);
+        design.add_flow(s_in, t).unwrap();
+        design.add_flow(t, s_out).unwrap();
+        let mut p = Project::new("dense", design);
+        p.library_mut()
+            .add(banger_opt::dense_lu_program("DenseLU", "a", "lu", n));
+        p.set_machine(Machine::new(
+            Topology::hypercube(2),
+            MachineParams::default(),
+        ));
+        p
+    };
+    // A diagonally dominant matrix, LU-factorable without pivoting.
+    let a: Vec<f64> = (0..n * n)
+        .map(|k| {
+            let (i, j) = (k / n, k % n);
+            if i == j {
+                2.0 * n as f64 + i as f64
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        })
+        .collect();
+    let inputs: BTreeMap<String, Value> =
+        [("a".to_string(), Value::array(a))].into_iter().collect();
+
+    let mut dense = build();
+    let want = dense.run(&inputs).unwrap();
+    let mut tiled = build();
+    tiled.expand_task("fact", 3).unwrap();
+    tiled.optimize(false).unwrap();
+    let got = tiled.run(&inputs).unwrap();
+
+    let w = want.outputs["lu"].as_array("lu").unwrap();
+    let g = got.outputs["lu"].as_array("lu").unwrap();
+    assert_eq!(w.len(), g.len());
+    for (x, y) in w.iter().zip(g.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

@@ -88,7 +88,7 @@ proptest! {
         prop_assert!(p.packed.task_count() <= g.task_count().max(1));
         // Estimated PT never exceeds the trivial clustering's estimate.
         let trivial: Vec<usize> = (0..g.task_count()).collect();
-        let before = banger_sched::grain::estimate_pt(&g, &trivial);
+        let before = banger_sched::grain::estimate_pt(&g, &trivial).unwrap();
         prop_assert!(p.estimated_pt <= before + 1e-6);
         // Cluster ids are dense.
         if !p.cluster_of.is_empty() {
