@@ -1,0 +1,56 @@
+//! Criterion `serve` group: daemon request dispatch, cold (entry
+//! evicted each iteration) vs warm (resident content-hashed caches).
+//! Mirrors `bench_serve` (which emits BENCH_serve.json) at Criterion
+//! statistics quality.
+
+#[cfg(unix)]
+use banger::serve::{ops, ProjectStore, Request};
+#[cfg(unix)]
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+#[cfg(unix)]
+fn lu3_path() -> String {
+    let p = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/projects/lu3.bang"
+    );
+    std::fs::canonicalize(p)
+        .expect("lu3 example exists")
+        .to_str()
+        .expect("utf-8 path")
+        .to_string()
+}
+
+#[cfg(unix)]
+fn bench_dispatch(c: &mut Criterion) {
+    let path = lu3_path();
+    let store = ProjectStore::new();
+    let mut sched = Request::for_path("schedule", path.as_str());
+    sched.heuristic = "ETF".into();
+    let check = Request::for_path("check", path.as_str());
+
+    c.bench_function("serve/schedule/cold", |b| {
+        b.iter(|| {
+            store.evict(&path);
+            black_box(ops::handle(&store, black_box(&sched)))
+        })
+    });
+    ops::handle(&store, &sched);
+    c.bench_function("serve/schedule/warm", |b| {
+        b.iter(|| black_box(ops::handle(&store, black_box(&sched))))
+    });
+    ops::handle(&store, &check);
+    c.bench_function("serve/check/warm", |b| {
+        b.iter(|| black_box(ops::handle(&store, black_box(&check))))
+    });
+}
+
+#[cfg(unix)]
+criterion_group!(serve, bench_dispatch);
+#[cfg(unix)]
+criterion_main!(serve);
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("serve benches require a Unix platform");
+}

@@ -98,15 +98,35 @@ const COMMANDS: &[(&str, &str)] = &[
         "graph",
         "flattened task-graph statistics (--optimized first; --dot for Graphviz)",
     ),
+    (
+        "schedule",
+        "alias of gantt (the daemon client grammar's name for it)",
+    ),
     ("help", "show this list"),
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--connect PATH` is a global flag: serve this invocation from a
+    // running daemon, falling back to local execution when none answers.
+    let connect = extract_connect(&mut args);
     let command = args.first().map(String::as_str).unwrap_or("help");
     if matches!(command, "help" | "--help" | "-h") {
         println!("{}", usage_text());
         return;
+    }
+    if command == "serve" {
+        exit(cmd_serve(&args[1..]));
+    }
+    if matches!(command, "ping" | "stats" | "shutdown") {
+        exit(client_admin(connect.as_deref(), command, None));
+    }
+    if command == "evict" {
+        let Some(path) = args.get(1).map(String::as_str) else {
+            eprintln!("banger: evict needs a <file.bang> argument");
+            exit(2);
+        };
+        exit(client_admin(connect.as_deref(), command, Some(path)));
     }
     if !COMMANDS.iter().any(|(name, _)| *name == command) {
         eprintln!("banger: unknown subcommand {command:?} (run `banger help` for the list)");
@@ -119,6 +139,12 @@ fn main() {
         );
         exit(2);
     };
+    if let Some(sock) = &connect {
+        if let Some(code) = try_client(sock, command, path, &args[2..]) {
+            exit(code);
+        }
+        // fell through: the daemon cannot serve this invocation — local.
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => die(&format!("cannot read {path}: {e}")),
@@ -148,6 +174,7 @@ fn main() {
         "parallelize" => cmd_parallelize(&mut project, rest),
         "optimize" => cmd_optimize(&mut project, rest),
         "graph" => cmd_graph(&mut project, rest),
+        "schedule" => cmd_gantt(&mut project, rest),
         _ => unreachable!("command validated above"),
     };
     if let Err(e) = result {
@@ -188,12 +215,206 @@ fn usage_text() -> String {
          \x20 --emit <path>    optimize: write the rewritten document ('-' = stdout)\n\
          \x20 --optimized      graph: optimize (with fusion) before reporting\n\
          \x20 --dot            graph: print Graphviz DOT of the flattened graph\n\
+         \ndaemon:\n\
+         \x20 banger serve [--socket PATH]   persistent project daemon: content-hashed\n\
+         \x20                  caches (parse, diagnose, compile, schedule) plus warm\n\
+         \x20                  executor sessions, served over a Unix socket\n\
+         \x20 --connect PATH   serve check/schedule(gantt)/run/optimize from a running\n\
+         \x20                  daemon; falls back to local execution when no daemon\n\
+         \x20                  answers or the flags need local files\n\
+         \x20 ping|stats|shutdown            daemon admin (socket: --connect PATH,\n\
+         \x20                  else $BANGER_SOCKET, else <tmpdir>/banger.sock)\n\
+         \x20 evict <file>     drop the daemon's cached state for one project\n\
          \nexit codes:\n\
          \x20 0  success (warnings allowed)\n\
          \x20 1  operational failure, or `check` found error-severity diagnostics\n\
          \x20 2  usage error (unknown subcommand, missing arguments)",
     );
     out
+}
+
+/// Removes `--connect PATH` from the argument list and returns the
+/// socket path, wherever the flag appears.
+fn extract_connect(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--connect")?;
+    if i + 1 >= args.len() {
+        eprintln!("banger: --connect needs a socket path");
+        exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+/// `banger serve [--socket PATH]` — run the project daemon in the
+/// foreground until SIGINT/SIGTERM or a `shutdown` request.
+#[cfg(unix)]
+fn cmd_serve(rest: &[String]) -> i32 {
+    let socket = rest
+        .windows(2)
+        .find(|w| w[0] == "--socket")
+        .map(|w| std::path::PathBuf::from(&w[1]))
+        .unwrap_or_else(banger::serve::default_socket_path);
+    banger::serve::server::install_signal_handlers();
+    let server = match banger::serve::Server::bind(&socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("banger: cannot bind {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    eprintln!("banger serve: listening on {}", socket.display());
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("banger serve: shut down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("banger serve: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(_rest: &[String]) -> i32 {
+    eprintln!("banger: serve requires a Unix platform");
+    1
+}
+
+/// Prints a daemon response the way the equivalent local command
+/// would: deterministic output to stdout, notes to stderr, `die`-style
+/// error line on failure. Returns the process exit code.
+#[cfg(unix)]
+fn print_response(resp: &banger::serve::Response) -> i32 {
+    print!("{}", resp.output);
+    if !resp.notes.is_empty() {
+        eprintln!("{}", resp.notes);
+    }
+    if !resp.ok {
+        eprintln!("banger: {}", resp.error);
+        return if resp.exit != 0 { resp.exit } else { 1 };
+    }
+    resp.exit
+}
+
+/// Daemon-admin verbs (`ping`, `stats`, `shutdown`, `evict`): no local
+/// fallback — these are meaningless without a daemon.
+#[cfg(unix)]
+fn client_admin(connect: Option<&str>, command: &str, path_arg: Option<&str>) -> i32 {
+    let socket = connect
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(banger::serve::default_socket_path);
+    let mut client = match banger::serve::Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("banger: cannot connect to {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    let mut req = banger::serve::Request::new(command);
+    req.path = path_arg.map(str::to_string);
+    match client.request(&req) {
+        Ok(resp) => print_response(&resp),
+        Err(e) => {
+            eprintln!("banger: daemon request failed: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn client_admin(_connect: Option<&str>, _command: &str, _path_arg: Option<&str>) -> i32 {
+    eprintln!("banger: daemon commands require a Unix platform");
+    1
+}
+
+/// Maps a `--connect` invocation onto a daemon request. Returns the
+/// exit code when the daemon served (or definitively failed) the
+/// request, or `None` to fall back to local execution — either because
+/// no daemon answered or because the flags demand local behavior
+/// (file outputs, weight reports, traces, warm-repeat loops).
+#[cfg(unix)]
+fn try_client(sock: &str, command: &str, path: &str, rest: &[String]) -> Option<i32> {
+    use banger::serve::{Client, Request};
+    let local_only = |flag: &str| {
+        eprintln!("banger: {flag} is served locally; ignoring --connect");
+    };
+    let req = match command {
+        "check" => {
+            if rest.iter().any(|a| a == "--weights") {
+                local_only("check --weights");
+                return None;
+            }
+            let mut r = Request::for_path("check", path);
+            if let Some(w) = rest.windows(2).find(|w| w[0] == "--format") {
+                r.format = w[1].clone();
+            }
+            r
+        }
+        "gantt" | "schedule" => {
+            if rest.iter().any(|a| a == "--optimize") {
+                local_only("gantt --optimize");
+                return None;
+            }
+            let mut r = Request::for_path("schedule", path);
+            r.heuristic = opt_heuristic(rest);
+            r
+        }
+        "run" => {
+            if let Some(flag) = ["--trace", "--repeat", "--optimize"]
+                .iter()
+                .find(|f| rest.iter().any(|a| a == **f))
+            {
+                local_only(&format!("run {flag}"));
+                return None;
+            }
+            let mut r = Request::for_path("run", path);
+            r.inputs = match opt_inputs(rest) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("banger: {e}");
+                    return Some(1);
+                }
+            };
+            r
+        }
+        "optimize" => {
+            if let Some(flag) = ["--expand", "--emit"]
+                .iter()
+                .find(|f| rest.iter().any(|a| a == **f))
+            {
+                local_only(&format!("optimize {flag}"));
+                return None;
+            }
+            let mut r = Request::for_path("optimize", path);
+            r.fuse = rest.iter().any(|a| a == "--fuse");
+            r
+        }
+        // Everything else (show, compare, simulate, svg, codegen, ...)
+        // stays local: those commands are not daemon verbs.
+        _ => return None,
+    };
+    let mut client = match Client::connect(std::path::Path::new(sock)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("banger: no daemon at {sock} ({e}); running locally");
+            return None;
+        }
+    };
+    match client.request(&req) {
+        Ok(resp) => Some(print_response(&resp)),
+        Err(e) => {
+            eprintln!("banger: daemon request failed: {e}");
+            Some(1)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn try_client(_sock: &str, _command: &str, _path: &str, _rest: &[String]) -> Option<i32> {
+    eprintln!("banger: --connect requires a Unix platform; running locally");
+    None
 }
 
 fn die(msg: &str) -> ! {
@@ -353,7 +574,7 @@ fn cmd_gantt(project: &mut Project, rest: &[String]) -> Result<(), String> {
     println!("{}", project.gantt(&s).map_err(|e| e.to_string())?);
     let f = project.flatten().map_err(|e| e.to_string())?;
     let g = f.graph.clone();
-    let m = project.machine().unwrap();
+    let m = project.machine().ok_or("project has no machine")?;
     println!(
         "makespan {:.3}, speedup {:.2}x, efficiency {:.0}%, {} of {} processors used",
         s.makespan(),
@@ -405,7 +626,10 @@ fn cmd_animate(project: &mut Project, rest: &[String]) -> Result<(), String> {
     let h = opt_heuristic(rest);
     let s = project.schedule(&h).map_err(|e| e.to_string())?;
     let r = project.simulate(&s).map_err(|e| e.to_string())?;
-    let procs = project.machine().unwrap().processors();
+    let procs = project
+        .machine()
+        .ok_or("project has no machine")?
+        .processors();
     let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
     println!(
         "{}",
@@ -418,7 +642,7 @@ fn cmd_advise(project: &mut Project, rest: &[String]) -> Result<(), String> {
     let h = opt_heuristic(rest);
     let s = project.schedule(&h).map_err(|e| e.to_string())?;
     let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
-    let m = project.machine().unwrap();
+    let m = project.machine().ok_or("project has no machine")?;
     let advice = banger::advisor::advise(&g, m, &s);
     println!("{}", banger::advisor::render(&g, &advice));
     Ok(())
@@ -457,7 +681,7 @@ fn cmd_svg(project: &mut Project, rest: &[String]) -> Result<(), String> {
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
     let s = project.schedule(&h).map_err(|e| e.to_string())?;
     let g = project.flatten().map_err(|e| e.to_string())?.graph.clone();
-    let m = project.machine().unwrap().clone();
+    let m = project.machine().ok_or("project has no machine")?.clone();
 
     let gantt = banger::svg::gantt_svg(&s, m.processors(), &g);
     let util = banger::svg::utilization_svg(&s, m.processors());
@@ -579,7 +803,8 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
             best = best.min(r.wall);
             report = Some(r);
         }
-        print_run_output(&report.expect("n >= 1"));
+        let report = report.ok_or("--repeat produced no firing report")?;
+        print_run_output(&report);
         eprintln!(
             "({n} firings on {} warm workers: total {total:?}, mean {:?}, best {best:?})",
             session.workers(),
@@ -606,7 +831,10 @@ fn cmd_run(project: &mut Project, rest: &[String]) -> Result<(), String> {
         .run_with(&inputs, &options)
         .map_err(|e| e.to_string())?;
     print_run_output(&report);
-    let trace = report.trace.as_ref().expect("traced run records a trace");
+    let trace = report
+        .trace
+        .as_ref()
+        .ok_or("traced run recorded no trace")?;
 
     let f = project.flatten().map_err(|e| e.to_string())?;
     let name_of = {

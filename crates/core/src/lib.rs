@@ -49,6 +49,8 @@ pub mod figures;
 pub mod gantt;
 pub mod lu;
 pub mod project;
+#[cfg(unix)]
+pub mod serve;
 pub mod svg;
 
 pub use banger_analyze as analyze;

@@ -48,6 +48,11 @@ pub enum ProjectError {
     /// A graph-rewrite pass failed (see [`Project::optimize`] and
     /// [`Project::expand_task`]).
     Opt(banger_opt::OptError),
+    /// The cached flatten state was read before [`Project::flatten`]
+    /// populated it — a call-order slip inside this crate. Long-lived
+    /// consumers (the `serve` daemon) report this as a structured error
+    /// instead of panicking.
+    NotFlattened,
 }
 
 impl fmt::Display for ProjectError {
@@ -66,6 +71,9 @@ impl fmt::Display for ProjectError {
                 write!(f, "{}", banger_analyze::render_report(diags))
             }
             ProjectError::Opt(e) => write!(f, "optimizer error: {e}"),
+            ProjectError::NotFlattened => {
+                write!(f, "internal error: design not flattened before use")
+            }
         }
     }
 }
@@ -281,7 +289,15 @@ impl Project {
         if self.flattened.is_none() {
             self.flattened = Some(self.design.flatten()?);
         }
-        Ok(self.flattened.as_ref().unwrap())
+        self.flattened_ref()
+    }
+
+    /// Checked access to the flatten cache: every internal reader goes
+    /// through here after a [`flatten`](Self::flatten) call, so a
+    /// call-order slip surfaces as [`ProjectError::NotFlattened`]
+    /// instead of a panic inside a long-lived process.
+    fn flattened_ref(&self) -> Result<&Flattened, ProjectError> {
+        self.flattened.as_ref().ok_or(ProjectError::NotFlattened)
     }
 
     fn machine_ref(&self) -> Result<&Machine, ProjectError> {
@@ -300,7 +316,9 @@ impl Project {
         if self.diagnostics.is_none() {
             self.diagnostics = Some(banger_analyze::diagnose(&self.design, &self.library));
         }
-        self.diagnostics.as_ref().unwrap()
+        // Populated just above; the non-panicking read keeps a daemon
+        // alive even if this invariant ever regresses.
+        self.diagnostics.as_deref().unwrap_or_default()
     }
 
     /// Refuses to proceed on error-severity diagnostics; prints warnings
@@ -331,7 +349,7 @@ impl Project {
         self.machine_ref()?;
         self.gate()?;
         let m = self.machine_ref()?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         banger_sched::run_heuristic(heuristic, g, m)
             .ok_or_else(|| ProjectError::UnknownHeuristic(heuristic.to_string()))
     }
@@ -396,10 +414,10 @@ impl Project {
             let ids: Vec<_> = design.nodes().map(|(id, _)| id).collect();
             for id in ids {
                 // Only task nodes carry programs.
-                let prog_name = match &design.node(id).unwrap().kind {
-                    banger_taskgraph::NodeKind::Task {
+                let prog_name = match design.node(id).map(|n| &n.kind) {
+                    Some(banger_taskgraph::NodeKind::Task {
                         program: Some(p), ..
-                    } => Some(p.clone()),
+                    }) => Some(p.clone()),
                     _ => None,
                 };
                 if let Some(p) = prog_name {
@@ -427,7 +445,7 @@ impl Project {
         measured: Option<&ExecReport>,
     ) -> Result<Vec<WeightRow>, ProjectError> {
         self.flatten()?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         let meas = measured.map(|r| r.measured_weights(g.task_count()));
         Ok(g.tasks()
             .map(|(t, task)| WeightRow {
@@ -448,7 +466,7 @@ impl Project {
     pub fn simulate(&mut self, schedule: &Schedule) -> Result<SimResult, ProjectError> {
         self.flatten()?;
         let m = self.machine_ref()?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         Ok(simulate(g, m, schedule, SimOptions::default())?)
     }
 
@@ -486,7 +504,7 @@ impl Project {
     ) -> Result<ExecReport, ProjectError> {
         self.gate()?;
         self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
+        let f = self.flattened_ref()?;
         Ok(execute(f, &self.library, inputs, options)?)
     }
 
@@ -499,7 +517,7 @@ impl Project {
     pub fn session(&mut self, options: &ExecOptions) -> Result<Session, ProjectError> {
         self.gate()?;
         self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
+        let f = self.flattened_ref()?;
         Ok(Session::new(f, &self.library, options)?)
     }
 
@@ -548,13 +566,13 @@ impl Project {
         params: MachineParams,
     ) -> Result<Vec<SpeedupPoint>, ProjectError> {
         self.flatten()?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         let machines: Vec<Machine> = topologies
             .iter()
             .map(|topo| Machine::new(topo.clone(), params))
             .collect();
-        let schedules =
-            banger_sched::sweep::sweep_machines("MH", g, &machines).expect("MH is known");
+        let schedules = banger_sched::sweep::sweep_machines("MH", g, &machines)
+            .ok_or_else(|| ProjectError::UnknownHeuristic("MH".to_string()))?;
         Ok(machines
             .iter()
             .zip(schedules)
@@ -571,16 +589,20 @@ impl Project {
     pub fn compare_heuristics(&mut self) -> Result<Vec<ScheduleSummary>, ProjectError> {
         self.flatten()?;
         let m = self.machine.as_ref().ok_or(ProjectError::NoMachine)?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         let names: Vec<&str> = banger_sched::HEURISTIC_NAMES
             .iter()
             .chain(["DSH"].iter())
             .copied()
             .collect();
-        let mut rows: Vec<ScheduleSummary> = banger_sched::sweep::sweep_heuristics(&names, g, m)
-            .into_iter()
-            .map(|s| s.expect("known names").summarize(g, m))
-            .collect();
+        let mut rows = Vec::with_capacity(names.len());
+        for (name, s) in names
+            .iter()
+            .zip(banger_sched::sweep::sweep_heuristics(&names, g, m))
+        {
+            let s = s.ok_or_else(|| ProjectError::UnknownHeuristic(name.to_string()))?;
+            rows.push(s.summarize(g, m));
+        }
         rows.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
         Ok(rows)
     }
@@ -596,7 +618,7 @@ impl Project {
         params: MachineParams,
     ) -> Result<Vec<crate::advisor::MachineChoice>, ProjectError> {
         self.flatten()?;
-        let g = &self.flattened.as_ref().unwrap().graph;
+        let g = &self.flattened_ref()?.graph;
         let candidates = crate::advisor::standard_candidates(max_procs, params);
         Ok(crate::advisor::search_machines(g, &candidates))
     }
@@ -707,7 +729,7 @@ impl Project {
     pub fn optimize(&mut self, fuse: bool) -> Result<OptimizeStats, ProjectError> {
         self.gate()?;
         self.flatten()?;
-        let flat = self.flattened.as_ref().unwrap();
+        let flat = self.flattened_ref()?;
 
         let (after_dce, lib, dce) = banger_opt::eliminate_dead(flat, &self.library)?;
         let (flat, lib, fuse_stats) = if fuse {
@@ -772,7 +794,7 @@ impl Project {
     ) -> Result<String, ProjectError> {
         self.gate()?;
         self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
+        let f = self.flattened_ref()?;
         Ok(banger_codegen::generate_rust(
             f,
             &self.library,
@@ -789,7 +811,7 @@ impl Project {
     ) -> Result<String, ProjectError> {
         self.gate()?;
         self.flatten()?;
-        let f = self.flattened.as_ref().unwrap();
+        let f = self.flattened_ref()?;
         Ok(banger_codegen::generate_c(
             f,
             &self.library,

@@ -1,0 +1,380 @@
+//! Wire protocol: length-prefixed JSON frames, and the request /
+//! response schemas.
+//!
+//! ## Framing
+//!
+//! One frame = a big-endian `u32` payload length followed by that many
+//! bytes of UTF-8 JSON. Frames above [`MAX_FRAME`] are rejected (a
+//! corrupted length prefix must not make the server allocate gigabytes).
+//! A clean EOF *between* frames is a normal connection close.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"cmd": "schedule", "path": "/abs/proj.bang", "heuristic": "ETF"}
+//! {"cmd": "run", "path": "/abs/proj.bang", "inputs": {"a": 2.5, "v": [1, 2, 3]}}
+//! {"cmd": "check", "path": "/abs/proj.bang", "format": "json"}
+//! {"cmd": "trace", "path": "/abs/proj.bang", "heuristic": "MH", "inputs": {...}}
+//! {"cmd": "optimize", "path": "/abs/proj.bang", "fuse": true}
+//! {"cmd": "ping"}   {"cmd": "stats"}   {"cmd": "evict", "path": "..."}   {"cmd": "shutdown"}
+//! ```
+//!
+//! Fault-injection hooks (testing only): `"inject_panic": "<task>"` on a
+//! `run` forwards to [`ExecOptions::inject_panic`](banger_exec::ExecOptions)
+//! (an *attributed executor error*, not a handler crash), while
+//! `"inject_handler_panic": true` on any command panics inside the
+//! request handler itself — the daemon must survive it.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"ok": true, "cached": true, "exit": 0, "output": "...", "notes": "..."}
+//! {"ok": false, "error": "..."}
+//! ```
+//!
+//! `output` is byte-identical to what the matching local CLI command
+//! prints on stdout (that is what the differential stress test pins);
+//! `notes` carries non-deterministic extras (wall-clock timings, drift
+//! tables) that a client prints to stderr. `cached` reports whether the
+//! request was served from a warm cache entry without recomputation.
+
+use super::json::{self, Json};
+use banger_calc::Value;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one frame's payload, in bytes.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary; EOF
+/// mid-frame and oversized lengths are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// One request to the daemon. Unknown JSON fields are ignored so old
+/// daemons tolerate newer clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The verb: `check`, `schedule`, `run`, `trace`, `optimize`,
+    /// `ping`, `stats`, `evict`, `shutdown`.
+    pub cmd: String,
+    /// Project file path (server-side canonicalized); absent for
+    /// verbs that address the daemon itself.
+    pub path: Option<String>,
+    /// Scheduling heuristic for `schedule` / `trace` (default `MH`).
+    pub heuristic: String,
+    /// `check` output format: `text` (default) or `json`.
+    pub format: String,
+    /// External input values for `run` / `trace`.
+    pub inputs: BTreeMap<String, Value>,
+    /// `optimize`: also fuse grain-packed clusters.
+    pub fuse: bool,
+    /// Testing: forward to the executor's per-task panic injection.
+    pub inject_panic: Option<String>,
+    /// Testing: panic inside the request handler itself.
+    pub inject_handler_panic: bool,
+}
+
+impl Request {
+    /// A request with defaults for everything but the verb.
+    pub fn new(cmd: impl Into<String>) -> Self {
+        Request {
+            cmd: cmd.into(),
+            path: None,
+            heuristic: "MH".to_string(),
+            format: "text".to_string(),
+            inputs: BTreeMap::new(),
+            fuse: false,
+            inject_panic: None,
+            inject_handler_panic: false,
+        }
+    }
+
+    /// A request addressing a project file.
+    pub fn for_path(cmd: impl Into<String>, path: impl Into<String>) -> Self {
+        let mut r = Request::new(cmd);
+        r.path = Some(path.into());
+        r
+    }
+
+    /// Renders the request as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![("cmd".to_string(), Json::Str(self.cmd.clone()))];
+        if let Some(p) = &self.path {
+            pairs.push(("path".to_string(), Json::Str(p.clone())));
+        }
+        pairs.push(("heuristic".to_string(), Json::Str(self.heuristic.clone())));
+        pairs.push(("format".to_string(), Json::Str(self.format.clone())));
+        if !self.inputs.is_empty() {
+            let fields = self
+                .inputs
+                .iter()
+                .map(|(k, v)| (k.clone(), value_to_json(v)))
+                .collect();
+            pairs.push(("inputs".to_string(), Json::Obj(fields)));
+        }
+        if self.fuse {
+            pairs.push(("fuse".to_string(), Json::Bool(true)));
+        }
+        if let Some(t) = &self.inject_panic {
+            pairs.push(("inject_panic".to_string(), Json::Str(t.clone())));
+        }
+        if self.inject_handler_panic {
+            pairs.push(("inject_handler_panic".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(pairs).render()
+    }
+
+    /// Parses a request from JSON text.
+    pub fn from_json(text: &str) -> Result<Request, String> {
+        let v = json::parse(text)?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a \"cmd\" string")?
+            .to_string();
+        let mut req = Request::new(cmd);
+        req.path = v.get("path").and_then(Json::as_str).map(str::to_string);
+        if let Some(h) = v.get("heuristic").and_then(Json::as_str) {
+            req.heuristic = h.to_string();
+        }
+        if let Some(f) = v.get("format").and_then(Json::as_str) {
+            req.format = f.to_string();
+        }
+        if let Some(Json::Obj(fields)) = v.get("inputs") {
+            for (name, val) in fields {
+                req.inputs.insert(
+                    name.clone(),
+                    json_to_value(val).map_err(|e| format!("bad input {name:?}: {e}"))?,
+                );
+            }
+        }
+        req.fuse = v.get("fuse").and_then(Json::as_bool).unwrap_or(false);
+        req.inject_panic = v
+            .get("inject_panic")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        req.inject_handler_panic = v
+            .get("inject_handler_panic")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Ok(req)
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Num(n) => Json::Num(*n),
+        Value::Array(vs) => Json::Arr(vs.iter().map(|x| Json::Num(*x)).collect()),
+    }
+}
+
+fn json_to_value(v: &Json) -> Result<Value, String> {
+    match v {
+        Json::Num(n) => Ok(Value::Num(*n)),
+        Json::Arr(items) => {
+            let mut vals = Vec::with_capacity(items.len());
+            for item in items {
+                vals.push(item.as_num().ok_or("array elements must be numbers")?);
+            }
+            Ok(Value::array(vals))
+        }
+        _ => Err("inputs must be numbers or arrays of numbers".into()),
+    }
+}
+
+/// One response from the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Whether the request succeeded operationally. `check` on a design
+    /// with error-severity findings is still `ok: true` (the check *ran*)
+    /// with `exit: 1`, matching the CLI's exit-code contract.
+    pub ok: bool,
+    /// Served from a warm cache entry without recomputation.
+    pub cached: bool,
+    /// Suggested client exit code (0 success, 1 diagnostics errors).
+    pub exit: i32,
+    /// Deterministic stdout payload (byte-identical to local mode).
+    pub output: String,
+    /// Non-deterministic extras for stderr (timings, drift tables).
+    pub notes: String,
+    /// Failure description when `ok` is false.
+    pub error: String,
+}
+
+impl Response {
+    /// A successful response with the given stdout payload.
+    pub fn success(output: impl Into<String>) -> Self {
+        Response {
+            ok: true,
+            cached: false,
+            exit: 0,
+            output: output.into(),
+            notes: String::new(),
+            error: String::new(),
+        }
+    }
+
+    /// A failed response with the given error description.
+    pub fn failure(error: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            cached: false,
+            exit: 1,
+            output: String::new(),
+            notes: String::new(),
+            error: error.into(),
+        }
+    }
+
+    /// Marks the response as served from a warm cache.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+
+    /// Sets the suggested client exit code.
+    pub fn with_exit(mut self, exit: i32) -> Self {
+        self.exit = exit;
+        self
+    }
+
+    /// Attaches stderr notes.
+    pub fn with_notes(mut self, notes: impl Into<String>) -> Self {
+        self.notes = notes.into();
+        self
+    }
+
+    /// Renders the response as one JSON object.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(self.ok)),
+            ("cached".to_string(), Json::Bool(self.cached)),
+            ("exit".to_string(), Json::Num(f64::from(self.exit))),
+            ("output".to_string(), Json::Str(self.output.clone())),
+            ("notes".to_string(), Json::Str(self.notes.clone())),
+            ("error".to_string(), Json::Str(self.error.clone())),
+        ])
+        .render()
+    }
+
+    /// Parses a response from JSON text.
+    pub fn from_json(text: &str) -> Result<Response, String> {
+        let v = json::parse(text)?;
+        Ok(Response {
+            ok: v
+                .get("ok")
+                .and_then(Json::as_bool)
+                .ok_or("response needs an \"ok\" bool")?,
+            cached: v.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            exit: v.get("exit").and_then(Json::as_num).unwrap_or(0.0) as i32,
+            output: v
+                .get("output")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            notes: v
+                .get("notes")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            error: v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let mut req = Request::for_path("run", "/tmp/x.bang");
+        req.heuristic = "ETF".into();
+        req.inputs.insert("a".into(), Value::Num(2.5));
+        req.inputs
+            .insert("v".into(), Value::array(vec![1.0, 2.0, 3.0]));
+        req.inject_panic = Some("w3".into());
+        let back = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::success("line1\nline2 \"quoted\"\n")
+            .cached(true)
+            .with_exit(1)
+            .with_notes("(3 task runs)");
+        let back = Response::from_json(&resp.to_json()).unwrap();
+        assert_eq!(resp, back);
+        let fail = Response::failure("boom: \\path\\");
+        assert_eq!(fail, Response::from_json(&fail.to_json()).unwrap());
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(Request::from_json("{}").is_err());
+        assert!(Request::from_json("not json").is_err());
+        assert!(Request::from_json("{\"cmd\": 7}").is_err());
+        assert!(Request::from_json("{\"cmd\": \"run\", \"inputs\": {\"a\": \"str\"}}").is_err());
+    }
+
+    #[test]
+    fn frame_round_trip_and_guards() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"cmd\":\"ping\"}").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"{\"cmd\":\"ping\"}"[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"second"[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+
+        // Oversized length prefix is rejected without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut r = &huge[..];
+        assert!(read_frame(&mut r).is_err());
+
+        // EOF mid-frame is an error, not a clean close.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, b"hello").unwrap();
+        partial.truncate(partial.len() - 2);
+        let mut r = &partial[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The daemon: a Unix-domain-socket accept loop, one thread per
+//! client, panic containment per request.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::bind`] claims the socket path (removing a stale socket
+//! file left by a crashed daemon), [`Server::serve`] accepts until
+//! [`Server::request_shutdown`] is called — by a `shutdown` request,
+//! by a signal (see [`install_signal_handlers`]), or programmatically
+//! from a test — then removes the socket file and returns. The accept
+//! loop polls a nonblocking listener (~50 ms period) so shutdown flags
+//! set from signal context are honored promptly without `libc`-level
+//! self-pipe machinery.
+//!
+//! ## Panic containment
+//!
+//! Every request runs under [`catch_unwind`]. A panic inside the
+//! pipeline produces a structured error response and *poisons* the
+//! project entry the request addressed: its cached state is evicted, so
+//! the next request rebuilds from source. The daemon itself keeps
+//! serving — one hostile design cannot take down everyone's sessions.
+
+use super::ops;
+use super::protocol::{read_frame, write_frame, Request, Response};
+use super::store::ProjectStore;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; checked by every accept loop. Process
+/// global because POSIX signal handlers have no closure state.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Installs `SIGINT`/`SIGTERM` handlers that request a clean shutdown
+/// of every [`Server`] in the process. Uses the C `signal()` entry
+/// point directly — the workspace vendors no `libc` crate, and setting
+/// one `AtomicBool` is async-signal-safe.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// A bound daemon, ready to [`serve`](Server::serve).
+pub struct Server {
+    listener: UnixListener,
+    socket_path: PathBuf,
+    store: Arc<ProjectStore>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the socket, replacing a stale socket file if one exists.
+    pub fn bind(socket_path: &Path) -> io::Result<Server> {
+        // A live daemon would accept; a dead one leaves a file that
+        // blocks bind(2). Probe before clobbering.
+        if socket_path.exists() {
+            if UnixStream::connect(socket_path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a daemon is already serving {}", socket_path.display()),
+                ));
+            }
+            std::fs::remove_file(socket_path)?;
+        }
+        let listener = UnixListener::bind(socket_path)?;
+        Ok(Server {
+            listener,
+            socket_path: socket_path.to_path_buf(),
+            store: Arc::new(ProjectStore::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The shared project store (exposed for benches and tests).
+    pub fn store(&self) -> Arc<ProjectStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// A handle that makes [`serve`](Server::serve) return; callable
+    /// from any thread.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests a clean shutdown of this server.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Accepts clients until shutdown is requested, then removes the
+    /// socket file. Each client gets its own thread; client threads
+    /// are detached (the process exits right after `serve` in daemon
+    /// mode, and test servers close their connections first).
+    pub fn serve(&self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        while !self.shutdown.load(Ordering::SeqCst) && !SIGNALED.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let store = Arc::clone(&self.store);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    std::thread::spawn(move || serve_client(stream, &store, &shutdown));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    std::fs::remove_file(&self.socket_path).ok();
+                    return Err(e);
+                }
+            }
+        }
+        std::fs::remove_file(&self.socket_path).ok();
+        Ok(())
+    }
+}
+
+/// One client connection: any number of request frames, one response
+/// frame each. Returns when the client closes, on a transport error,
+/// or after relaying a `shutdown`.
+fn serve_client(mut stream: UnixStream, store: &ProjectStore, shutdown: &AtomicBool) {
+    // Frames are tiny; a blocking read that outlives shutdown is fine
+    // because the daemon process exits (or the test drops its client)
+    // right after serve() returns.
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        let resp = match std::str::from_utf8(&frame) {
+            Err(_) => Response::failure("request frame is not UTF-8"),
+            Ok(text) => match Request::from_json(text) {
+                Err(e) => Response::failure(format!("bad request: {e}")),
+                Ok(req) if req.cmd == "shutdown" => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    let resp = Response::success("shutting down\n");
+                    write_frame(&mut stream, resp.to_json().as_bytes()).ok();
+                    return;
+                }
+                Ok(req) => dispatch_guarded(store, &req),
+            },
+        };
+        if write_frame(&mut stream, resp.to_json().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Runs one request under `catch_unwind`. On panic: counts it, poisons
+/// (evicts) the addressed entry so the next request rebuilds from
+/// source, and returns a structured error instead of killing the
+/// connection thread.
+pub fn dispatch_guarded(store: &ProjectStore, req: &Request) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| ops::handle(store, req))) {
+        Ok(resp) => resp,
+        Err(payload) => {
+            store.counters.panics.fetch_add(1, Ordering::Relaxed);
+            if let Some(path) = &req.path {
+                // Poison-and-rebuild: whatever half-mutated state the
+                // panic left behind must not serve another request.
+                store.evict(path);
+            }
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Response::failure(format!(
+                "panic while handling {:?} request: {msg} (cache entry rebuilt)",
+                req.cmd
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_panic_is_contained_and_poisons_the_entry() {
+        let store = ProjectStore::new();
+        let mut req = Request::new("ping");
+        req.inject_handler_panic = true;
+        let resp = dispatch_guarded(&store, &req);
+        assert!(!resp.ok);
+        assert!(resp.error.contains("panic"), "{}", resp.error);
+        assert_eq!(store.stats().panics, 1);
+        // The daemon-side dispatcher still answers afterwards.
+        let resp = dispatch_guarded(&store, &Request::new("ping"));
+        assert!(resp.ok);
+    }
+
+    #[test]
+    fn bind_refuses_a_live_socket_and_replaces_a_stale_one() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("banger-server-test-{}.sock", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let server = Server::bind(&path).unwrap();
+        assert!(
+            Server::bind(&path).is_err(),
+            "second bind on a live socket must fail"
+        );
+        drop(server);
+        // The listener is gone but the file remains: stale, replaceable.
+        assert!(path.exists());
+        let server = Server::bind(&path).unwrap();
+        server.request_shutdown();
+        server.serve().unwrap();
+        assert!(!path.exists(), "serve removes the socket file on exit");
+    }
+}

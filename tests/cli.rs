@@ -820,3 +820,118 @@ fn check_reports_body_safety_errors_and_exits_nonzero() {
     );
     std::fs::remove_file(&path).ok();
 }
+
+/// Kills the daemon child on drop so a failing assertion cannot leak a
+/// background process into the test runner.
+#[cfg(unix)]
+struct DaemonGuard(std::process::Child);
+
+#[cfg(unix)]
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+/// Full child-process round trip: `banger serve` in the background,
+/// `banger --connect` clients against it, byte-identical stdout vs
+/// local mode, clean shutdown over the protocol.
+#[cfg(unix)]
+#[test]
+fn serve_daemon_round_trip() {
+    let sock = std::env::temp_dir().join(format!("banger-cli-serve-{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    let child = banger()
+        .args(["serve", "--socket", sock.to_str().unwrap()])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    let mut guard = DaemonGuard(child);
+    // The daemon is up once the socket answers.
+    let mut up = false;
+    for _ in 0..200 {
+        if std::os::unix::net::UnixStream::connect(&sock).is_ok() {
+            up = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(up, "daemon never opened {}", sock.display());
+    let connect: &[&str] = &["--connect", sock.to_str().unwrap()];
+
+    let ping = banger().args(connect).arg("ping").output().unwrap();
+    assert!(ping.status.success());
+    assert_eq!(String::from_utf8_lossy(&ping.stdout), "pong\n");
+
+    // check / gantt / run through the daemon == local mode, twice each
+    // (second pass exercises the warm caches).
+    for args in [
+        vec!["check", project_path()],
+        vec!["gantt", project_path(), "-H", "ETF"],
+        vec!["run", project_path(), "-i", "left=100", "-i", "right=0"],
+    ] {
+        let local = banger().args(&args).output().unwrap();
+        for pass in ["cold", "warm"] {
+            let daemon = banger().args(connect).args(&args).output().unwrap();
+            assert_eq!(
+                daemon.status.code(),
+                local.status.code(),
+                "{args:?} ({pass}) exit codes differ"
+            );
+            assert_eq!(
+                String::from_utf8_lossy(&daemon.stdout),
+                String::from_utf8_lossy(&local.stdout),
+                "{args:?} ({pass}) stdout differs"
+            );
+        }
+    }
+
+    // A design with error-severity diagnostics keeps its exit-1 contract.
+    let racy = "examples/projects/racy_pipeline.bang";
+    let local = banger().args(["check", racy]).output().unwrap();
+    let daemon = banger()
+        .args(connect)
+        .args(["check", racy])
+        .output()
+        .unwrap();
+    assert_eq!(local.status.code(), Some(1));
+    assert_eq!(daemon.status.code(), Some(1));
+    assert_eq!(
+        String::from_utf8_lossy(&daemon.stdout),
+        String::from_utf8_lossy(&local.stdout)
+    );
+
+    let stats = banger().args(connect).arg("stats").output().unwrap();
+    let text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(text.starts_with("requests "), "{text}");
+    assert!(text.contains("panics 0"), "{text}");
+
+    let bye = banger().args(connect).arg("shutdown").output().unwrap();
+    assert!(bye.status.success());
+    let status = guard.0.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+}
+
+/// Without a daemon, `--connect` falls back to local execution instead
+/// of failing.
+#[cfg(unix)]
+#[test]
+fn connect_falls_back_to_local_without_a_daemon() {
+    let sock =
+        std::env::temp_dir().join(format!("banger-cli-fallback-{}.sock", std::process::id()));
+    std::fs::remove_file(&sock).ok();
+    let local = run_ok(&["gantt", project_path()]);
+    let out = banger()
+        .args(["--connect", sock.to_str().unwrap(), "gantt", project_path()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), local);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("running locally"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
